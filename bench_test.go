@@ -1,0 +1,669 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per exhibit), plus ablations over the
+// design choices DESIGN.md calls out. Shape metrics are attached via
+// b.ReportMetric so `go test -bench` output doubles as a compact
+// reproduction summary:
+//
+//	go test -bench=. -benchmem
+package v6web
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"v6web/internal/alexa"
+	"v6web/internal/analysis"
+	"v6web/internal/bgp"
+	"v6web/internal/core"
+	"v6web/internal/netsim"
+	"v6web/internal/stats"
+	"v6web/internal/topo"
+	"v6web/internal/websim"
+)
+
+// The shared scenario is built once; the per-table benchmarks measure
+// the analysis that regenerates each exhibit from the stored data.
+var (
+	benchOnce sync.Once
+	benchSc   *core.Scenario
+	benchErr  error
+)
+
+func benchScenario(b *testing.B) *core.Scenario {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := core.DefaultConfig(42)
+		cfg.NASes = 1000
+		cfg.ListSize = 10000
+		cfg.Extended = 2000
+		benchSc, benchErr = core.NewScenario(cfg)
+		if benchErr != nil {
+			return
+		}
+		if benchErr = benchSc.Run(); benchErr != nil {
+			return
+		}
+		benchErr = benchSc.RunWorldV6Day()
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSc
+}
+
+func benchStudy(b *testing.B) *analysis.Study {
+	return benchScenario(b).Study()
+}
+
+// --- Figures ---------------------------------------------------------
+
+func BenchmarkFig1Reachability(b *testing.B) {
+	s := benchScenario(b)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		_, series := s.Fig1()
+		last = series[len(series)-1]
+	}
+	b.ReportMetric(100*last, "%final-reachability")
+}
+
+func BenchmarkFig3aRankReachability(b *testing.B) {
+	s := benchScenario(b)
+	var fr [6]float64
+	for i := 0; i < b.N; i++ {
+		fr = s.Fig3a()
+	}
+	b.ReportMetric(100*fr[0], "%top10")
+	b.ReportMetric(100*fr[5], "%top1M")
+}
+
+func BenchmarkFig3bV6FasterOdds(b *testing.B) {
+	s := benchScenario(b)
+	var top, ext float64
+	for i := 0; i < b.N; i++ {
+		top, ext = s.Fig3b("Penn")
+	}
+	b.ReportMetric(100*top, "%v6faster-top1M")
+	b.ReportMetric(100*ext, "%v6faster-5M")
+}
+
+// --- Tables ----------------------------------------------------------
+
+func BenchmarkTable2Profiles(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.ProfileRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = study.Table2()
+	}
+	b.ReportMetric(float64(rows[0].SitesKept), "sites-kept-v0")
+	b.ReportMetric(float64(rows[0].CrossV4), "ases-crossed-v4")
+	b.ReportMetric(float64(rows[0].CrossV6), "ases-crossed-v6")
+}
+
+func BenchmarkTable3FailureCauses(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.FailureRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table3()
+	}
+	r := rows[0]
+	b.ReportMetric(float64(r.Insufficient), "insufficient")
+	b.ReportMetric(float64(r.TrendDown+r.TrendUp), "trends")
+	b.ReportMetric(float64(r.TransUp+r.TransDown), "transitions")
+}
+
+func BenchmarkTable4Classification(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.ClassRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table4()
+	}
+	var sp, dp, dl int
+	for _, r := range rows {
+		sp += r.SP
+		dp += r.DP
+		dl += r.DL
+	}
+	b.ReportMetric(float64(sp), "SP-sites")
+	b.ReportMetric(float64(dp), "DP-sites")
+	b.ReportMetric(float64(dl), "DL-sites")
+}
+
+func BenchmarkTable5RemovedBias(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.RemovedBiasRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table5()
+	}
+	r := rows[0]
+	b.ReportMetric(float64(r.SPGood+r.DPGood+r.DLGood), "removed-good")
+	b.ReportMetric(float64(r.SPBad+r.DPBad+r.DLBad), "removed-bad")
+}
+
+func BenchmarkTable6DLPerf(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.DLPerfRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table6()
+	}
+	b.ReportMetric(100*rows[0].FracV4GE, "%v4-ge-v6")
+	b.ReportMetric(rows[0].MeanV4, "v4-kBps")
+	b.ReportMetric(rows[0].MeanV6, "v6-kBps")
+}
+
+func BenchmarkTable7HopCountDLDP(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.HopRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table7()
+	}
+	// Mean v4 speed at the lowest and highest populated buckets of
+	// the first vantage.
+	r := rows[0]
+	lo, hi := -1.0, -1.0
+	for bkt := 0; bkt < analysis.HopBuckets; bkt++ {
+		if r.Count[bkt] >= 5 {
+			if lo < 0 {
+				lo = r.Speed[bkt]
+			}
+			hi = r.Speed[bkt]
+		}
+	}
+	b.ReportMetric(lo, "v4-lowhop-kBps")
+	b.ReportMetric(hi, "v4-highhop-kBps")
+}
+
+func BenchmarkTable8SPH1(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.SPRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table8()
+	}
+	var comp, zero float64
+	for _, r := range rows {
+		comp += r.FracComparable
+		zero += r.FracZeroMode
+	}
+	b.ReportMetric(100*comp/float64(len(rows)), "%SP-comparable")
+	b.ReportMetric(100*zero/float64(len(rows)), "%SP-zeromode")
+}
+
+func BenchmarkTable9HopCountSP(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.HopRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table9()
+	}
+	// v6/v4 speed ratio in the best-populated bucket: H1 says ~1.
+	var ratio float64 = -1
+	for i := 0; i+1 < len(rows); i += 2 {
+		for bkt := 0; bkt < analysis.HopBuckets; bkt++ {
+			if rows[i].Count[bkt] >= 5 && rows[i+1].Count[bkt] >= 5 {
+				ratio = rows[i+1].Speed[bkt] / rows[i].Speed[bkt]
+			}
+		}
+	}
+	b.ReportMetric(ratio, "v6/v4-speed-ratio")
+}
+
+func BenchmarkTable10WorldV6DaySP(b *testing.B) {
+	s := benchScenario(b)
+	var rows []analysis.SPRow
+	for i := 0; i < b.N; i++ {
+		rows = s.V6DayStudy().Table8()
+	}
+	var comp float64
+	var n int
+	for _, r := range rows {
+		if r.NASes > 0 {
+			comp += r.FracComparable
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(100*comp/float64(n), "%v6day-SP-comparable")
+	}
+}
+
+func BenchmarkTable11DPH2(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.DPRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table11()
+	}
+	var comp float64
+	for _, r := range rows {
+		comp += r.FracComparable
+	}
+	b.ReportMetric(100*comp/float64(len(rows)), "%DP-comparable")
+}
+
+func BenchmarkTable12WorldV6DayDP(b *testing.B) {
+	s := benchScenario(b)
+	var rows []analysis.DPRow
+	for i := 0; i < b.N; i++ {
+		rows = s.V6DayStudy().Table11()
+	}
+	var comp float64
+	var n int
+	for _, r := range rows {
+		if r.NASes > 0 {
+			comp += r.FracComparable
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(100*comp/float64(n), "%v6day-DP-comparable")
+	}
+}
+
+func BenchmarkTable13GoodASCoverage(b *testing.B) {
+	study := benchStudy(b)
+	var rows []analysis.CoverageRow
+	for i := 0; i < b.N; i++ {
+		rows = study.Table13()
+	}
+	// Mass in the [50,75) band, the paper's mode.
+	var mid float64
+	for _, r := range rows {
+		mid += r.Frac[2]
+	}
+	b.ReportMetric(100*mid/float64(len(rows)), "%coverage-50-75")
+}
+
+// BenchmarkFullStudy measures the end-to-end pipeline (topology,
+// routing, all rounds, analysis) at reduced scale — the repo's
+// heaviest macro-benchmark.
+func BenchmarkFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(int64(100 + i))
+		cfg.NASes = 500
+		cfg.ListSize = 4000
+		cfg.Extended = 0
+		cfg.Rounds = 20
+		cfg.Vantages = core.ScaledVantages(cfg.Rounds)
+		s, err := core.NewScenario(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		_ = s.Study().Table8()
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---------------
+
+// ablationScenario runs a small study with the given overrides and
+// returns its analysis.
+func ablationScenario(b *testing.B, seed int64, mutate func(*core.Config)) *analysis.Study {
+	b.Helper()
+	cfg := core.DefaultConfig(seed)
+	cfg.NASes = 600
+	cfg.ListSize = 5000
+	cfg.Extended = 0
+	cfg.Rounds = 20
+	cfg.Vantages = core.ScaledVantages(cfg.Rounds)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return s.Study()
+}
+
+func meanDPComparable(st *analysis.Study) float64 {
+	var comp float64
+	var n int
+	for _, r := range st.Table11() {
+		if r.NASes > 0 {
+			comp += r.FracComparable + r.FracZeroMode
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return comp / float64(n)
+}
+
+func spShare(st *analysis.Study) float64 {
+	var sp, dp int
+	for _, r := range st.Table4() {
+		sp += r.SP
+		dp += r.DP
+	}
+	if sp+dp == 0 {
+		return 0
+	}
+	return float64(sp) / float64(sp+dp)
+}
+
+// BenchmarkAblationPeeringParity sweeps the v6 peering-parity knob:
+// the SP share of sites must grow with parity (the paper's remedy).
+func BenchmarkAblationPeeringParity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var shares [2]float64
+		for k, parity := range []float64{0.5, 1.0} {
+			p := parity
+			st := ablationScenario(b, 7, func(c *core.Config) {
+				tc := topo.DefaultGenConfig(c.NASes, c.Seed)
+				tc.V6EdgeParity = p
+				if p == 1.0 {
+					tc.TunnelFrac = 0
+				}
+				c.TopoOverride = &tc
+			})
+			shares[k] = spShare(st)
+		}
+		b.ReportMetric(100*shares[0], "%SP-parity0.5")
+		b.ReportMetric(100*shares[1], "%SP-parity1.0")
+	}
+}
+
+// BenchmarkAblationTunnelPenalty toggles tunnels: with no tunnels the
+// Table 7 low-hop IPv6 artefact disappears.
+func BenchmarkAblationTunnelPenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for k, tf := range []float64{0.5, 0.0} {
+			frac := tf
+			st := ablationScenario(b, 13, func(c *core.Config) {
+				tc := topo.DefaultGenConfig(c.NASes, c.Seed)
+				tc.TunnelFrac = frac
+				c.TopoOverride = &tc
+			})
+			rows := st.Table7()
+			// Low-hop (buckets 1-2) v6/v4 speed ratio across vantages.
+			var v4, v6 float64
+			var n4, n6 int
+			for j := 0; j+1 < len(rows); j += 2 {
+				for bkt := 0; bkt < 2; bkt++ {
+					if rows[j].Count[bkt] > 0 {
+						v4 += rows[j].Speed[bkt] * float64(rows[j].Count[bkt])
+						n4 += rows[j].Count[bkt]
+					}
+					if rows[j+1].Count[bkt] > 0 {
+						v6 += rows[j+1].Speed[bkt] * float64(rows[j+1].Count[bkt])
+						n6 += rows[j+1].Count[bkt]
+					}
+				}
+			}
+			if n4 > 0 && n6 > 0 {
+				name := "lowhop-v6/v4-tunnels"
+				if frac == 0 {
+					name = "lowhop-v6/v4-notunnels"
+				}
+				b.ReportMetric((v6/float64(n6))/(v4/float64(n4)), name)
+			}
+			_ = k
+		}
+	}
+}
+
+// BenchmarkAblationV6EdgePenaltyH1 breaks H1 on purpose: degrading
+// every native v6 edge must crater the SP comparable fraction.
+func BenchmarkAblationV6EdgePenaltyH1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, penalty := range []float64{1.0, 0.6} {
+			p := penalty
+			st := ablationScenario(b, 17, func(c *core.Config) {
+				nc := netsim.DefaultConfig(c.Seed)
+				nc.V6EdgePenalty = p
+				c.Net = &nc
+			})
+			var comp float64
+			rows := st.Table8()
+			for _, r := range rows {
+				comp += r.FracComparable
+			}
+			name := "%SP-comparable-parity"
+			if p < 1 {
+				name = "%SP-comparable-broken"
+			}
+			b.ReportMetric(100*comp/float64(len(rows)), name)
+		}
+	}
+}
+
+// BenchmarkAblationServerDeficiency sweeps the deficient-v6-server
+// rate, which drives the zero-mode prevalence of Tables 8 and 11.
+// Zero-modes are counted across both SP and DP destination ASes for
+// statistical weight at bench scale.
+func BenchmarkAblationServerDeficiency(b *testing.B) {
+	// On a shared path (SP) only servers can explain an AS-level
+	// deficit, so every non-comparable SP AS is server-attributable:
+	// zero-mode when a matching site proves it, "small #" when the
+	// AS is too small to show one.
+	serverDegraded := func(st *analysis.Study) float64 {
+		var deg, n float64
+		for _, r := range st.Table8() {
+			deg += (1 - r.FracComparable) * float64(r.NASes)
+			n += float64(r.NASes)
+		}
+		if n == 0 {
+			return 0
+		}
+		return deg / n
+	}
+	for i := 0; i < b.N; i++ {
+		for _, badMix := range []float64{0.0, 0.5} {
+			bm := badMix
+			st := ablationScenario(b, 19, func(c *core.Config) {
+				c.NASes = 1000
+				c.ListSize = 10000
+				c.Rounds = 30
+				wc := websim.DefaultConfig(c.Seed)
+				wc.BadMixASFrac = bm
+				wc.BadFracInBad = 0.8
+				if bm == 0 {
+					wc.BadFracInGood = 0
+				}
+				c.Web = &wc
+			})
+			name := "%SP-server-degraded-clean"
+			if bm > 0 {
+				name = "%SP-server-degraded-badmix"
+			}
+			b.ReportMetric(100*serverDegraded(st), name)
+		}
+	}
+}
+
+// BenchmarkAblationCIStopRule measures the cost/accuracy trade-off of
+// the 10% CI stop rule against a fixed-count rule.
+func BenchmarkAblationCIStopRule(b *testing.B) {
+	rule := stats.CIStop{Frac: 0.10, MinN: 3}
+	rng := rand.New(rand.NewSource(3))
+	var totalDownloads, converged int
+	for i := 0; i < b.N; i++ {
+		var w stats.Welford
+		for d := 0; d < 30; d++ {
+			w.Add(50 * (1 + 0.04*rng.NormFloat64()))
+			if rule.Done(&w) {
+				break
+			}
+		}
+		totalDownloads += w.N()
+		if rule.Done(&w) {
+			converged++
+		}
+	}
+	b.ReportMetric(float64(totalDownloads)/float64(b.N), "downloads/site")
+	b.ReportMetric(100*float64(converged)/float64(b.N), "%converged")
+}
+
+// BenchmarkAblationBGPPreference contrasts policy routing with plain
+// shortest-path: policy paths are at least as long, shifting the
+// hop-count mix the performance model feeds on.
+func BenchmarkAblationBGPPreference(b *testing.B) {
+	g := mustGraph(b)
+	c := bgp.NewComputer(g)
+	var longer, pairs, extra float64
+	for i := 0; i < b.N; i++ {
+		// Aggregate over a destination sample so a single iteration
+		// already carries signal.
+		for k := 0; k < 20; k++ {
+			dst := (i*20 + k*61) % g.N()
+			polLen := make(map[int]int)
+			c.Routes(dst, topo.V4)
+			for src := 0; src < g.N(); src += 7 {
+				if p := c.PathFrom(src); p != nil {
+					polLen[src] = len(p) - 1
+				}
+			}
+			c.RoutesShortest(dst, topo.V4)
+			for src, pl := range polLen {
+				p := c.PathFrom(src)
+				if p == nil {
+					continue
+				}
+				pairs++
+				if d := pl - (len(p) - 1); d > 0 {
+					longer++
+					extra += float64(d)
+				}
+			}
+		}
+	}
+	if pairs > 0 {
+		b.ReportMetric(100*longer/pairs, "%policy-longer")
+		b.ReportMetric(extra/pairs, "extra-hops/pair")
+	}
+}
+
+// BenchmarkMonitorScaling addresses Section 6's worry about "the
+// ability of the monitoring tool and its underlying database to
+// handle growth in IPv6 accessible sites": one full monitoring round
+// at increasing list sizes.
+func BenchmarkMonitorScaling(b *testing.B) {
+	for _, size := range []int{2000, 8000, 32000} {
+		size := size
+		b.Run(byteSizeName(size), func(b *testing.B) {
+			cfg := core.DefaultConfig(3)
+			cfg.NASes = 800
+			cfg.ListSize = size
+			cfg.Extended = 0
+			cfg.Rounds = 2
+			scaled := core.DefaultVantages()[:1] // Comcast only
+			scaled[0].StartRound = 0
+			cfg.Vantages = scaled
+			s, err := core.NewScenario(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Run is idempotent; time construction+both rounds by
+				// rebuilding per iteration at the smallest amortizable
+				// unit: a fresh scenario.
+				s2, err := core.NewScenario(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s2.Run(); err != nil {
+					b.Fatal(err)
+				}
+				_ = s
+			}
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return itoa(n/1000) + "k-sites"
+	default:
+		return itoa(n) + "-sites"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkExtensionVantageCoverage measures the coverage-growth
+// extension: marginal IPv6 AS coverage per added vantage.
+func BenchmarkExtensionVantageCoverage(b *testing.B) {
+	s := benchScenario(b)
+	var growth []int
+	for i := 0; i < b.N; i++ {
+		growth = s.CoverageGrowth()
+	}
+	if len(growth) > 0 {
+		b.ReportMetric(float64(growth[0]), "ases-1-vantage")
+		b.ReportMetric(float64(growth[len(growth)-1]), "ases-all-vantages")
+	}
+}
+
+// BenchmarkExtensionTunnelReport measures the tunnel-prevalence
+// extension and reports the deficit contrast.
+func BenchmarkExtensionTunnelReport(b *testing.B) {
+	s := benchScenario(b)
+	var rows []core.TunnelStats
+	for i := 0; i < b.N; i++ {
+		rows = s.TunnelReport()
+	}
+	var tun, nat float64
+	var n int
+	for _, r := range rows {
+		if r.SitesTunneled >= 3 && r.SitesNative >= 3 {
+			tun += r.V6DeficitTunneled()
+			nat += r.V6DeficitNative()
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(100*tun/float64(n), "%v6deficit-tunneled")
+		b.ReportMetric(100*nat/float64(n), "%v6deficit-native")
+	}
+}
+
+// --- helpers ---------------------------------------------------------
+
+var (
+	benchGraphOnce sync.Once
+	benchGraph     *topo.Graph
+	benchGraphErr  error
+)
+
+func mustGraph(b *testing.B) *topo.Graph {
+	b.Helper()
+	benchGraphOnce.Do(func() {
+		benchGraph, benchGraphErr = topo.Generate(topo.DefaultGenConfig(1200, 5))
+	})
+	if benchGraphErr != nil {
+		b.Fatal(benchGraphErr)
+	}
+	return benchGraph
+}
+
+// BenchmarkAdoptionModel exercises the Fig 1 primitive directly.
+func BenchmarkAdoptionModel(b *testing.B) {
+	ad := alexa.NewAdoption(1, alexa.DefaultTimeline())
+	tl := ad.Timeline
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if ad.IsV6At(alexa.SiteID(i), 1+i%1000000, tl.End) {
+			hits++
+		}
+	}
+	_ = hits
+}

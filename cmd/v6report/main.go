@@ -1,0 +1,85 @@
+// Command v6report regenerates every table and figure of the paper's
+// evaluation. With -db it analyzes a database previously saved by
+// v6mon; without it, it runs a fresh deterministic scenario end to
+// end and reports on that.
+//
+// Usage:
+//
+//	v6report                     # fresh scenario, full report
+//	v6report -db v6web-data      # report over saved measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"v6web/internal/analysis"
+	"v6web/internal/core"
+	"v6web/internal/report"
+	"v6web/internal/store"
+)
+
+func main() {
+	var (
+		dbDir = flag.String("db", "", "directory previously written by v6mon (empty: run a fresh scenario)")
+		seed  = flag.Int64("seed", 42, "scenario seed when running fresh")
+		ases  = flag.Int("ases", 1500, "topology size when running fresh")
+		sites = flag.Int("sites", 20000, "list size when running fresh")
+	)
+	flag.Parse()
+
+	if *dbDir == "" {
+		cfg := core.DefaultConfig(*seed)
+		cfg.NASes = *ases
+		cfg.ListSize = *sites
+		s, err := core.NewScenario(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.ReportAll(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	main1, err := store.Load(filepath.Join(*dbDir, "main"))
+	if err != nil {
+		fatal(err)
+	}
+	th := analysis.DefaultThresholds()
+	var vas []*analysis.VantageAnalysis
+	for _, v := range main1.Vantages() {
+		vas = append(vas, analysis.Analyze(main1, v, th))
+	}
+	study := analysis.NewStudy(vas...)
+	rows2, all2 := study.Table2()
+	report.Table2(os.Stdout, rows2, all2)
+	report.Table3(os.Stdout, study.Table3())
+	report.Table4(os.Stdout, study.Table4())
+	report.Table5(os.Stdout, study.Table5())
+	report.Table6(os.Stdout, study.Table6())
+	report.HopTable(os.Stdout, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
+	report.Table8(os.Stdout, study.Table8())
+	report.HopTable(os.Stdout, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
+	report.Table11(os.Stdout, study.Table11())
+	report.Table13(os.Stdout, study.Table13())
+
+	if v6dayDB, err := store.Load(filepath.Join(*dbDir, "v6day")); err == nil {
+		th6 := analysis.DefaultThresholds()
+		th6.CI.MinN = 6
+		var v6vas []*analysis.VantageAnalysis
+		for _, v := range v6dayDB.Vantages() {
+			v6vas = append(v6vas, analysis.Analyze(v6dayDB, v, th6))
+		}
+		v6day := analysis.NewStudy(v6vas...)
+		report.Table10(os.Stdout, v6day.Table8())
+		report.Table12(os.Stdout, v6day.Table11())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "v6report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command v6sweep re-runs the full study across a parameter sweep and
+// tabulates how the paper's findings move — the what-if companion to
+// v6report. Built-in sweeps target the design dimensions DESIGN.md
+// calls out: IPv6 peering parity, tunnel prevalence, and the
+// deficient-server mix.
+//
+// Usage:
+//
+//	v6sweep -sweep parity   # peering parity 0.4 .. 1.0
+//	v6sweep -sweep tunnels  # tunnel prevalence 0 .. 0.6
+//	v6sweep -sweep servers  # deficient-server AS mix 0 .. 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"v6web/internal/core"
+	"v6web/internal/sweep"
+	"v6web/internal/topo"
+	"v6web/internal/websim"
+)
+
+func main() {
+	var (
+		which = flag.String("sweep", "parity", "which sweep: parity, tunnels, servers")
+		seed  = flag.Int64("seed", 42, "scenario seed")
+		ases  = flag.Int("ases", 900, "topology size")
+		sites = flag.Int("sites", 9000, "list size")
+	)
+	flag.Parse()
+
+	base := core.DefaultConfig(*seed)
+	base.NASes = *ases
+	base.ListSize = *sites
+	base.Extended = 0
+	base.Rounds = 28
+	base.Vantages = core.ScaledVantages(base.Rounds)
+
+	metrics := map[string]sweep.Metric{
+		"SP-share":    asPct(sweep.SPShare),
+		"H1-comp%":    asPct(sweep.H1Comparable),
+		"H2-comp%":    asPct(sweep.H2Comparable),
+		"DL-v4-wins%": asPct(sweep.DLV4Advantage),
+		"DP-deficit%": asPct(sweep.V6DeficitDP),
+	}
+
+	var points []sweep.Point
+	var title string
+	switch *which {
+	case "parity":
+		title = "Sweep: IPv6 peering parity (the paper's recommended remedy)"
+		for _, p := range []float64{0.4, 0.55, 0.7, 0.85, 1.0} {
+			parity := p
+			points = append(points, sweep.Point{
+				Label: fmt.Sprintf("parity=%.2f", parity),
+				Mutate: func(c *core.Config) {
+					tc := topo.DefaultGenConfig(c.NASes, c.Seed)
+					tc.V6EdgeParity = parity
+					if parity == 1.0 {
+						tc.TunnelFrac = 0
+					}
+					c.TopoOverride = &tc
+				},
+			})
+		}
+	case "tunnels":
+		title = "Sweep: IPv6 tunnel prevalence (Table 7's low-hop artefact)"
+		for _, f := range []float64{0, 0.15, 0.3, 0.45, 0.6} {
+			frac := f
+			points = append(points, sweep.Point{
+				Label: fmt.Sprintf("tunnels=%.2f", frac),
+				Mutate: func(c *core.Config) {
+					tc := topo.DefaultGenConfig(c.NASes, c.Seed)
+					tc.TunnelFrac = frac
+					c.TopoOverride = &tc
+				},
+			})
+		}
+	case "servers":
+		title = "Sweep: deficient IPv6 server mix (Table 8's zero-modes)"
+		for _, f := range []float64{0, 0.1, 0.25, 0.5} {
+			frac := f
+			points = append(points, sweep.Point{
+				Label: fmt.Sprintf("badmix=%.2f", frac),
+				Mutate: func(c *core.Config) {
+					wc := websim.DefaultConfig(c.Seed)
+					wc.BadMixASFrac = frac
+					if frac == 0 {
+						wc.BadFracInGood = 0
+					}
+					c.Web = &wc
+				},
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "v6sweep: unknown sweep %q\n", *which)
+		os.Exit(2)
+	}
+
+	results, err := sweep.Run(base, points, metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "v6sweep:", err)
+		os.Exit(1)
+	}
+	sweep.Write(os.Stdout, title, results)
+}
+
+func asPct(m sweep.Metric) sweep.Metric {
+	return func(s *core.Scenario) float64 { return 100 * m(s) }
+}

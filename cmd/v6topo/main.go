@@ -1,0 +1,100 @@
+// Command v6topo generates a synthetic AS-level topology and prints
+// its vital statistics: tier sizes, IPv6 capability, edge counts per
+// family, tunnels, and a reachability check — useful for inspecting
+// the substrate the study runs on.
+//
+// Usage:
+//
+//	v6topo [-ases 1500] [-seed 42] [-parity 0.7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"v6web/internal/bgp"
+	"v6web/internal/topo"
+)
+
+func main() {
+	var (
+		ases   = flag.Int("ases", 1500, "number of ASes")
+		seed   = flag.Int64("seed", 42, "generation seed")
+		parity = flag.Float64("parity", -1, "IPv6 peering parity override (0..1, negative keeps default)")
+	)
+	flag.Parse()
+
+	cfg := topo.DefaultGenConfig(*ases, *seed)
+	if *parity >= 0 {
+		cfg.V6EdgeParity = *parity
+	}
+	g, err := topo.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		fatal(err)
+	}
+
+	tiers := map[topo.Tier]int{}
+	v6ByTier := map[topo.Tier]int{}
+	tunnels, brokers, cdns := 0, 0, 0
+	for i := 0; i < g.N(); i++ {
+		a := g.AS(i)
+		tiers[a.Tier]++
+		if a.V6 {
+			v6ByTier[a.Tier]++
+		}
+		if a.TunnelBroker {
+			brokers++
+		}
+		if a.CDN {
+			cdns++
+		}
+		for _, n := range g.RawNeighbors(i) {
+			if n.Tunnel {
+				tunnels++
+			}
+		}
+	}
+	tunnels /= 2
+
+	fmt.Printf("ASes: %d  (tier1 %d, tier2 %d, stub %d)\n",
+		g.N(), tiers[topo.Tier1], tiers[topo.Tier2], tiers[topo.Stub])
+	fmt.Printf("IPv6-capable: %d (%.1f%%)  tier1 %d/%d  tier2 %d/%d  stub %d/%d\n",
+		g.CountV6(), 100*float64(g.CountV6())/float64(g.N()),
+		v6ByTier[topo.Tier1], tiers[topo.Tier1],
+		v6ByTier[topo.Tier2], tiers[topo.Tier2],
+		v6ByTier[topo.Stub], tiers[topo.Stub])
+	fmt.Printf("edges: IPv4 %d, IPv6 %d (%.1f%% parity in practice)\n",
+		g.EdgeCount(topo.V4), g.EdgeCount(topo.V6),
+		100*float64(g.EdgeCount(topo.V6))/float64(g.EdgeCount(topo.V4)))
+	fmt.Printf("tunnels: %d (brokers: %d)   CDN ASes: %d\n", tunnels, brokers, cdns)
+
+	// Path-length profile from AS 0.
+	c := bgp.NewComputer(g)
+	for _, fam := range []topo.Family{topo.V4, topo.V6} {
+		hist := map[int]int{}
+		reach := 0
+		for dst := 0; dst < g.N(); dst++ {
+			c.Routes(dst, fam)
+			if p := c.PathFrom(0); p != nil {
+				reach++
+				hist[len(p)-1]++
+			}
+		}
+		fmt.Printf("%s from AS 0: %d reachable, hop histogram:", fam, reach)
+		for h := 0; h <= 8; h++ {
+			if hist[h] > 0 {
+				fmt.Printf(" %d:%d", h, hist[h])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "v6topo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Package v6web reproduces "Assessing IPv6 Through Web Access — A
+// Measurement Study and Its Findings" (Nikkhah, Guérin, Lee, Woundy;
+// ACM CoNEXT 2011) as a self-contained Go system.
+//
+// The paper measured IPv6 adoption and performance by downloading the
+// main pages of Alexa's top-1M web sites over both address families
+// from six vantage points for a year, correlating the results with
+// BGP AS_PATH data. Its two validated hypotheses: H1 — the IPv6 and
+// IPv4 data planes perform comparably on identical AS paths; H2 —
+// routing differences (missing IPv6 peering) are the primary cause of
+// poorer IPv6 performance.
+//
+// Because the original study is gated on a live-Internet deployment,
+// this reproduction builds the whole measurement stack over a
+// synthetic Internet: an AS-level topology with business
+// relationships and a sparser IPv6 sub-topology (internal/topo),
+// Gao–Rexford route computation (internal/bgp), a calibrated data
+// plane (internal/netsim), site and server models (internal/websim,
+// internal/alexa), DNS and HTTP substrates that also run over real
+// loopback sockets (internal/dnswire, internal/dnssim,
+// internal/httpsim), the paper's monitoring tool (internal/measure),
+// a result store (internal/store), and the full Section 4/5 analysis
+// pipeline (internal/analysis). internal/core ties it together;
+// bench_test.go regenerates every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// comparisons.
+package v6web

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"testing"
+
+	"v6web/internal/alexa"
+	"v6web/internal/store"
+	"v6web/internal/topo"
+)
+
+func TestV6FasterRoundOdds(t *testing.T) {
+	db := store.NewDB()
+	const v = "penn"
+	db.PutSite(store.SiteRow{Site: 1, FirstRank: 1, V4AS: 100, V6AS: 100})
+	db.AddPath(v, topo.V4, 100, 0, []int{0, 100})
+	db.AddPath(v, topo.V6, 100, 0, []int{0, 100})
+	// 24 rounds: v6 faster in exactly 6 of them.
+	for r := 0; r < 24; r++ {
+		v6 := 49.0
+		if r < 6 {
+			v6 = 52.0
+		}
+		db.AddSample(v, 1, topo.V4, store.Sample{Round: r, MeanSpeed: 50, CIOK: true})
+		db.AddSample(v, 1, topo.V6, store.Sample{Round: r, MeanSpeed: v6, CIOK: true})
+	}
+	va := Analyze(db, v, DefaultThresholds())
+	if len(va.KeptSites()) != 1 {
+		t.Fatalf("kept %d", len(va.KeptSites()))
+	}
+	odds := va.V6FasterRoundOdds()
+	if odds != 0.25 {
+		t.Fatalf("round odds %v, want 0.25", odds)
+	}
+	// Median over rounds: v6 median 49 < v4 median 50 -> 0.
+	if m := va.V6FasterMedianOdds(); m != 0 {
+		t.Fatalf("median odds %v, want 0", m)
+	}
+	// Site-mean metric: v6 mean 49.75 < 50 -> 0.
+	if s := va.V6FasterOdds(nil); s != 0 {
+		t.Fatalf("mean odds %v, want 0", s)
+	}
+}
+
+func TestV6FasterMetricsEmpty(t *testing.T) {
+	db := store.NewDB()
+	va := Analyze(db, "penn", DefaultThresholds())
+	if va.V6FasterRoundOdds() != 0 || va.V6FasterMedianOdds() != 0 {
+		t.Fatal("empty study produced nonzero odds")
+	}
+}
+
+func TestV6FasterMedianOddsMajority(t *testing.T) {
+	db := store.NewDB()
+	const v = "penn"
+	db.PutSite(store.SiteRow{Site: 1, FirstRank: 1, V4AS: 100, V6AS: 100})
+	db.AddPath(v, topo.V4, 100, 0, []int{0, 100})
+	db.AddPath(v, topo.V6, 100, 0, []int{0, 100})
+	for r := 0; r < 24; r++ {
+		db.AddSample(v, 1, topo.V4, store.Sample{Round: r, MeanSpeed: 50, CIOK: true})
+		db.AddSample(v, 1, topo.V6, store.Sample{Round: r, MeanSpeed: 53, CIOK: true})
+	}
+	va := Analyze(db, v, DefaultThresholds())
+	if m := va.V6FasterMedianOdds(); m != 1 {
+		t.Fatalf("median odds %v, want 1", m)
+	}
+	if o := va.V6FasterRoundOdds(); o != 1 {
+		t.Fatalf("round odds %v, want 1", o)
+	}
+	_ = alexa.SiteID(1)
+}

@@ -1,0 +1,61 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"v6web/internal/topo"
+)
+
+func TestAltPathFromValid(t *testing.T) {
+	g := genGraph(t, 600, 31)
+	c := NewComputer(g)
+	rng := rand.New(rand.NewSource(32))
+	found := 0
+	for trial := 0; trial < 40; trial++ {
+		dst := rng.Intn(g.N())
+		c.Routes(dst, topo.V4)
+		for src := 0; src < g.N(); src += 9 {
+			alt := c.AltPathFrom(src)
+			if alt == nil {
+				continue
+			}
+			found++
+			if alt[0] != src || alt[len(alt)-1] != dst {
+				t.Fatalf("malformed alt path %v (src=%d dst=%d)", alt, src, dst)
+			}
+			if !IsValleyFree(g, alt, topo.V4) {
+				t.Fatalf("alt path %v not valley-free", alt)
+			}
+			primary := Path(c.PathFrom(src))
+			if primary.Equal(alt) {
+				t.Fatalf("alt path equals primary: %v", alt)
+			}
+			// No loops.
+			seen := map[int]bool{}
+			for _, a := range alt {
+				if seen[a] {
+					t.Fatalf("loop in alt path %v", alt)
+				}
+				seen[a] = true
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no alternative path found anywhere")
+	}
+}
+
+func TestAltPathFromDegenerate(t *testing.T) {
+	g := genGraph(t, 200, 33)
+	c := NewComputer(g)
+	c.Routes(5, topo.V4)
+	if c.AltPathFrom(5) != nil {
+		t.Fatal("destination has an alt path to itself")
+	}
+	// Without Routes, no alt path.
+	c2 := NewComputer(g)
+	if c2.AltPathFrom(0) != nil {
+		t.Fatal("alt path without computed routes")
+	}
+}

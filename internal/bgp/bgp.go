@@ -1,0 +1,319 @@
+// Package bgp computes policy-compliant (Gao–Rexford) AS-level routes
+// over a topo.Graph and extracts per-vantage AS paths, standing in for
+// the BGP routing tables the paper collected from routers near each
+// monitoring vantage point.
+//
+// Route propagation follows the classic export rules: a destination
+// advertises to everyone; a route learned from a customer is exported
+// to all neighbors; routes learned from peers or providers are
+// exported only to customers. Route selection prefers customer routes
+// over peer routes over provider routes, then shorter AS paths, then
+// the lowest next-hop index. The resulting forwarding paths are
+// valley-free: zero or more customer→provider ("up") edges, at most
+// one peer edge, then zero or more provider→customer ("down") edges.
+package bgp
+
+import (
+	"fmt"
+
+	"v6web/internal/topo"
+)
+
+// RouteType orders route preference; lower is preferred.
+type RouteType int8
+
+const (
+	// RouteNone means no route to the destination.
+	RouteNone RouteType = iota
+	// RouteSelf marks the destination AS itself.
+	RouteSelf
+	// RouteCustomer is a route learned from a customer.
+	RouteCustomer
+	// RoutePeer is a route learned from a peer.
+	RoutePeer
+	// RouteProvider is a route learned from a provider.
+	RouteProvider
+)
+
+// String implements fmt.Stringer.
+func (r RouteType) String() string {
+	switch r {
+	case RouteNone:
+		return "none"
+	case RouteSelf:
+		return "self"
+	case RouteCustomer:
+		return "customer"
+	case RoutePeer:
+		return "peer"
+	case RouteProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("route(%d)", int8(r))
+	}
+}
+
+// Computer computes per-destination routing state with reusable
+// scratch space. It is not safe for concurrent use; create one per
+// goroutine.
+type Computer struct {
+	g    *topo.Graph
+	typ  []RouteType
+	dist []int32
+	next []int32
+	dst  int
+	fam  topo.Family
+
+	// TiebreakHigh flips the equal-length next-hop tiebreak from
+	// lowest to highest index. Routing with the opposite tiebreak
+	// yields a plausible "after a BGP event" alternative path set,
+	// used to model mid-study path changes (Section 5.1 attributes
+	// some performance transitions to path changes).
+	TiebreakHigh bool
+}
+
+// NewComputer returns a Computer over g.
+func NewComputer(g *topo.Graph) *Computer {
+	n := g.N()
+	return &Computer{
+		g:    g,
+		typ:  make([]RouteType, n),
+		dist: make([]int32, n),
+		next: make([]int32, n),
+		dst:  -1,
+	}
+}
+
+// Graph returns the topology the computer routes over.
+func (c *Computer) Graph() *topo.Graph { return c.g }
+
+// Routes computes every AS's best route toward dst over family fam.
+// The state remains valid until the next Routes call.
+func (c *Computer) Routes(dst int, fam topo.Family) {
+	g := c.g
+	n := g.N()
+	for i := 0; i < n; i++ {
+		c.typ[i] = RouteNone
+		c.dist[i] = 0
+		c.next[i] = -1
+	}
+	c.dst = dst
+	c.fam = fam
+	if fam == topo.V6 && !g.AS(dst).V6 {
+		return // destination not v6-capable: nothing is reachable
+	}
+
+	// Stage 1: customer routes climb provider edges from dst (BFS,
+	// unit weights).
+	c.typ[dst] = RouteSelf
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(dst))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, nb := range g.Neighbors(int(u), fam) {
+			if nb.Rel != topo.RelProvider {
+				continue
+			}
+			p := int32(nb.Idx)
+			cand := c.dist[u] + 1
+			switch {
+			case c.typ[p] == RouteNone:
+				c.typ[p] = RouteCustomer
+				c.dist[p] = cand
+				c.next[p] = u
+				queue = append(queue, p)
+			case c.typ[p] == RouteCustomer && c.dist[p] == cand && c.prefer(u, c.next[p]):
+				c.next[p] = u // deterministic next-hop tiebreak
+			}
+		}
+	}
+
+	// Stage 2: peer routes. Every AS holding a self/customer route
+	// exports once across each peer edge; peer routes do not
+	// propagate further.
+	for u := 0; u < n; u++ {
+		if c.typ[u] != RouteSelf && c.typ[u] != RouteCustomer {
+			continue
+		}
+		for _, nb := range g.Neighbors(u, fam) {
+			if nb.Rel != topo.RelPeer {
+				continue
+			}
+			v := nb.Idx
+			cand := c.dist[u] + 1
+			switch {
+			case c.typ[v] == RouteNone:
+				c.typ[v] = RoutePeer
+				c.dist[v] = cand
+				c.next[v] = int32(u)
+			case c.typ[v] == RoutePeer && (cand < c.dist[v] || (cand == c.dist[v] && c.prefer(int32(u), c.next[v]))):
+				c.dist[v] = cand
+				c.next[v] = int32(u)
+			}
+		}
+	}
+
+	// Stage 3: provider routes descend customer edges in increasing
+	// path length (bucket-queue Dijkstra with unit weights). Every
+	// route holder exports its best route to its customers.
+	maxLen := int32(n + 1)
+	buckets := make([][]int32, maxLen+2)
+	push := func(u, d int32) {
+		if d > maxLen {
+			return
+		}
+		buckets[d] = append(buckets[d], u)
+	}
+	for u := 0; u < n; u++ {
+		if c.typ[u] != RouteNone {
+			push(int32(u), c.dist[u])
+		}
+	}
+	for d := int32(0); d <= maxLen; d++ {
+		for i := 0; i < len(buckets[d]); i++ {
+			u := buckets[d][i]
+			if c.dist[u] != d || c.typ[u] == RouteNone {
+				continue // stale entry
+			}
+			for _, nb := range g.Neighbors(int(u), c.fam) {
+				if nb.Rel != topo.RelCustomer {
+					continue
+				}
+				v := int32(nb.Idx)
+				cand := d + 1
+				switch {
+				case c.typ[v] == RouteNone:
+					c.typ[v] = RouteProvider
+					c.dist[v] = cand
+					c.next[v] = u
+					push(v, cand)
+				case c.typ[v] == RouteProvider && cand < c.dist[v]:
+					c.dist[v] = cand
+					c.next[v] = u
+					push(v, cand)
+				case c.typ[v] == RouteProvider && cand == c.dist[v] && c.prefer(u, c.next[v]):
+					c.next[v] = u
+				}
+			}
+		}
+	}
+}
+
+// RoutesShortest computes plain shortest-path routes toward dst,
+// ignoring business relationships — the ablation baseline against the
+// policy (Gao–Rexford) routing the study uses. Every reachable AS
+// gets typ RouteCustomer (an opaque "has route" marker); PathFrom
+// works as usual.
+func (c *Computer) RoutesShortest(dst int, fam topo.Family) {
+	g := c.g
+	n := g.N()
+	for i := 0; i < n; i++ {
+		c.typ[i] = RouteNone
+		c.dist[i] = 0
+		c.next[i] = -1
+	}
+	c.dst = dst
+	c.fam = fam
+	if fam == topo.V6 && !g.AS(dst).V6 {
+		return
+	}
+	c.typ[dst] = RouteSelf
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(dst))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, nb := range g.Neighbors(int(u), fam) {
+			v := int32(nb.Idx)
+			if c.typ[v] != RouteNone {
+				continue
+			}
+			c.typ[v] = RouteCustomer
+			c.dist[v] = c.dist[u] + 1
+			c.next[v] = u
+			queue = append(queue, v)
+		}
+	}
+}
+
+// prefer reports whether candidate next hop u beats current under the
+// configured tiebreak.
+func (c *Computer) prefer(u, current int32) bool {
+	if c.TiebreakHigh {
+		return u > current
+	}
+	return u < current
+}
+
+// Reachable reports whether src holds a route to the computed
+// destination.
+func (c *Computer) Reachable(src int) bool { return c.typ[src] != RouteNone }
+
+// Type returns src's route type toward the computed destination.
+func (c *Computer) Type(src int) RouteType { return c.typ[src] }
+
+// AltPathFrom returns a plausible alternative forwarding path from
+// src: the path through src's best *other* first hop, honoring export
+// rules (a peer or customer neighbor only exports routes it learned
+// from its own customers). It returns nil when no policy-compliant
+// alternative exists or src has no route at all. The result models the
+// routing state after a BGP event withdraws or depreferences the
+// primary route.
+func (c *Computer) AltPathFrom(src int) []int {
+	if c.dst < 0 || c.typ[src] == RouteNone || src == c.dst {
+		return nil
+	}
+	primary := c.next[src]
+	best := int32(-1)
+	bestDist := int32(1 << 30)
+	for _, nb := range c.g.Neighbors(src, c.fam) {
+		v := int32(nb.Idx)
+		if v == primary || c.typ[v] == RouteNone {
+			continue
+		}
+		// Export rule: providers export everything to customers;
+		// peers and customers only export customer/self routes.
+		if nb.Rel != topo.RelProvider && c.typ[v] != RouteCustomer && c.typ[v] != RouteSelf {
+			continue
+		}
+		if c.dist[v] < bestDist || (c.dist[v] == bestDist && v < best) {
+			best, bestDist = v, c.dist[v]
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	rest := c.PathFrom(int(best))
+	if rest == nil {
+		return nil
+	}
+	// Guard against the alternative looping back through src.
+	for _, a := range rest {
+		if a == src {
+			return nil
+		}
+	}
+	return append([]int{src}, rest...)
+}
+
+// PathFrom returns the AS-level forwarding path from src to the
+// computed destination as dense indices, inclusive of both endpoints.
+// It returns nil if src has no route.
+func (c *Computer) PathFrom(src int) []int {
+	if c.dst < 0 || c.typ[src] == RouteNone {
+		return nil
+	}
+	path := make([]int, 0, 8)
+	cur := int32(src)
+	for steps := 0; steps <= c.g.N(); steps++ {
+		path = append(path, int(cur))
+		if int(cur) == c.dst {
+			return path
+		}
+		nxt := c.next[cur]
+		if nxt < 0 {
+			return nil
+		}
+		cur = nxt
+	}
+	return nil // cycle guard; cannot happen with consistent tables
+}

@@ -1,0 +1,200 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"v6web/internal/topo"
+)
+
+func genGraph(t testing.TB, n int, seed int64) *topo.Graph {
+	t.Helper()
+	g, err := topo.Generate(topo.DefaultGenConfig(n, seed))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestRoutesSelf(t *testing.T) {
+	g := genGraph(t, 200, 1)
+	c := NewComputer(g)
+	c.Routes(5, topo.V4)
+	if c.Type(5) != RouteSelf {
+		t.Fatalf("destination type = %v", c.Type(5))
+	}
+	p := c.PathFrom(5)
+	if len(p) != 1 || p[0] != 5 {
+		t.Fatalf("self path = %v", p)
+	}
+	if Path(p).Hops() != 0 {
+		t.Fatalf("self hops = %d", Path(p).Hops())
+	}
+}
+
+func TestV4FullReachability(t *testing.T) {
+	g := genGraph(t, 300, 2)
+	c := NewComputer(g)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		dst := rng.Intn(g.N())
+		c.Routes(dst, topo.V4)
+		for src := 0; src < g.N(); src++ {
+			if !c.Reachable(src) {
+				t.Fatalf("v4: src %d cannot reach dst %d", src, dst)
+			}
+			if p := c.PathFrom(src); p == nil || p[len(p)-1] != dst || p[0] != src {
+				t.Fatalf("bad path %v from %d to %d", p, src, dst)
+			}
+		}
+	}
+}
+
+func TestV6ReachabilityAmongV6ASes(t *testing.T) {
+	g := genGraph(t, 500, 4)
+	c := NewComputer(g)
+	var v6 []int
+	for i := 0; i < g.N(); i++ {
+		if g.AS(i).V6 {
+			v6 = append(v6, i)
+		}
+	}
+	if len(v6) < 5 {
+		t.Skip("too few v6 ASes in this seed")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		dst := v6[rng.Intn(len(v6))]
+		c.Routes(dst, topo.V6)
+		for _, src := range v6 {
+			if !c.Reachable(src) {
+				t.Fatalf("v6: AS %d cannot reach v6 AS %d", src, dst)
+			}
+		}
+	}
+}
+
+func TestV6UnreachableForNonV6Destination(t *testing.T) {
+	g := genGraph(t, 300, 6)
+	var nonV6 int = -1
+	for i := 0; i < g.N(); i++ {
+		if !g.AS(i).V6 {
+			nonV6 = i
+			break
+		}
+	}
+	if nonV6 < 0 {
+		t.Skip("all ASes v6")
+	}
+	c := NewComputer(g)
+	c.Routes(nonV6, topo.V6)
+	for src := 0; src < g.N(); src++ {
+		if src != nonV6 && c.Reachable(src) {
+			t.Fatalf("AS %d reaches non-v6 destination %d over v6", src, nonV6)
+		}
+	}
+}
+
+func TestPathsValleyFree(t *testing.T) {
+	g := genGraph(t, 400, 7)
+	c := NewComputer(g)
+	rng := rand.New(rand.NewSource(8))
+	for _, fam := range []topo.Family{topo.V4, topo.V6} {
+		for trial := 0; trial < 15; trial++ {
+			dst := rng.Intn(g.N())
+			c.Routes(dst, fam)
+			for src := 0; src < g.N(); src += 7 {
+				p := c.PathFrom(src)
+				if p == nil {
+					continue
+				}
+				if !IsValleyFree(g, p, fam) {
+					t.Fatalf("%s path %v not valley-free", fam, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPathsSimple(t *testing.T) {
+	// No AS repeats on a path (loop-freedom).
+	g := genGraph(t, 400, 9)
+	c := NewComputer(g)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		dst := rng.Intn(g.N())
+		c.Routes(dst, topo.V4)
+		for src := 0; src < g.N(); src += 11 {
+			p := c.PathFrom(src)
+			seen := map[int]bool{}
+			for _, a := range p {
+				if seen[a] {
+					t.Fatalf("loop in path %v", p)
+				}
+				seen[a] = true
+			}
+		}
+	}
+}
+
+func TestPreferenceCustomerOverProvider(t *testing.T) {
+	// On a tiny hand-built graph via generator invariants: a
+	// destination that is my customer must be reached via the
+	// customer route even if a shorter path existed through a peer.
+	g := genGraph(t, 300, 11)
+	c := NewComputer(g)
+	// Find a provider-customer pair.
+	for u := 0; u < g.N(); u++ {
+		for _, n := range g.Neighbors(u, topo.V4) {
+			if n.Rel == topo.RelCustomer {
+				c.Routes(n.Idx, topo.V4)
+				if c.Type(u) != RouteCustomer {
+					t.Fatalf("AS %d route to direct customer %d has type %v", u, n.Idx, c.Type(u))
+				}
+				p := c.PathFrom(u)
+				if len(p) != 2 {
+					t.Fatalf("direct customer path %v", p)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no customer edge found")
+}
+
+func TestRouteLengthConsistency(t *testing.T) {
+	// The recorded distance equals the extracted path's hop count.
+	g := genGraph(t, 350, 12)
+	c := NewComputer(g)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		dst := rng.Intn(g.N())
+		for _, fam := range []topo.Family{topo.V4, topo.V6} {
+			c.Routes(dst, fam)
+			for src := 0; src < g.N(); src += 5 {
+				p := c.PathFrom(src)
+				if p == nil {
+					continue
+				}
+				if got := Path(p).Hops(); got != int(c.dist[src]) {
+					t.Fatalf("%s src %d: dist %d but path %v (%d hops)", fam, src, c.dist[src], p, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteTypeString(t *testing.T) {
+	want := map[RouteType]string{
+		RouteNone: "none", RouteSelf: "self", RouteCustomer: "customer",
+		RoutePeer: "peer", RouteProvider: "provider", RouteType(9): "route(9)",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package bgp
+
+import "v6web/internal/topo"
+
+// Path is an AS-level path as dense graph indices, source first,
+// destination last. A one-element path means the destination is the
+// source's own AS.
+type Path []int
+
+// Hops returns the AS hop count: the number of AS-level edges. The
+// paper's hop-count tables (7 and 9) bucket sites by this value. Note
+// that tunnels count as a single hop here — exactly the artefact the
+// paper discusses for low-hop IPv6 paths.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// Equal reports whether two paths traverse the same AS sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RIB holds the AS paths from one vantage AS to a set of destination
+// ASes over one address family — the per-vantage "routing table"
+// snapshot the paper retrieved after each monitoring round.
+type RIB struct {
+	Vantage int
+	Fam     topo.Family
+	paths   map[int]Path
+}
+
+// BuildRIB computes paths from the vantage AS to every destination in
+// dsts over fam. Unreachable destinations are absent from the RIB.
+func BuildRIB(g *topo.Graph, vantage int, dsts []int, fam topo.Family) *RIB {
+	return BuildRIBTiebreak(g, vantage, dsts, fam, false)
+}
+
+// BuildRIBTiebreak is BuildRIB with an explicit next-hop tiebreak
+// direction; the "high" variant models the routing state after a BGP
+// path change.
+func BuildRIBTiebreak(g *topo.Graph, vantage int, dsts []int, fam topo.Family, tiebreakHigh bool) *RIB {
+	c := NewComputer(g)
+	c.TiebreakHigh = tiebreakHigh
+	rib := &RIB{Vantage: vantage, Fam: fam, paths: make(map[int]Path, len(dsts))}
+	for _, d := range dsts {
+		c.Routes(d, fam)
+		if p := c.PathFrom(vantage); p != nil {
+			rib.paths[d] = p
+		}
+	}
+	return rib
+}
+
+// Lookup returns the AS path to dst, or nil if unreachable.
+func (r *RIB) Lookup(dst int) Path { return r.paths[dst] }
+
+// Destinations returns every destination with a route.
+func (r *RIB) Destinations() []int {
+	out := make([]int, 0, len(r.paths))
+	for d := range r.paths {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Len returns the number of routed destinations.
+func (r *RIB) Len() int { return len(r.paths) }
+
+// ASesCrossed returns the set of distinct ASes appearing on any path
+// in the RIB (including destination ASes), matching the "ASes crossed"
+// rows of the paper's Table 2.
+func (r *RIB) ASesCrossed() map[int]bool {
+	out := make(map[int]bool)
+	for _, p := range r.paths {
+		for _, a := range p {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// EdgeOnPath finds the adjacency used between consecutive path ASes a
+// and b over fam. It prefers a family-matching native edge and falls
+// back to a tunnel edge for V6.
+func EdgeOnPath(g *topo.Graph, a, b int, fam topo.Family) (topo.Neighbor, bool) {
+	for _, n := range g.Neighbors(a, fam) {
+		if n.Idx == b {
+			return n, true
+		}
+	}
+	return topo.Neighbor{}, false
+}
+
+// IsValleyFree verifies the Gao–Rexford shape of a path over fam:
+// zero or more up (customer→provider) edges, at most one peer edge,
+// then zero or more down (provider→customer) edges.
+func IsValleyFree(g *topo.Graph, p Path, fam topo.Family) bool {
+	const (
+		phaseUp = iota
+		phasePeer
+		phaseDown
+	)
+	phase := phaseUp
+	for i := 0; i+1 < len(p); i++ {
+		n, ok := EdgeOnPath(g, p[i], p[i+1], fam)
+		if !ok {
+			return false
+		}
+		// n.Rel is p[i]'s view of p[i+1].
+		switch n.Rel {
+		case topo.RelProvider: // going up
+			if phase != phaseUp {
+				return false
+			}
+		case topo.RelPeer:
+			if phase != phaseUp {
+				return false
+			}
+			phase = phasePeer
+		case topo.RelCustomer: // going down
+			phase = phaseDown
+		}
+		if phase == phasePeer {
+			phase = phaseDown // at most one peer edge, then descend
+		}
+	}
+	return true
+}

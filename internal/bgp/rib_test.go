@@ -1,0 +1,200 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"v6web/internal/topo"
+)
+
+func TestBuildRIB(t *testing.T) {
+	g := genGraph(t, 300, 20)
+	dsts := []int{10, 50, 100, 150, 299}
+	rib := BuildRIB(g, 0, dsts, topo.V4)
+	if rib.Len() != len(dsts) {
+		t.Fatalf("v4 RIB has %d routes, want %d", rib.Len(), len(dsts))
+	}
+	for _, d := range dsts {
+		p := rib.Lookup(d)
+		if p == nil || p[0] != 0 || p[len(p)-1] != d {
+			t.Fatalf("bad path to %d: %v", d, p)
+		}
+	}
+	if rib.Lookup(12345) != nil {
+		t.Fatal("lookup of absent destination returned a path")
+	}
+}
+
+func TestRIBV6OnlyV6Destinations(t *testing.T) {
+	g := genGraph(t, 400, 21)
+	var vantage int = -1
+	for i := 0; i < g.N(); i++ {
+		if g.AS(i).V6 {
+			vantage = i
+			break
+		}
+	}
+	if vantage < 0 {
+		t.Skip("no v6 AS")
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	rib := BuildRIB(g, vantage, all, topo.V6)
+	for _, d := range rib.Destinations() {
+		if !g.AS(d).V6 {
+			t.Fatalf("v6 RIB contains non-v6 destination %d", d)
+		}
+	}
+	if rib.Len() == 0 {
+		t.Fatal("empty v6 RIB")
+	}
+}
+
+func TestASesCrossed(t *testing.T) {
+	g := genGraph(t, 300, 22)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	ribV4 := BuildRIB(g, 0, all, topo.V4)
+	ribV6 := BuildRIB(g, 0, all, topo.V6)
+	x4, x6 := ribV4.ASesCrossed(), ribV6.ASesCrossed()
+	if len(x4) == 0 || len(x6) == 0 {
+		t.Fatal("no ASes crossed")
+	}
+	// Table 2's observation: fewer ASes crossed in IPv6 than IPv4.
+	if len(x6) >= len(x4) {
+		t.Fatalf("ASes crossed: v6 %d >= v4 %d", len(x6), len(x4))
+	}
+	// Every destination AS is itself crossed.
+	for _, d := range ribV4.Destinations() {
+		if !x4[d] {
+			t.Fatalf("destination %d not in crossed set", d)
+		}
+	}
+}
+
+func TestPathEqualAndHops(t *testing.T) {
+	a := Path{1, 2, 3}
+	b := Path{1, 2, 3}
+	c := Path{1, 2, 4}
+	d := Path{1, 2}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Path.Equal broken")
+	}
+	if a.Hops() != 2 || d.Hops() != 1 || (Path{}).Hops() != -1 {
+		t.Fatal("Path.Hops broken")
+	}
+}
+
+func TestPathEqualProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		p := Path(xs)
+		if !p.Equal(p) {
+			return false
+		}
+		q := append(Path(nil), p...)
+		return p.Equal(q) && q.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeOnPath(t *testing.T) {
+	g := genGraph(t, 200, 23)
+	// Any neighbor relation must be discoverable.
+	for i := 0; i < g.N(); i++ {
+		for _, n := range g.Neighbors(i, topo.V4) {
+			got, ok := EdgeOnPath(g, i, n.Idx, topo.V4)
+			if !ok || got.Idx != n.Idx {
+				t.Fatalf("EdgeOnPath(%d,%d) not found", i, n.Idx)
+			}
+		}
+	}
+	if _, ok := EdgeOnPath(g, 0, 0, topo.V4); ok {
+		t.Fatal("self edge found")
+	}
+}
+
+func TestIsValleyFreeRejectsValley(t *testing.T) {
+	g := genGraph(t, 200, 24)
+	// Construct a down-then-up path if one exists: provider ->
+	// customer -> provider is a valley.
+	for u := 0; u < g.N(); u++ {
+		var customers []int
+		for _, n := range g.Neighbors(u, topo.V4) {
+			if n.Rel == topo.RelCustomer {
+				customers = append(customers, n.Idx)
+			}
+		}
+		if len(customers) == 0 {
+			continue
+		}
+		c := customers[0]
+		for _, n := range g.Neighbors(c, topo.V4) {
+			if n.Rel == topo.RelProvider && n.Idx != u {
+				valley := Path{u, c, n.Idx}
+				if IsValleyFree(g, valley, topo.V4) {
+					t.Fatalf("valley path %v accepted", valley)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no valley constructible in this seed")
+}
+
+func TestIsValleyFreeMissingEdge(t *testing.T) {
+	g := genGraph(t, 100, 25)
+	// A path with a non-adjacent pair is invalid.
+	var nonAdj Path
+	for b := 1; b < g.N(); b++ {
+		adjacent := false
+		for _, n := range g.Neighbors(0, topo.V4) {
+			if n.Idx == b {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			nonAdj = Path{0, b}
+			break
+		}
+	}
+	if nonAdj == nil {
+		t.Skip("AS 0 adjacent to everything")
+	}
+	if IsValleyFree(g, nonAdj, topo.V4) {
+		t.Fatalf("path %v with missing edge accepted", nonAdj)
+	}
+}
+
+func BenchmarkRoutesV4(b *testing.B) {
+	g, err := topo.Generate(topo.DefaultGenConfig(2000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewComputer(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Routes(i%g.N(), topo.V4)
+	}
+}
+
+func BenchmarkBuildRIB(b *testing.B) {
+	g, err := topo.Generate(topo.DefaultGenConfig(1000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsts := make([]int, 100)
+	for i := range dsts {
+		dsts[i] = (i * 7) % g.N()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRIB(g, 0, dsts, topo.V4)
+	}
+}

@@ -1,0 +1,543 @@
+// Package core orchestrates a full reproduction of the paper's study:
+// it builds the synthetic Internet (topology, routing, data plane,
+// site catalogue, ranked list), stands up the paper's six monitoring
+// vantage points with their staggered start dates, runs weekly
+// monitoring rounds across the Dec 2010 – Aug 2011 window plus the
+// World IPv6 Day side experiment, and exposes every table and figure
+// of the evaluation through the analysis pipeline.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/analysis"
+	"v6web/internal/det"
+	"v6web/internal/measure"
+	"v6web/internal/netsim"
+	"v6web/internal/report"
+	"v6web/internal/store"
+	"v6web/internal/topo"
+	"v6web/internal/websim"
+)
+
+// ExtendedBase offsets the site ids of the "extended population" —
+// the ~5M additional sites Penn harvested from its DNS cache for the
+// Fig 3b representativeness check.
+const ExtendedBase alexa.SiteID = 1 << 40
+
+// VantagePoint describes one monitoring location (Table 1).
+type VantagePoint struct {
+	Name        store.Vantage
+	Start       string // monitoring start date, "1/2/06" style as in Table 1
+	StartRound  int    // first study round this vantage participates in
+	HasASPath   bool   // AS_PATH data available (analyzed vantages)
+	WhiteListed bool   // white-listed by Google
+	Commercial  bool
+	Extended    bool // also monitors the extended site population
+	V6Day       bool // participates in the World IPv6 Day experiment
+}
+
+// DefaultVantages reproduces Table 1. Start rounds are week offsets
+// from the study start (2010-12-09); Penn predates the window and
+// starts at round 0.
+func DefaultVantages() []VantagePoint {
+	return []VantagePoint{
+		{Name: "Comcast", Start: "2/4/11", StartRound: 8, HasASPath: true, Commercial: true},
+		{Name: "Go6-Slovenia", Start: "5/19/11", StartRound: 23, Commercial: true},
+		{Name: "LU", Start: "4/29/11", StartRound: 20, HasASPath: true, V6Day: true},
+		{Name: "Penn", Start: "7/22/09", StartRound: 0, HasASPath: true, Extended: true, V6Day: true},
+		{Name: "Tsinghua", Start: "3/22/11", StartRound: 15},
+		{Name: "UPCB", Start: "2/28/11", StartRound: 11, HasASPath: true, WhiteListed: true, Commercial: true, V6Day: true},
+	}
+}
+
+// defaultStudyRounds is the weekly-round count of the paper's window;
+// DefaultVantages' start rounds are expressed against it.
+const defaultStudyRounds = 35
+
+// ScaledVantages returns the Table 1 roster with start rounds scaled
+// from the paper's 35-week window to a study of the given length.
+func ScaledVantages(rounds int) []VantagePoint {
+	out := DefaultVantages()
+	for i := range out {
+		out[i].StartRound = out[i].StartRound * rounds / defaultStudyRounds
+	}
+	return out
+}
+
+// Config parameterizes a scenario. Zero values are filled by
+// DefaultConfig.
+type Config struct {
+	Seed int64
+
+	NASes    int // topology size
+	ListSize int // ranked-list size (scaled stand-in for the top 1M)
+	Rounds   int // weekly monitoring rounds
+	Extended int // extra Penn-only sites (the "5M" population), per run
+
+	V6DayRounds int // 30-minute rounds during World IPv6 Day
+
+	PathChangeFrac float64 // per (dest AS, family) reroute probability
+
+	Vantages []VantagePoint
+
+	TopoOverride *topo.GenConfig // optional full topology override
+	Net          *netsim.Config  // optional data-plane override
+	Web          *websim.Config  // optional catalogue override
+}
+
+// DefaultConfig returns a laptop-scale scenario preserving the
+// paper's shape: ~1% IPv6 reachability, six vantages, 35 weekly
+// rounds.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		NASes:          1500,
+		ListSize:       20000,
+		Rounds:         35,
+		Extended:       4000,
+		V6DayRounds:    12,
+		PathChangeFrac: 0.12,
+		Vantages:       DefaultVantages(),
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if c.NASes < 50 {
+		return fmt.Errorf("core: NASes %d too small", c.NASes)
+	}
+	if c.ListSize < 100 {
+		return fmt.Errorf("core: ListSize %d too small", c.ListSize)
+	}
+	if c.Rounds < 2 {
+		return fmt.Errorf("core: Rounds %d too small", c.Rounds)
+	}
+	if len(c.Vantages) == 0 {
+		return fmt.Errorf("core: no vantage points")
+	}
+	for _, v := range c.Vantages {
+		if v.StartRound < 0 || v.StartRound >= c.Rounds {
+			return fmt.Errorf("core: vantage %s start round %d outside [0,%d)", v.Name, v.StartRound, c.Rounds)
+		}
+	}
+	return nil
+}
+
+// Scenario is a fully wired study.
+type Scenario struct {
+	Cfg      Config
+	Timeline alexa.Timeline
+
+	Graph   *topo.Graph
+	List    *alexa.Model
+	Adopt   *alexa.Adoption
+	Catalog *websim.Catalog
+	Model   *netsim.Model
+
+	DB      *store.DB // main study measurements
+	V6DayDB *store.DB // World IPv6 Day side experiment
+
+	monitors  map[store.Vantage]*measure.Monitor
+	fetchers  map[store.Vantage]*measure.SimFetcher
+	vantageAS map[store.Vantage]int
+	dates     []time.Time
+
+	extRefs []measure.SiteRef // Penn's extended population
+
+	// tracked accumulates every site ever seen in the list: "new
+	// sites ... are added to the monitoring list and tracked from
+	// this point onward" (Section 3).
+	tracked     []measure.SiteRef
+	trackedSeen map[alexa.SiteID]bool
+
+	ran    bool
+	ranV6D bool
+}
+
+// NewScenario wires all substrates deterministically from cfg.
+func NewScenario(cfg Config) (*Scenario, error) {
+	if cfg.Vantages == nil {
+		cfg.Vantages = DefaultVantages()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scenario{
+		Cfg:       cfg,
+		Timeline:  alexa.DefaultTimeline(),
+		DB:        store.NewDB(),
+		V6DayDB:   store.NewDB(),
+		monitors:  make(map[store.Vantage]*measure.Monitor),
+		fetchers:  make(map[store.Vantage]*measure.SimFetcher),
+		vantageAS: make(map[store.Vantage]int),
+	}
+
+	tc := topo.DefaultGenConfig(cfg.NASes, cfg.Seed)
+	if cfg.TopoOverride != nil {
+		tc = *cfg.TopoOverride
+	}
+	g, err := topo.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	s.Graph = g
+
+	list, err := alexa.New(alexa.DefaultConfig(cfg.ListSize, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	s.List = list
+
+	s.Adopt = alexa.NewAdoption(cfg.Seed, s.Timeline)
+	s.Adopt.RankScale = 1e6 / float64(cfg.ListSize)
+
+	wc := websim.DefaultConfig(cfg.Seed)
+	if cfg.Web != nil {
+		wc = *cfg.Web
+	}
+	cat, err := websim.NewCatalog(g, s.Adopt, wc)
+	if err != nil {
+		return nil, err
+	}
+	s.Catalog = cat
+
+	nc := netsim.DefaultConfig(cfg.Seed)
+	if cfg.Net != nil {
+		nc = *cfg.Net
+	}
+	model, err := netsim.New(g, nc)
+	if err != nil {
+		return nil, err
+	}
+	s.Model = model
+
+	// Round dates: weekly from the study start.
+	for r := 0; r < cfg.Rounds; r++ {
+		s.dates = append(s.dates, s.Timeline.Start.AddDate(0, 0, 7*r))
+	}
+
+	// Vantage ASes: commercial vantages live in v6-capable tier2
+	// networks, academic ones in v6-capable stubs. Distinct per
+	// vantage.
+	if err := s.placeVantages(); err != nil {
+		return nil, err
+	}
+
+	// Monitors and fetchers.
+	for _, vp := range cfg.Vantages {
+		fetch, err := measure.NewSimFetcher(s.vantageAS[vp.Name], cat, model, cfg.PathChangeFrac, cfg.Rounds, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.fetchers[vp.Name] = fetch
+		mon, err := measure.NewMonitor(measure.DefaultConfig(vp.Name, cfg.Seed), fetch, s.DB)
+		if err != nil {
+			return nil, err
+		}
+		s.monitors[vp.Name] = mon
+	}
+
+	// Extended population for Fig 3b: ranks spread across a 5x wider
+	// range than the main list.
+	for i := 0; i < cfg.Extended; i++ {
+		id := ExtendedBase + alexa.SiteID(i)
+		rank := 1 + det.IntN(cfg.ListSize*5, uint64(cfg.Seed), uint64(id), 0xE57)
+		s.extRefs = append(s.extRefs, measure.SiteRef{ID: id, FirstRank: rank})
+	}
+	return s, nil
+}
+
+// placeVantages assigns each vantage a distinct, v6-capable AS.
+func (s *Scenario) placeVantages() error {
+	g := s.Graph
+	used := map[int]bool{}
+	// Count native v6 adjacencies: a measure of how well-peered an
+	// AS's IPv6 is.
+	v6Degree := func(i int) int {
+		d := 0
+		for _, n := range g.RawNeighbors(i) {
+			if n.V6 {
+				d++
+			}
+		}
+		return d
+	}
+	// Commercial vantages (Comcast, UPCB in the paper) are
+	// well-peered v6 tier2 networks: their IPv6 routes often match
+	// IPv4 (SP-rich). Academic vantages are edge stubs whose v6
+	// uplink frequently diverges from their v4 one (DP-heavy, like
+	// the paper's Penn). Stubs are taken from the high indices so
+	// vantages avoid the zipf hosting hotspots.
+	pickCommercial := func() int {
+		best, bestDeg := -1, -1
+		for i := 0; i < g.N(); i++ {
+			a := g.AS(i)
+			if used[i] || !a.V6 || a.CDN || a.TunnelBroker || a.Tier != topo.Tier2 {
+				continue
+			}
+			if d := v6Degree(i); d > bestDeg {
+				best, bestDeg = i, d
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+		}
+		return best
+	}
+	pickAcademic := func() int {
+		for i := g.N() - 1; i >= 0; i-- {
+			a := g.AS(i)
+			if used[i] || !a.V6 || a.CDN || a.TunnelBroker || a.Tier != topo.Stub {
+				continue
+			}
+			used[i] = true
+			return i
+		}
+		return -1
+	}
+	for _, vp := range s.Cfg.Vantages {
+		var as int
+		if vp.Commercial {
+			as = pickCommercial()
+			if as < 0 {
+				as = pickAcademic()
+			}
+		} else {
+			as = pickAcademic()
+			if as < 0 {
+				as = pickCommercial()
+			}
+		}
+		if as < 0 {
+			return fmt.Errorf("core: no v6-capable AS left for vantage %s", vp.Name)
+		}
+		s.vantageAS[vp.Name] = as
+	}
+	return nil
+}
+
+// VantageAS returns the AS hosting a vantage point.
+func (s *Scenario) VantageAS(v store.Vantage) int { return s.vantageAS[v] }
+
+// RoundDate returns the calendar date of a round.
+func (s *Scenario) RoundDate(r int) time.Time { return s.dates[r] }
+
+// tFrac positions a date within the study window.
+func (s *Scenario) tFrac(date time.Time) float64 {
+	span := s.Timeline.End.Sub(s.Timeline.Start)
+	if span <= 0 {
+		return 0
+	}
+	f := float64(date.Sub(s.Timeline.Start)) / float64(span)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Run executes every monitoring round at every vantage, advancing the
+// ranked list between rounds. It is idempotent: repeated calls are
+// no-ops.
+func (s *Scenario) Run() error {
+	if s.ran {
+		return nil
+	}
+	if s.trackedSeen == nil {
+		s.trackedSeen = make(map[alexa.SiteID]bool, s.Cfg.ListSize*2)
+	}
+	for r := 0; r < s.Cfg.Rounds; r++ {
+		date := s.dates[r]
+		tf := s.tFrac(date)
+		// Fold this round's list into the cumulative tracked set:
+		// once seen, a site is monitored from then on even if churn
+		// drops it from the ranking.
+		for _, id := range s.List.Ranked() {
+			if !s.trackedSeen[id] {
+				s.trackedSeen[id] = true
+				s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
+			}
+		}
+		for _, vp := range s.Cfg.Vantages {
+			if r < vp.StartRound {
+				continue
+			}
+			mon := s.monitors[vp.Name]
+			mon.RunRound(r, date, tf, s.tracked)
+			if vp.Extended {
+				mon.RunRound(r, date, tf, s.extRefs)
+			}
+		}
+		s.List.Advance()
+	}
+	s.ran = true
+	return nil
+}
+
+// TrackedSites returns how many distinct sites have entered the
+// monitored set so far.
+func (s *Scenario) TrackedSites() int { return len(s.tracked) }
+
+// RunWorldV6Day executes the side experiment: the World IPv6 Day
+// participants, monitored every 30 minutes on the day itself, from
+// the vantages for which the paper had data.
+func (s *Scenario) RunWorldV6Day() error {
+	if s.ranV6D {
+		return nil
+	}
+	refs := s.V6DayParticipants()
+	tf := s.tFrac(s.Timeline.V6Day)
+	for _, vp := range s.Cfg.Vantages {
+		if !vp.V6Day {
+			continue
+		}
+		mon, err := measure.NewMonitor(measure.DefaultConfig(vp.Name, s.Cfg.Seed+1), s.fetchers[vp.Name], s.V6DayDB)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < s.Cfg.V6DayRounds; r++ {
+			date := s.Timeline.V6Day.Add(time.Duration(r) * 30 * time.Minute)
+			mon.RunRound(r, date, tf, refs)
+		}
+	}
+	s.ranV6D = true
+	return nil
+}
+
+// V6DayParticipants returns the monitored sites that advertised
+// participation in World IPv6 Day.
+func (s *Scenario) V6DayParticipants() []measure.SiteRef {
+	var out []measure.SiteRef
+	for _, id := range s.List.Ranked() {
+		rank := s.List.FirstSeenRank(id)
+		site := s.Catalog.Site(id, rank)
+		if site.V6DayParticipant {
+			out = append(out, measure.SiteRef{ID: id, FirstRank: rank})
+		}
+	}
+	return out
+}
+
+// analyzedVantages returns the vantages with AS_PATH data, in config
+// order — the paper's analysis set.
+func (s *Scenario) analyzedVantages() []VantagePoint {
+	var out []VantagePoint
+	for _, vp := range s.Cfg.Vantages {
+		if vp.HasASPath {
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
+// Study analyzes the main measurement DB across AS_PATH vantages.
+func (s *Scenario) Study() *analysis.Study {
+	th := analysis.DefaultThresholds()
+	var vas []*analysis.VantageAnalysis
+	for _, vp := range s.analyzedVantages() {
+		vas = append(vas, analysis.Analyze(s.DB, vp.Name, th))
+	}
+	return analysis.NewStudy(vas...)
+}
+
+// V6DayStudy analyzes the World IPv6 Day DB.
+func (s *Scenario) V6DayStudy() *analysis.Study {
+	th := analysis.DefaultThresholds()
+	th.CI.MinN = 6 // fewer, denser rounds
+	var vas []*analysis.VantageAnalysis
+	for _, vp := range s.Cfg.Vantages {
+		if vp.V6Day {
+			vas = append(vas, analysis.Analyze(s.V6DayDB, vp.Name, th))
+		}
+	}
+	return analysis.NewStudy(vas...)
+}
+
+// Fig1 returns the reachability time series over the round dates.
+func (s *Scenario) Fig1() ([]time.Time, []float64) {
+	ranked := s.List.Ranked()
+	series := s.Adopt.ReachabilitySeries(ranked, s.List.FirstSeenRank, s.dates)
+	return s.dates, series
+}
+
+// Fig3a returns reachability by real-world rank bucket at the study
+// end, computed analytically from the adoption model (a scaled list
+// cannot populate the Top-10/Top-100 buckets).
+func (s *Scenario) Fig3a() [6]float64 {
+	return s.Adopt.ExpectedBucketReachability(s.Timeline.End)
+}
+
+// Fig3b returns, for the given vantage, the fraction of kept sites
+// with faster IPv6 in the main list and in the combined
+// main+extended population.
+func (s *Scenario) Fig3b(v store.Vantage) (top1M, extended float64) {
+	va := analysis.Analyze(s.DB, v, analysis.DefaultThresholds())
+	top1M = va.V6FasterOdds(func(sa analysis.SiteAgg) bool { return sa.ID < ExtendedBase })
+	extended = va.V6FasterOdds(nil)
+	return top1M, extended
+}
+
+// Table1 converts the vantage roster for rendering.
+func (s *Scenario) Table1() []report.VantageInfo {
+	var out []report.VantageInfo
+	for _, vp := range s.Cfg.Vantages {
+		out = append(out, report.VantageInfo{
+			Name:    string(vp.Name),
+			Start:   vp.Start,
+			ASPath:  vp.HasASPath,
+			Listed:  vp.WhiteListed,
+			Ovcomml: vp.Commercial,
+		})
+	}
+	return out
+}
+
+// ReportAll runs the full study (if needed) and renders every table
+// and figure to w.
+func (s *Scenario) ReportAll(w io.Writer) error {
+	if err := s.Run(); err != nil {
+		return err
+	}
+	if err := s.RunWorldV6Day(); err != nil {
+		return err
+	}
+	dates, series := s.Fig1()
+	report.Fig1(w, dates, series)
+	report.Fig3a(w, s.Fig3a())
+	t1m, ext := s.Fig3b("Penn")
+	report.Fig3b(w, "Penn", t1m, ext)
+	report.Table1(w, s.Table1())
+
+	study := s.Study()
+	rows2, all2 := study.Table2()
+	report.Table2(w, rows2, all2)
+	report.Table3(w, study.Table3())
+	report.Table4(w, study.Table4())
+	report.Table5(w, study.Table5())
+	report.Table6(w, study.Table6())
+	report.HopTable(w, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
+	report.Table8(w, study.Table8())
+	report.HopTable(w, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
+
+	v6day := s.V6DayStudy()
+	report.Table10(w, v6day.Table8())
+	report.Table11(w, study.Table11())
+	report.Table12(w, v6day.Table11())
+	report.Table13(w, study.Table13())
+
+	// Section 5.5's trait search and extensions beyond the paper's
+	// exhibits.
+	WriteBetterV6(w, s.BetterV6Profiles())
+	WriteTunnelReport(w, s.TunnelReport())
+	WriteCoverageGrowth(w, s)
+	if tc, err := s.RunTracerouteCheck("Penn"); err == nil {
+		WriteTracerouteCheck(w, tc)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTunnelReport(t *testing.T) {
+	s := runScenario(t)
+	rows := s.TunnelReport()
+	if len(rows) != 4 {
+		t.Fatalf("%d tunnel rows", len(rows))
+	}
+	anyTunneled := false
+	for _, r := range rows {
+		if r.V6Dests == 0 {
+			t.Fatalf("%s: no v6 destinations", r.Vantage)
+		}
+		if r.Tunneled > r.V6Dests {
+			t.Fatalf("%s: tunneled %d > dests %d", r.Vantage, r.Tunneled, r.V6Dests)
+		}
+		if r.Tunneled > 0 {
+			anyTunneled = true
+			if r.HiddenMean < 1 {
+				t.Fatalf("%s: tunneled paths with hidden mean %v", r.Vantage, r.HiddenMean)
+			}
+		}
+	}
+	if !anyTunneled {
+		t.Skip("no tunnels reached from any vantage at this seed")
+	}
+	// Impact: across vantages with enough sites on both sides, the
+	// tunneled v6 deficit exceeds the native one.
+	var tunDef, natDef float64
+	n := 0
+	for _, r := range rows {
+		if r.SitesTunneled >= 5 && r.SitesNative >= 5 {
+			tunDef += r.V6DeficitTunneled()
+			natDef += r.V6DeficitNative()
+			n++
+		}
+	}
+	if n > 0 && tunDef <= natDef {
+		t.Fatalf("tunnels not hurting: tunneled deficit %v vs native %v", tunDef/float64(n), natDef/float64(n))
+	}
+}
+
+func TestCoverageGrowth(t *testing.T) {
+	s := runScenario(t)
+	growth := s.CoverageGrowth()
+	if len(growth) != 4 {
+		t.Fatalf("growth length %d", len(growth))
+	}
+	for i := 1; i < len(growth); i++ {
+		if growth[i] < growth[i-1] {
+			t.Fatalf("coverage shrank: %v", growth)
+		}
+	}
+	if growth[0] == 0 {
+		t.Fatal("first vantage covers nothing")
+	}
+	// Additional vantages must buy *some* marginal coverage overall.
+	if growth[len(growth)-1] <= growth[0] {
+		t.Fatalf("no marginal coverage from extra vantages: %v", growth)
+	}
+}
+
+func TestExtensionRendering(t *testing.T) {
+	s := runScenario(t)
+	var buf bytes.Buffer
+	WriteTunnelReport(&buf, s.TunnelReport())
+	WriteCoverageGrowth(&buf, s)
+	out := buf.String()
+	if !strings.Contains(out, "tunnel prevalence") || !strings.Contains(out, "coverage") {
+		t.Fatalf("extension output:\n%s", out)
+	}
+}
+
+func TestSortTunnelStats(t *testing.T) {
+	rows := []TunnelStats{{Vantage: "b"}, {Vantage: "a"}}
+	SortTunnelStats(rows)
+	if rows[0].Vantage != "a" {
+		t.Fatal("sort failed")
+	}
+}
+
+func TestTracerouteCheck(t *testing.T) {
+	s := runScenario(t)
+	tc, err := s.RunTracerouteCheck("Penn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Runs == 0 {
+		t.Fatal("no traceroute runs")
+	}
+	frac := float64(tc.Complete) / float64(tc.Runs)
+	if frac > 0.6 {
+		t.Fatalf("completion rate %v, want the paper's <~50%%", frac)
+	}
+	if tc.Compared == 0 {
+		t.Fatal("no comparable runs")
+	}
+	if tc.Agreements != tc.Compared {
+		t.Fatalf("AS-level disagreements: %d of %d", tc.Compared-tc.Agreements, tc.Compared)
+	}
+	if _, err := s.RunTracerouteCheck("nope"); err == nil {
+		t.Fatal("unknown vantage accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package det
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix not deterministic")
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix insensitive to order")
+	}
+	if Mix(1) == Mix(2) {
+		t.Fatal("Mix collision on tiny input")
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	f := func(a, b uint64) bool {
+		v := Float(a, b)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatUniformish(t *testing.T) {
+	// Crude uniformity: mean of many hashed values near 0.5.
+	var sum float64
+	n := 10000
+	for i := 0; i < n; i++ {
+		sum += Float(uint64(i), 77)
+	}
+	mean := sum / float64(n)
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestRange(t *testing.T) {
+	f := func(a uint64) bool {
+		v := Range(10, 20, a)
+		return v >= 10 && v < 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntN(t *testing.T) {
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		counts[IntN(7, uint64(i))]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("IntN badly skewed: value %d count %d", v, c)
+		}
+	}
+}
+
+func TestIntNPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	IntN(0, 1)
+}
+
+func TestBool(t *testing.T) {
+	hits := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if Bool(0.3, uint64(i), 5) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+	if Bool(0, 1) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !Bool(1.1, 1) {
+		t.Fatal("Bool(>1) returned false")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	var sum, sumSq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := Norm(uint64(i), 123)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Norm mean %v", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("Norm variance %v", variance)
+	}
+}
+
+func TestLognormalPositive(t *testing.T) {
+	f := func(a uint64) bool {
+		return Lognormal(0, 0.5, a) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	// Median of lognormal(mu, sigma) is exp(mu).
+	vals := make([]float64, 0, 5001)
+	for i := 0; i < 5001; i++ {
+		vals = append(vals, Lognormal(math.Log(50), 0.3, uint64(i), 9))
+	}
+	// Count how many fall below exp(mu)=50: should be about half.
+	below := 0
+	for _, v := range vals {
+		if v < 50 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(vals))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("lognormal median fraction %v", frac)
+	}
+}
+
+func TestSourceStatistics(t *testing.T) {
+	src := NewSource(1, 2, 3)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(src.Uint64()>>11) / (1 << 53)
+	}
+	mean := sum / float64(n)
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("source mean %v", mean)
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	a, b := NewSource(7, 8), NewSource(7, 8)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("sources diverge")
+		}
+	}
+	c := NewSource(7, 9)
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("different parts, same stream")
+	}
+}
+
+func TestSourceInt63NonNegative(t *testing.T) {
+	src := NewSource(5)
+	for i := 0; i < 1000; i++ {
+		if src.Int63() < 0 {
+			t.Fatal("negative Int63")
+		}
+	}
+}
+
+func TestSourceSeed(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	a.Seed(42)
+	b.Seed(42)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Seed did not converge streams")
+	}
+}

@@ -1,0 +1,240 @@
+package dnssim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"v6web/internal/dnswire"
+)
+
+func startServer(t *testing.T, zone *Zone) *Server {
+	t.Helper()
+	s, err := NewServer(zone, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestZoneBasics(t *testing.T) {
+	z := NewZone()
+	if err := z.SetSite("site0.v6web.test", 300, net.ParseIP("192.0.2.1"), net.ParseIP("2001:db8::1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := z.Lookup("SITE0.v6web.test", dnswire.TypeA); len(got) != 1 {
+		t.Fatalf("A lookup: %d records", len(got))
+	}
+	if got := z.Lookup("site0.v6web.test", dnswire.TypeAAAA); len(got) != 1 {
+		t.Fatalf("AAAA lookup: %d records", len(got))
+	}
+	if !z.Exists("site0.v6web.test") || z.Exists("nope.v6web.test") {
+		t.Fatal("Exists broken")
+	}
+	// SetSite with nil v6 removes the AAAA.
+	if err := z.SetSite("site0.v6web.test", 300, net.ParseIP("192.0.2.1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := z.Lookup("site0.v6web.test", dnswire.TypeAAAA); len(got) != 0 {
+		t.Fatal("AAAA survived v4-only SetSite")
+	}
+	if z.Len() != 1 {
+		t.Fatalf("zone len %d", z.Len())
+	}
+}
+
+func TestServerAnswersAandAAAA(t *testing.T) {
+	z := NewZone()
+	z.SetSite("dual.v6web.test", 120, net.ParseIP("192.0.2.7"), net.ParseIP("2001:db8::7"))
+	z.SetSite("v4only.v6web.test", 120, net.ParseIP("192.0.2.8"), nil)
+	s := startServer(t, z)
+	r := NewResolver(s.Addr().String(), nil, 1)
+
+	ips, err := r.LookupA("dual.v6web.test")
+	if err != nil || len(ips) != 1 || !ips[0].Equal(net.ParseIP("192.0.2.7")) {
+		t.Fatalf("A: %v %v", ips, err)
+	}
+	ips6, err := r.LookupAAAA("dual.v6web.test")
+	if err != nil || len(ips6) != 1 || !ips6[0].Equal(net.ParseIP("2001:db8::7")) {
+		t.Fatalf("AAAA: %v %v", ips6, err)
+	}
+	// NODATA: v4-only site has no AAAA but the name exists.
+	ips6, err = r.LookupAAAA("v4only.v6web.test")
+	if err != nil || len(ips6) != 0 {
+		t.Fatalf("NODATA: %v %v", ips6, err)
+	}
+	// NXDOMAIN.
+	_, err = r.LookupA("missing.v6web.test")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("NXDOMAIN: %v", err)
+	}
+}
+
+func TestServerFollowsCNAME(t *testing.T) {
+	z := NewZone()
+	cn, err := dnswire.NewCNAME("www.v6web.test", 60, "real.v6web.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.Add(cn)
+	z.SetSite("real.v6web.test", 60, net.ParseIP("192.0.2.33"), nil)
+	s := startServer(t, z)
+	r := NewResolver(s.Addr().String(), nil, 2)
+	ips, err := r.LookupA("www.v6web.test")
+	if err != nil || len(ips) != 1 || !ips[0].Equal(net.ParseIP("192.0.2.33")) {
+		t.Fatalf("CNAME chase: %v %v", ips, err)
+	}
+}
+
+func TestServerCNAMELoopBounded(t *testing.T) {
+	z := NewZone()
+	a, _ := dnswire.NewCNAME("a.v6web.test", 60, "b.v6web.test")
+	b, _ := dnswire.NewCNAME("b.v6web.test", 60, "a.v6web.test")
+	z.Add(a)
+	z.Add(b)
+	s := startServer(t, z)
+	r := NewResolver(s.Addr().String(), nil, 3)
+	r.Timeout = 500 * time.Millisecond
+	// Must terminate (returns the CNAME chain with no A records).
+	ips, err := r.LookupA("a.v6web.test")
+	if err != nil {
+		t.Fatalf("loop lookup error: %v", err)
+	}
+	if len(ips) != 0 {
+		t.Fatalf("loop lookup returned %v", ips)
+	}
+}
+
+func TestResolverCache(t *testing.T) {
+	z := NewZone()
+	z.SetSite("c.v6web.test", 300, net.ParseIP("192.0.2.9"), nil)
+	s := startServer(t, z)
+	now := time.Now()
+	clock := func() time.Time { return now }
+	cache := NewCache(clock)
+	r := NewResolver(s.Addr().String(), cache, 4)
+
+	if _, err := r.LookupA("c.v6web.test"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache len %d", cache.Len())
+	}
+	// Server-side change is masked by the cache...
+	z.SetSite("c.v6web.test", 300, net.ParseIP("192.0.2.10"), nil)
+	ips, err := r.LookupA("c.v6web.test")
+	if err != nil || !ips[0].Equal(net.ParseIP("192.0.2.9")) {
+		t.Fatalf("cache miss-through: %v %v", ips, err)
+	}
+	// ...until TTL expiry.
+	now = now.Add(301 * time.Second)
+	ips, err = r.LookupA("c.v6web.test")
+	if err != nil || !ips[0].Equal(net.ParseIP("192.0.2.10")) {
+		t.Fatalf("expired entry not refreshed: %v %v", ips, err)
+	}
+	// Flush works.
+	cache.Flush()
+	if cache.Len() != 0 {
+		t.Fatal("flush did not empty cache")
+	}
+}
+
+func TestResolverNegativeCache(t *testing.T) {
+	z := NewZone()
+	s := startServer(t, z)
+	now := time.Now()
+	cache := NewCache(func() time.Time { return now })
+	r := NewResolver(s.Addr().String(), cache, 5)
+	if _, err := r.LookupA("gone.v6web.test"); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("want NXDOMAIN, got %v", err)
+	}
+	// Now the name appears, but the negative entry holds.
+	z.SetSite("gone.v6web.test", 60, net.ParseIP("192.0.2.11"), nil)
+	if _, err := r.LookupA("gone.v6web.test"); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("negative cache not used: %v", err)
+	}
+	now = now.Add(61 * time.Second)
+	ips, err := r.LookupA("gone.v6web.test")
+	if err != nil || len(ips) != 1 {
+		t.Fatalf("after negative expiry: %v %v", ips, err)
+	}
+}
+
+func TestResolverTimeout(t *testing.T) {
+	// Point at a UDP socket nobody answers on.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := NewResolver(conn.LocalAddr().String(), nil, 6)
+	r.Timeout = 100 * time.Millisecond
+	r.Retries = 1
+	start := time.Now()
+	_, err = r.LookupA("x.v6web.test")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("no retry happened: %v", elapsed)
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	z := NewZone()
+	z.SetSite("ok.v6web.test", 60, net.ParseIP("192.0.2.12"), nil)
+	s := startServer(t, z)
+	// Fire garbage at the server; it must stay alive.
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0x01, 0x02, 0x03})
+	conn.Write([]byte{})
+	conn.Close()
+	r := NewResolver(s.Addr().String(), nil, 7)
+	if _, err := r.LookupA("ok.v6web.test"); err != nil {
+		t.Fatalf("server died after garbage: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	z := NewZone()
+	s, err := NewServer(z, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	z := NewZone()
+	for i := 0; i < 20; i++ {
+		z.SetSite(hostN(i), 60, net.IPv4(192, 0, 2, byte(i+1)), net.ParseIP("2001:db8::1"))
+	}
+	s := startServer(t, z)
+	errs := make(chan error, 40)
+	for w := 0; w < 40; w++ {
+		go func(w int) {
+			r := NewResolver(s.Addr().String(), nil, int64(w))
+			_, err := r.LookupA(hostN(w % 20))
+			errs <- err
+		}(w)
+	}
+	for i := 0; i < 40; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent query %d: %v", i, err)
+		}
+	}
+}
+
+func hostN(i int) string {
+	return "site" + string(rune('a'+i%26)) + ".v6web.test"
+}

@@ -1,0 +1,310 @@
+package dnssim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"v6web/internal/dnswire"
+)
+
+// Resolver errors.
+var (
+	ErrNXDomain = errors.New("dnssim: name does not exist")
+	ErrTimeout  = errors.New("dnssim: query timed out")
+	ErrServFail = errors.New("dnssim: server failure")
+)
+
+// cacheEntry is one cached RRset with its expiry.
+type cacheEntry struct {
+	rrs     []dnswire.RR
+	expires time.Time
+	nx      bool // negative entry
+}
+
+// Cache is a TTL-based RRset cache. The clock is injectable so tests
+// and the simulated study timeline can control expiry.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[rrKey]cacheEntry
+	now     func() time.Time
+}
+
+// NewCache returns a cache using clock now (nil means time.Now).
+func NewCache(now func() time.Time) *Cache {
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{entries: make(map[rrKey]cacheEntry), now: now}
+}
+
+func (c *Cache) get(name string, t dnswire.Type) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[rrKey{name, t}]
+	if !ok || c.now().After(e.expires) {
+		delete(c.entries, rrKey{name, t})
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+func (c *Cache) put(name string, t dnswire.Type, e cacheEntry) {
+	c.mu.Lock()
+	c.entries[rrKey{name, t}] = e
+	c.mu.Unlock()
+}
+
+// Flush drops all entries — the tool's "proper resetting to avoid
+// local caching effects" between measurement phases.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[rrKey]cacheEntry)
+	c.mu.Unlock()
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Resolver is a stub resolver: single upstream, UDP, retries with
+// timeout, ID verification, optional cache.
+type Resolver struct {
+	Server  string        // upstream address, e.g. "127.0.0.1:5353"
+	Timeout time.Duration // per-attempt timeout
+	Retries int           // attempts = Retries + 1
+	Cache   *Cache        // nil disables caching
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewResolver returns a resolver against server with the given cache
+// (nil disables caching) and sane timeouts.
+func NewResolver(server string, cache *Cache, seed int64) *Resolver {
+	return &Resolver{
+		Server:  server,
+		Timeout: 2 * time.Second,
+		Retries: 2,
+		Cache:   cache,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (r *Resolver) nextID() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint16(r.rng.Intn(1 << 16))
+}
+
+// Lookup resolves (name, type), following CNAMEs returned by the
+// server, and returns the final RRset. It returns ErrNXDomain for
+// nonexistent names and an empty slice (nil error) for NODATA.
+func (r *Resolver) Lookup(name string, t dnswire.Type) ([]dnswire.RR, error) {
+	n := dnswire.NormalizeName(name)
+	if r.Cache != nil {
+		if e, ok := r.Cache.get(n, t); ok {
+			if e.nx {
+				return nil, ErrNXDomain
+			}
+			return e.rrs, nil
+		}
+	}
+	rrs, err := r.query(n, t)
+	if r.Cache != nil {
+		now := r.Cache.now()
+		switch {
+		case err == nil:
+			ttl := minTTL(rrs)
+			r.Cache.put(n, t, cacheEntry{rrs: rrs, expires: now.Add(ttl)})
+		case errors.Is(err, ErrNXDomain):
+			r.Cache.put(n, t, cacheEntry{nx: true, expires: now.Add(60 * time.Second)})
+		}
+	}
+	return rrs, err
+}
+
+func minTTL(rrs []dnswire.RR) time.Duration {
+	ttl := uint32(300)
+	for i, rr := range rrs {
+		if i == 0 || rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+	}
+	if ttl < 1 {
+		ttl = 1
+	}
+	return time.Duration(ttl) * time.Second
+}
+
+func (r *Resolver) query(name string, t dnswire.Type) ([]dnswire.RR, error) {
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= r.Retries; attempt++ {
+		rrs, err := r.queryOnce(name, t)
+		if err == nil || errors.Is(err, ErrNXDomain) || errors.Is(err, ErrServFail) {
+			return rrs, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (r *Resolver) queryOnce(name string, t dnswire.Type) ([]dnswire.RR, error) {
+	id := r.nextID()
+	q := dnswire.NewQuery(id, name, t)
+	pkt, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("udp", r.Server)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: dial: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(r.Timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, ErrTimeout
+		}
+		m, err := dnswire.Decode(buf[:n])
+		if err != nil || !m.Header.Response || m.Header.ID != id {
+			continue // spoofed or mismatched; keep waiting
+		}
+		if m.Header.Truncated {
+			// RFC 1035 §4.2.2: retry the query over TCP.
+			return r.queryTCP(name, t)
+		}
+		switch m.Header.RCode {
+		case dnswire.RCodeNoError:
+			return extractFinal(m, name, t), nil
+		case dnswire.RCodeNXDomain:
+			return nil, ErrNXDomain
+		default:
+			return nil, fmt.Errorf("%w: %v", ErrServFail, m.Header.RCode)
+		}
+	}
+}
+
+// queryTCP performs one query over TCP with 2-byte length framing.
+func (r *Resolver) queryTCP(name string, t dnswire.Type) ([]dnswire.RR, error) {
+	id := r.nextID()
+	q := dnswire.NewQuery(id, name, t)
+	pkt, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if len(pkt) > 0xFFFF {
+		return nil, fmt.Errorf("dnssim: query too large for TCP framing")
+	}
+	conn, err := net.Dial("tcp", r.Server)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: tcp dial: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(r.Timeout)); err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 2+len(pkt))
+	framed[0] = byte(len(pkt) >> 8)
+	framed[1] = byte(len(pkt))
+	copy(framed[2:], pkt)
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, ErrTimeout
+	}
+	n := int(lenBuf[0])<<8 | int(lenBuf[1])
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return nil, ErrTimeout
+	}
+	m, err := dnswire.Decode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Header.Response || m.Header.ID != id {
+		return nil, fmt.Errorf("dnssim: tcp response mismatch")
+	}
+	switch m.Header.RCode {
+	case dnswire.RCodeNoError:
+		return extractFinal(m, name, t), nil
+	case dnswire.RCodeNXDomain:
+		return nil, ErrNXDomain
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrServFail, m.Header.RCode)
+	}
+}
+
+// extractFinal follows the CNAME chain inside the answer section and
+// returns only the records of the requested type.
+func extractFinal(m *dnswire.Message, name string, t dnswire.Type) []dnswire.RR {
+	target := dnswire.NormalizeName(name)
+	for depth := 0; depth <= maxCNAMEChain; depth++ {
+		moved := false
+		for _, rr := range m.Answers {
+			if rr.Name == target && rr.Type == dnswire.TypeCNAME && t != dnswire.TypeCNAME {
+				if next, ok := rr.Target(); ok {
+					target = next
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	var out []dnswire.RR
+	for _, rr := range m.Answers {
+		if rr.Name == target && rr.Type == t {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// LookupA resolves the IPv4 addresses of host.
+func (r *Resolver) LookupA(host string) ([]net.IP, error) {
+	rrs, err := r.Lookup(host, dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var out []net.IP
+	for _, rr := range rrs {
+		if ip, ok := rr.A(); ok {
+			out = append(out, ip)
+		}
+	}
+	return out, nil
+}
+
+// LookupAAAA resolves the IPv6 addresses of host.
+func (r *Resolver) LookupAAAA(host string) ([]net.IP, error) {
+	rrs, err := r.Lookup(host, dnswire.TypeAAAA)
+	if err != nil {
+		return nil, err
+	}
+	var out []net.IP
+	for _, rr := range rrs {
+		if ip, ok := rr.AAAA(); ok {
+			out = append(out, ip)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Package dnssim provides the DNS substrate of the livenet measurement
+// mode: an in-memory authoritative zone, a UDP server speaking
+// dnswire, and a caching stub resolver with timeout and retry. The
+// monitoring tool's first phase — querying A and AAAA records for each
+// site — runs against these components over real loopback sockets.
+package dnssim
+
+import (
+	"net"
+	"sync"
+
+	"v6web/internal/dnswire"
+)
+
+type rrKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+// Zone is a concurrency-safe in-memory RRset store.
+type Zone struct {
+	mu     sync.RWMutex
+	rrsets map[rrKey][]dnswire.RR
+}
+
+// NewZone returns an empty zone.
+func NewZone() *Zone {
+	return &Zone{rrsets: make(map[rrKey][]dnswire.RR)}
+}
+
+// Add appends a record to its RRset.
+func (z *Zone) Add(rr dnswire.RR) {
+	k := rrKey{dnswire.NormalizeName(rr.Name), rr.Type}
+	z.mu.Lock()
+	z.rrsets[k] = append(z.rrsets[k], rr)
+	z.mu.Unlock()
+}
+
+// Remove deletes the whole RRset for (name, type).
+func (z *Zone) Remove(name string, t dnswire.Type) {
+	k := rrKey{dnswire.NormalizeName(name), t}
+	z.mu.Lock()
+	delete(z.rrsets, k)
+	z.mu.Unlock()
+}
+
+// Lookup returns a copy of the RRset for (name, type).
+func (z *Zone) Lookup(name string, t dnswire.Type) []dnswire.RR {
+	k := rrKey{dnswire.NormalizeName(name), t}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	rrs := z.rrsets[k]
+	if len(rrs) == 0 {
+		return nil
+	}
+	return append([]dnswire.RR(nil), rrs...)
+}
+
+// Exists reports whether any RRset exists under name (for NXDOMAIN vs
+// NODATA distinction).
+func (z *Zone) Exists(name string) bool {
+	n := dnswire.NormalizeName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for k := range z.rrsets {
+		if k.name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// SetSite installs the A (and, when v6 is non-nil, AAAA) records for a
+// host, replacing any previous ones. This is how the simulator flips a
+// site to dual-stack on its adoption date.
+func (z *Zone) SetSite(host string, ttl uint32, v4, v6 net.IP) error {
+	n := dnswire.NormalizeName(host)
+	a, err := dnswire.NewA(n, ttl, v4)
+	if err != nil {
+		return err
+	}
+	z.Remove(n, dnswire.TypeA)
+	z.Remove(n, dnswire.TypeAAAA)
+	z.Add(a)
+	if v6 != nil {
+		aaaa, err := dnswire.NewAAAA(n, ttl, v6)
+		if err != nil {
+			return err
+		}
+		z.Add(aaaa)
+	}
+	return nil
+}
+
+// Len returns the number of RRsets.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.rrsets)
+}

@@ -1,0 +1,371 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// MaxUDPSize is the classic DNS UDP payload limit.
+const MaxUDPSize = 512
+
+// encodeNameRaw encodes a normalized name without compression.
+func encodeNameRaw(name string) ([]byte, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if name == "." {
+		return []byte{0}, nil
+	}
+	var out []byte
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// nameEncoder writes names with RFC 1035 pointer compression.
+type nameEncoder struct {
+	buf     []byte
+	offsets map[string]int // suffix -> message offset
+}
+
+func newNameEncoder() *nameEncoder {
+	return &nameEncoder{offsets: make(map[string]int)}
+}
+
+func (e *nameEncoder) writeName(name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if name == "." {
+		e.buf = append(e.buf, 0)
+		return nil
+	}
+	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if off, ok := e.offsets[suffix]; ok && off < 0x4000 {
+			e.buf = append(e.buf, byte(0xC0|off>>8), byte(off))
+			return nil
+		}
+		if len(e.buf) < 0x4000 {
+			e.offsets[suffix] = len(e.buf)
+		}
+		e.buf = append(e.buf, byte(len(labels[i])))
+		e.buf = append(e.buf, labels[i]...)
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *nameEncoder) writeU16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+func (e *nameEncoder) writeU32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// packFlags assembles the header flag word.
+func packFlags(h Header) uint16 {
+	var f uint16
+	if h.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		f |= 1 << 10
+	}
+	if h.Truncated {
+		f |= 1 << 9
+	}
+	if h.RecursionDesired {
+		f |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		f |= 1 << 7
+	}
+	f |= uint16(h.RCode) & 0xF
+	return f
+}
+
+func unpackFlags(f uint16) Header {
+	return Header{
+		Response:           f&(1<<15) != 0,
+		Opcode:             uint8(f >> 11 & 0xF),
+		Authoritative:      f&(1<<10) != 0,
+		Truncated:          f&(1<<9) != 0,
+		RecursionDesired:   f&(1<<8) != 0,
+		RecursionAvailable: f&(1<<7) != 0,
+		RCode:              RCode(f & 0xF),
+	}
+}
+
+// Encode serializes the message with name compression.
+func (m *Message) Encode() ([]byte, error) {
+	e := newNameEncoder()
+	e.writeU16(m.Header.ID)
+	e.writeU16(packFlags(m.Header))
+	e.writeU16(uint16(len(m.Questions)))
+	e.writeU16(uint16(len(m.Answers)))
+	e.writeU16(uint16(len(m.Authority)))
+	e.writeU16(uint16(len(m.Additional)))
+	for _, q := range m.Questions {
+		if err := e.writeName(q.Name); err != nil {
+			return nil, err
+		}
+		e.writeU16(uint16(q.Type))
+		e.writeU16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if err := e.writeName(rr.Name); err != nil {
+				return nil, err
+			}
+			e.writeU16(uint16(rr.Type))
+			e.writeU16(uint16(rr.Class))
+			e.writeU32(rr.TTL)
+			e.writeU16(uint16(len(rr.Data)))
+			e.buf = append(e.buf, rr.Data...)
+		}
+	}
+	return e.buf, nil
+}
+
+// decodeName reads a possibly-compressed name at off within rdata
+// (or the full message for owner names). full is the complete message
+// buffer pointers resolve against. It returns the normalized name and
+// the offset just past the name in buf.
+func decodeName(buf []byte, off int, full []byte) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(buf) {
+			return "", 0, ErrTruncated
+		}
+		b := buf[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			if len(name) > 255 {
+				return "", 0, ErrNameTooLong
+			}
+			return name, end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(buf) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(b&0x3F)<<8 | int(buf[off+1])
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if ptr >= len(full) {
+				return "", 0, ErrBadPointer
+			}
+			hops++
+			if hops > 64 {
+				return "", 0, ErrPointerLoop
+			}
+			buf = full
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, ErrBadRData
+		default:
+			n := int(b)
+			if off+1+n > len(buf) {
+				return "", 0, ErrTruncated
+			}
+			sb.Write(buf[off+1 : off+1+n])
+			sb.WriteByte('.')
+			off += 1 + n
+			if !jumped {
+				end = off
+			}
+		}
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) name() (string, error) {
+	n, end, err := decodeName(d.buf, d.off, d.buf)
+	if err != nil {
+		return "", err
+	}
+	d.off = end
+	return NormalizeName(n), nil
+}
+
+func (d *decoder) rr() (RR, error) {
+	var rr RR
+	name, err := d.name()
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = name
+	t, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Type = Type(t)
+	c, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Class = Class(c)
+	ttl, err := d.u32()
+	if err != nil {
+		return rr, err
+	}
+	rr.TTL = ttl
+	rdlen, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	if d.off+int(rdlen) > len(d.buf) {
+		return rr, ErrTruncated
+	}
+	raw := d.buf[d.off : d.off+int(rdlen)]
+	// Decompress embedded names so RDATA is self-contained.
+	switch rr.Type {
+	case TypeCNAME, TypeNS:
+		target, _, err := decodeName(d.buf, d.off, d.buf)
+		if err != nil {
+			return rr, err
+		}
+		enc, err := encodeNameRaw(NormalizeName(target))
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = enc
+	case TypeSOA:
+		mname, off, err := decodeName(d.buf, d.off, d.buf)
+		if err != nil {
+			return rr, err
+		}
+		rname, off2, err := decodeName(d.buf, off, d.buf)
+		if err != nil {
+			return rr, err
+		}
+		if off2+20 > len(d.buf) || off2-d.off > int(rdlen) {
+			return rr, ErrBadRData
+		}
+		m, err := encodeNameRaw(NormalizeName(mname))
+		if err != nil {
+			return rr, err
+		}
+		rn, err := encodeNameRaw(NormalizeName(rname))
+		if err != nil {
+			return rr, err
+		}
+		data := make([]byte, 0, len(m)+len(rn)+20)
+		data = append(data, m...)
+		data = append(data, rn...)
+		data = append(data, d.buf[off2:off2+20]...)
+		rr.Data = data
+	default:
+		rr.Data = append([]byte(nil), raw...)
+	}
+	d.off += int(rdlen)
+	return rr, nil
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(buf []byte) (*Message, error) {
+	d := &decoder{buf: buf}
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Header: unpackFlags(flags)}
+	m.Header.ID = id
+	qd, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	an, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	// A record needs at least 11 bytes; reject absurd counts early.
+	if int(qd)*5+int(an+ns+ar)*11 > len(buf) {
+		return nil, ErrTooManyRecords
+	}
+	for i := 0; i < int(qd); i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
+	}
+	for _, sec := range []*[]RR{&m.Answers, &m.Authority, &m.Additional} {
+		var n int
+		switch sec {
+		case &m.Answers:
+			n = int(an)
+		case &m.Authority:
+			n = int(ns)
+		default:
+			n = int(ar)
+		}
+		for i := 0; i < n; i++ {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*sec = append(*sec, rr)
+		}
+	}
+	return m, nil
+}

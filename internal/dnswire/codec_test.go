@@ -1,0 +1,344 @@
+package dnswire
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustA(t *testing.T, name string, ip string) RR {
+	t.Helper()
+	rr, err := NewA(name, 300, net.ParseIP(ip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func mustAAAA(t *testing.T, name string, ip string) RR {
+	t.Helper()
+	rr, err := NewAAAA(name, 300, net.ParseIP(ip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"":                ".",
+		".":               ".",
+		"Example.COM":     "example.com.",
+		"example.com.":    "example.com.",
+		"WWW.Example.Com": "www.example.com.",
+	}
+	for in, want := range cases {
+		if got := NormalizeName(in); got != want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.example.com", TypeAAAA)
+	buf, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 0x1234 || got.Header.Response || !got.Header.RecursionDesired {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions: %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.example.com." || got.Questions[0].Type != TypeAAAA || got.Questions[0].Class != ClassIN {
+		t.Fatalf("question mismatch: %+v", got.Questions[0])
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "site1.v6web.test", TypeA)
+	a := mustA(t, "site1.v6web.test", "192.0.2.55")
+	resp := NewResponse(q, RCodeNoError, a)
+	buf, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.Response || !got.Header.Authoritative || got.Header.RCode != RCodeNoError {
+		t.Fatalf("header: %+v", got.Header)
+	}
+	if len(got.Answers) != 1 {
+		t.Fatalf("answers: %d", len(got.Answers))
+	}
+	ip, ok := got.Answers[0].A()
+	if !ok || !ip.Equal(net.ParseIP("192.0.2.55")) {
+		t.Fatalf("A rdata: %v %v", ip, ok)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	q := NewQuery(9, "site2.v6web.test", TypeAAAA)
+	rr := mustAAAA(t, "site2.v6web.test", "2001:db8::42")
+	resp := NewResponse(q, RCodeNoError, rr)
+	buf, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, ok := got.Answers[0].AAAA()
+	if !ok || !ip.Equal(net.ParseIP("2001:db8::42")) {
+		t.Fatalf("AAAA rdata: %v %v", ip, ok)
+	}
+}
+
+func TestCompressionShrinksAndRoundTrips(t *testing.T) {
+	q := NewQuery(1, "a.very.long.shared.suffix.example.com", TypeA)
+	var answers []RR
+	for _, h := range []string{"a", "b", "c", "d"} {
+		answers = append(answers, mustA(t, h+".very.long.shared.suffix.example.com", "10.0.0.1"))
+	}
+	m := NewResponse(q, RCodeNoError, answers...)
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncompressed size: each name ~39 bytes * 5 + overhead. With
+	// compression the shared suffix is encoded once.
+	raw, _ := encodeNameRaw("a.very.long.shared.suffix.example.com.")
+	uncompressed := 12 + len(raw) + 4 + 4*(len(raw)+14)
+	if len(buf) >= uncompressed {
+		t.Fatalf("no compression: %d >= %d", len(buf), uncompressed)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range got.Answers {
+		want := string("abcd"[i]) + ".very.long.shared.suffix.example.com."
+		if rr.Name != want {
+			t.Fatalf("answer %d name %q, want %q", i, rr.Name, want)
+		}
+	}
+}
+
+func TestCNAMERoundTrip(t *testing.T) {
+	q := NewQuery(2, "www.example.com", TypeA)
+	cn, err := NewCNAME("www.example.com", 60, "cdn.example.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustA(t, "cdn.example.net", "10.1.2.3")
+	m := NewResponse(q, RCodeNoError, cn, a)
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, ok := got.Answers[0].Target()
+	if !ok || target != "cdn.example.net." {
+		t.Fatalf("CNAME target %q %v", target, ok)
+	}
+}
+
+func TestTXTRoundTrip(t *testing.T) {
+	rr, err := NewTXT("meta.v6web.test", 30, "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{Header: Header{ID: 3, Response: true}, Answers: []RR{rr}}
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, ok := got.Answers[0].TXT()
+	if !ok || txt != "hello world" {
+		t.Fatalf("TXT %q %v", txt, ok)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	q := NewQuery(4, ".", TypeNS)
+	buf, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "." {
+		t.Fatalf("root name %q", got.Questions[0].Name)
+	}
+}
+
+func TestNameLimits(t *testing.T) {
+	long := strings.Repeat("a", 64) + ".com"
+	if _, err := NewA(long, 1, net.ParseIP("1.2.3.4")); err == nil {
+		t.Fatal("63+ byte label accepted")
+	}
+	var parts []string
+	for i := 0; i < 40; i++ {
+		parts = append(parts, "abcdefg")
+	}
+	tooLong := strings.Join(parts, ".")
+	q := NewQuery(1, tooLong, TypeA)
+	if _, err := q.Encode(); err == nil {
+		t.Fatal("255+ byte name accepted")
+	}
+	qe := &Message{Questions: []Question{{Name: "a..b.com.", Type: TypeA, Class: ClassIN}}}
+	if _, err := qe.Encode(); err == nil {
+		t.Fatal("empty label accepted")
+	}
+}
+
+func TestNewATypeChecks(t *testing.T) {
+	if _, err := NewA("x.com", 1, net.ParseIP("2001:db8::1")); err == nil {
+		t.Fatal("NewA accepted v6 address")
+	}
+	if _, err := NewAAAA("x.com", 1, net.ParseIP("1.2.3.4")); err == nil {
+		t.Fatal("NewAAAA accepted v4 address")
+	}
+	if _, err := NewTXT("x.com", 1, strings.Repeat("x", 256)); err == nil {
+		t.Fatal("oversized TXT accepted")
+	}
+}
+
+func TestDecodeTruncatedInputs(t *testing.T) {
+	q := NewQuery(5, "www.example.org", TypeAAAA)
+	a := mustAAAA(t, "www.example.org", "2001:db8::7")
+	m := NewResponse(q, RCodeNoError, a)
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodePointerLoop(t *testing.T) {
+	// Header + a name that is a pointer to itself.
+	buf := make([]byte, 12)
+	buf[4], buf[5] = 0, 1 // one question
+	name := []byte{0xC0, 12}
+	buf = append(buf, name...)
+	buf = append(buf, 0, 1, 0, 1) // type A, class IN
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("pointer loop accepted")
+	}
+}
+
+func TestDecodeBadPointer(t *testing.T) {
+	buf := make([]byte, 12)
+	buf[4], buf[5] = 0, 1
+	buf = append(buf, 0xC3, 0xFF) // pointer to offset 1023, beyond message
+	buf = append(buf, 0, 1, 0, 1)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("out-of-range pointer accepted")
+	}
+}
+
+func TestDecodeAbsurdCounts(t *testing.T) {
+	buf := make([]byte, 12)
+	buf[6], buf[7] = 0xFF, 0xFF // 65535 answers in a 12-byte message
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("absurd record count accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		Decode(buf) // must not panic
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	// Random well-formed messages survive encode/decode.
+	hosts := []string{"a.example.com", "b.example.com", "www.test.org", "x.y.z.example.net"}
+	f := func(id uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuery(id, hosts[rng.Intn(len(hosts))], TypeA)
+		var answers []RR
+		for i := 0; i < rng.Intn(4); i++ {
+			ip := net.IPv4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+			rr, err := NewA(hosts[rng.Intn(len(hosts))], uint32(rng.Intn(3600)), ip)
+			if err != nil {
+				return false
+			}
+			answers = append(answers, rr)
+		}
+		m := NewResponse(q, RCodeNoError, answers...)
+		buf, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		if got.Header.ID != id || len(got.Answers) != len(answers) {
+			return false
+		}
+		for i := range answers {
+			if got.Answers[i].Name != answers[i].Name ||
+				got.Answers[i].Type != answers[i].Type ||
+				got.Answers[i].TTL != answers[i].TTL ||
+				!bytes.Equal(got.Answers[i].Data, answers[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || Type(999).String() != "TYPE999" {
+		t.Fatal("Type strings")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(15).String() != "RCODE15" {
+		t.Fatal("RCode strings")
+	}
+}
+
+func TestAccessorsRejectWrongTypes(t *testing.T) {
+	a := mustA(t, "x.com", "1.2.3.4")
+	if _, ok := a.AAAA(); ok {
+		t.Fatal("A record answered AAAA()")
+	}
+	if _, ok := a.Target(); ok {
+		t.Fatal("A record answered Target()")
+	}
+	if _, ok := a.TXT(); ok {
+		t.Fatal("A record answered TXT()")
+	}
+}

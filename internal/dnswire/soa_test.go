@@ -1,0 +1,53 @@
+package dnswire
+
+import "testing"
+
+func TestSOARoundTrip(t *testing.T) {
+	soa := SOA{
+		MName: "ns1.v6web.test", RName: "hostmaster.v6web.test",
+		Serial: 2011060801, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+	}
+	rr, err := NewSOA("v6web.test", 3600, soa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(21, "v6web.test", TypeSOA)
+	m := NewResponse(q, RCodeNoError, rr)
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, ok := got.Answers[0].SOA()
+	if !ok {
+		t.Fatal("SOA accessor failed")
+	}
+	if parsed.MName != "ns1.v6web.test." || parsed.RName != "hostmaster.v6web.test." {
+		t.Fatalf("names: %+v", parsed)
+	}
+	if parsed.Serial != 2011060801 || parsed.Refresh != 7200 || parsed.Retry != 900 ||
+		parsed.Expire != 1209600 || parsed.Minimum != 300 {
+		t.Fatalf("counters: %+v", parsed)
+	}
+}
+
+func TestSOABadInputs(t *testing.T) {
+	if _, err := NewSOA("a..b", 1, SOA{MName: "x", RName: "y"}); err == nil {
+		t.Fatal("bad owner accepted")
+	}
+	bad := SOA{MName: string(make([]byte, 70)) + ".com", RName: "y"}
+	if _, err := NewSOA("ok.test", 1, bad); err == nil {
+		t.Fatal("bad mname accepted")
+	}
+	a := RR{Type: TypeA, Data: []byte{1, 2, 3, 4}}
+	if _, ok := a.SOA(); ok {
+		t.Fatal("A record answered SOA()")
+	}
+	truncated := RR{Type: TypeSOA, Data: []byte{0}}
+	if _, ok := truncated.SOA(); ok {
+		t.Fatal("truncated SOA accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package httpsim provides the web-transfer substrate of the livenet
+// measurement mode: a minimal HTTP/1.1 GET client that dials an
+// explicit address family (the monitoring tool must force IPv4-only
+// and IPv6-only fetches rather than letting the stack pick), a
+// bandwidth-shaped loopback server whose per-site rates are driven by
+// the netsim performance model, and a Happy Eyeballs (RFC 6555)
+// dialer as an extension.
+package httpsim
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Family selects the transport address family for a fetch.
+type Family int
+
+const (
+	// V4 dials tcp4.
+	V4 Family = iota
+	// V6 dials tcp6.
+	V6
+)
+
+// Network returns the Go network name for the family.
+func (f Family) Network() string {
+	if f == V6 {
+		return "tcp6"
+	}
+	return "tcp4"
+}
+
+// Response is a completed GET.
+type Response struct {
+	Status  int
+	Header  map[string]string // lower-cased keys
+	Body    []byte
+	Elapsed time.Duration // connect + transfer wall time
+}
+
+// Client fetches pages over a single address family per call.
+type Client struct {
+	// Timeout bounds the whole request (dial + transfer).
+	Timeout time.Duration
+	// MaxBody bounds the accepted body size.
+	MaxBody int
+	// MaxRedirects bounds same-server redirect following (0 keeps
+	// redirect responses as-is).
+	MaxRedirects int
+}
+
+// NewClient returns a client with sane limits. Redirects are followed
+// up to 5 hops, like the monitoring tool chasing a site's main page.
+func NewClient() *Client {
+	return &Client{Timeout: 30 * time.Second, MaxBody: 64 << 20, MaxRedirects: 5}
+}
+
+// Client errors.
+var (
+	ErrBadStatusLine    = errors.New("httpsim: malformed status line")
+	ErrBodyTooLarge     = errors.New("httpsim: body exceeds limit")
+	ErrTooManyRedirects = errors.New("httpsim: redirect limit exceeded")
+)
+
+// Get fetches http://host<path> from the server at ip:port over the
+// given family, returning the parsed response and elapsed wall time.
+// The Host header carries the site name (virtual hosting), exactly
+// like the monitoring tool downloading a site's main page from a
+// resolved address. Redirects (301/302/303/307/308) pointing at the
+// same server are followed up to MaxRedirects, with the elapsed time
+// covering the whole chain.
+func (c *Client) Get(fam Family, ip net.IP, port int, host, path string) (*Response, error) {
+	start := time.Now()
+	var resp *Response
+	for hop := 0; ; hop++ {
+		var err error
+		resp, err = c.getOnce(fam, ip, port, host, path, start)
+		if err != nil {
+			return nil, err
+		}
+		if !isRedirect(resp.Status) || c.MaxRedirects == 0 {
+			return resp, nil
+		}
+		if hop >= c.MaxRedirects {
+			return nil, ErrTooManyRedirects
+		}
+		loc := resp.Header["location"]
+		if loc == "" {
+			return resp, nil
+		}
+		host, path = parseLocation(loc, host, path)
+	}
+}
+
+func isRedirect(status int) bool {
+	switch status {
+	case 301, 302, 303, 307, 308:
+		return true
+	default:
+		return false
+	}
+}
+
+// parseLocation resolves an http:// or relative Location against the
+// current host/path. Only same-server targets make sense here: the
+// returned host keeps pointing at the configured address.
+func parseLocation(loc, host, path string) (string, string) {
+	if rest, ok := strings.CutPrefix(loc, "http://"); ok {
+		h, p, found := strings.Cut(rest, "/")
+		if !found {
+			return h, "/"
+		}
+		return h, "/" + p
+	}
+	if strings.HasPrefix(loc, "/") {
+		return host, loc
+	}
+	return host, path // unsupported form: stay put
+}
+
+func (c *Client) getOnce(fam Family, ip net.IP, port int, host, path string, start time.Time) (*Response, error) {
+	if path == "" {
+		path = "/"
+	}
+	deadline := start.Add(c.Timeout)
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.Dial(fam.Network(), net.JoinHostPort(ip.String(), strconv.Itoa(port)))
+	if err != nil {
+		return nil, fmt.Errorf("httpsim: dial %s: %w", fam.Network(), err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: v6web-monitor/1.0\r\nConnection: close\r\n\r\n", path, host)
+	if _, err := io.WriteString(conn, req); err != nil {
+		return nil, fmt.Errorf("httpsim: write request: %w", err)
+	}
+	resp, err := readResponse(bufio.NewReader(conn), c.MaxBody)
+	if err != nil {
+		return nil, err
+	}
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// readResponse parses status line, headers, and body (Content-Length
+// or read-to-EOF).
+func readResponse(r *bufio.Reader, maxBody int) (*Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, fmt.Errorf("httpsim: read status: %w", err)
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, ErrBadStatusLine
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil || status < 100 || status > 599 {
+		return nil, ErrBadStatusLine
+	}
+	resp := &Response{Status: status, Header: make(map[string]string)}
+	for {
+		h, err := readLine(r)
+		if err != nil {
+			return nil, fmt.Errorf("httpsim: read header: %w", err)
+		}
+		if h == "" {
+			break
+		}
+		k, v, ok := strings.Cut(h, ":")
+		if !ok {
+			continue
+		}
+		resp.Header[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	if cl, ok := resp.Header["content-length"]; ok {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("httpsim: bad content-length %q", cl)
+		}
+		if n > maxBody {
+			return nil, ErrBodyTooLarge
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("httpsim: read body: %w", err)
+		}
+		resp.Body = body
+		return resp, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(maxBody)+1); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("httpsim: read body: %w", err)
+	}
+	if buf.Len() > maxBody {
+		return nil, ErrBodyTooLarge
+	}
+	resp.Body = buf.Bytes()
+	return resp, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	s, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}

@@ -1,0 +1,98 @@
+package httpsim
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+)
+
+// HappyEyeballs implements the RFC 6555 connection strategy: attempt
+// IPv6 first and fall back to IPv4 after a short head start, returning
+// whichever connection wins. The paper's monitoring tool deliberately
+// does NOT use this — it measures each family in isolation — but Happy
+// Eyeballs is the client-side remedy the ecosystem deployed against
+// exactly the broken-IPv6 cases the paper quantifies, so the library
+// ships it as an extension (see examples/livenet).
+type HappyEyeballs struct {
+	// HeadStart is how long IPv6 runs alone before IPv4 starts.
+	HeadStart time.Duration
+	// Timeout bounds the whole dial.
+	Timeout time.Duration
+}
+
+// NewHappyEyeballs returns the RFC 6555 recommended configuration.
+func NewHappyEyeballs() *HappyEyeballs {
+	return &HappyEyeballs{HeadStart: 300 * time.Millisecond, Timeout: 10 * time.Second}
+}
+
+// DialResult reports which family won the race.
+type DialResult struct {
+	Conn    net.Conn
+	Family  Family
+	Elapsed time.Duration
+}
+
+type attempt struct {
+	conn net.Conn
+	fam  Family
+	err  error
+}
+
+// Dial races a v6 connection against a delayed v4 connection. Either
+// ip may be nil to skip that family.
+func (he *HappyEyeballs) Dial(v6IP, v4IP net.IP, port int) (*DialResult, error) {
+	if v6IP == nil && v4IP == nil {
+		return nil, fmt.Errorf("httpsim: happy eyeballs needs at least one address")
+	}
+	start := time.Now()
+	results := make(chan attempt, 2)
+	tries := 0
+	dial := func(fam Family, ip net.IP, delay time.Duration) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		d := net.Dialer{Timeout: he.Timeout}
+		conn, err := d.Dial(fam.Network(), net.JoinHostPort(ip.String(), strconv.Itoa(port)))
+		results <- attempt{conn: conn, fam: fam, err: err}
+	}
+	if v6IP != nil {
+		tries++
+		go dial(V6, v6IP, 0)
+	}
+	if v4IP != nil {
+		tries++
+		delay := time.Duration(0)
+		if v6IP != nil {
+			delay = he.HeadStart
+		}
+		go dial(V4, v4IP, delay)
+	}
+	var firstErr error
+	deadline := time.After(he.Timeout)
+	for i := 0; i < tries; i++ {
+		select {
+		case a := <-results:
+			if a.err == nil {
+				// Winner. Drain the loser asynchronously.
+				go drainLosers(results, tries-i-1)
+				return &DialResult{Conn: a.conn, Family: a.fam, Elapsed: time.Since(start)}, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+		case <-deadline:
+			go drainLosers(results, tries-i)
+			return nil, fmt.Errorf("httpsim: happy eyeballs timeout after %v", he.Timeout)
+		}
+	}
+	return nil, fmt.Errorf("httpsim: all families failed: %w", firstErr)
+}
+
+func drainLosers(results chan attempt, n int) {
+	for i := 0; i < n; i++ {
+		if a := <-results; a.conn != nil {
+			a.conn.Close()
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package httpsim
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, addr string) *Server {
+	t.Helper()
+	s, err := NewServer(addr)
+	if err != nil {
+		t.Skipf("cannot listen on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestGetBasic(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	s.SetSite("site1.v6web.test", SiteConfig{PageSize: 5000})
+	c := NewClient()
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "site1.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status %d", resp.Status)
+	}
+	if len(resp.Body) != 5000 {
+		t.Fatalf("body %d bytes", len(resp.Body))
+	}
+	if resp.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestGetOverIPv6Loopback(t *testing.T) {
+	s := startServer(t, "[::1]:0")
+	s.SetSite("site6.v6web.test", SiteConfig{PageSize: 2048})
+	c := NewClient()
+	resp, err := c.Get(V6, net.ParseIP("::1"), s.Addr().Port, "site6.v6web.test", "/")
+	if err != nil {
+		t.Skipf("IPv6 loopback unavailable: %v", err)
+	}
+	if resp.Status != 200 || len(resp.Body) != 2048 {
+		t.Fatalf("v6 fetch: status %d body %d", resp.Status, len(resp.Body))
+	}
+}
+
+func TestUnknownHost404(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	c := NewClient()
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "nope.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("status %d, want 404", resp.Status)
+	}
+}
+
+func TestHostHeaderWithPort(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	s.SetSite("ported.v6web.test", SiteConfig{PageSize: 100})
+	// Raw request carrying host:port.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("GET / HTTP/1.1\r\nHost: PORTED.v6web.test:8080\r\nConnection: close\r\n\r\n"))
+	buf := make([]byte, 4096)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "200 OK") {
+		t.Fatalf("response: %q", string(buf[:n]))
+	}
+}
+
+func TestShapingSlowsTransfer(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	// 64 KB at 200 kB/s ≈ 320ms minimum.
+	s.SetSite("slow.v6web.test", SiteConfig{PageSize: 64 << 10, RateKBps: 200})
+	s.SetSite("fast.v6web.test", SiteConfig{PageSize: 64 << 10, RateKBps: 0})
+	c := NewClient()
+	slow, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "slow.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "fast.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed < 250*time.Millisecond {
+		t.Fatalf("shaped transfer finished too fast: %v", slow.Elapsed)
+	}
+	if fast.Elapsed >= slow.Elapsed {
+		t.Fatalf("unshaped (%v) not faster than shaped (%v)", fast.Elapsed, slow.Elapsed)
+	}
+}
+
+func TestShapedRateApproximatelyHolds(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	const page = 100 << 10 // 100 kB
+	const rate = 500.0     // kB/s -> expect ~200ms
+	s.SetSite("rate.v6web.test", SiteConfig{PageSize: page, RateKBps: rate})
+	c := NewClient()
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "rate.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(page) / 1000 / resp.Elapsed.Seconds()
+	if measured > rate*1.3 {
+		t.Fatalf("measured %0.f kB/s exceeds shaped %0.f", measured, rate)
+	}
+	if measured < rate*0.3 {
+		t.Fatalf("measured %0.f kB/s far below shaped %0.f", measured, rate)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("POST / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	buf := make([]byte, 1024)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "405") {
+		t.Fatalf("response: %q", string(buf[:n]))
+	}
+}
+
+func TestRemoveSite(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	s.SetSite("temp.v6web.test", SiteConfig{PageSize: 10})
+	s.RemoveSite("temp.v6web.test")
+	c := NewClient()
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "temp.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("removed site still served: %d", resp.Status)
+	}
+}
+
+func TestClientBodyLimit(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	s.SetSite("big.v6web.test", SiteConfig{PageSize: 10000})
+	c := NewClient()
+	c.MaxBody = 1000
+	if _, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "big.v6web.test", "/"); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	for i := 0; i < 10; i++ {
+		s.SetSite(hostN(i), SiteConfig{PageSize: 3000, RateKBps: 5000})
+	}
+	errs := make(chan error, 30)
+	for w := 0; w < 30; w++ {
+		go func(w int) {
+			c := NewClient()
+			resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, hostN(w%10), "/")
+			if err == nil && resp.Status != 200 {
+				err = ErrBadStatusLine
+			}
+			errs <- err
+		}(w)
+	}
+	for i := 0; i < 30; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent fetch: %v", err)
+		}
+	}
+}
+
+func hostN(i int) string {
+	return "conc" + string(rune('a'+i)) + ".v6web.test"
+}
+
+func TestHappyEyeballsPrefersV6(t *testing.T) {
+	s6, err := NewServer("[::1]:0")
+	if err != nil {
+		t.Skipf("IPv6 loopback unavailable: %v", err)
+	}
+	defer s6.Close()
+	s4 := startServer(t, "127.0.0.1:0")
+	_ = s4
+	he := NewHappyEyeballs()
+	// Both families work and listen on the same port? They don't —
+	// use v6 only and confirm family.
+	res, err := he.Dial(net.ParseIP("::1"), nil, s6.Addr().Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Conn.Close()
+	if res.Family != V6 {
+		t.Fatalf("family %v", res.Family)
+	}
+}
+
+func TestHappyEyeballsFallsBackToV4(t *testing.T) {
+	s4 := startServer(t, "127.0.0.1:0")
+	he := NewHappyEyeballs()
+	he.HeadStart = 50 * time.Millisecond
+	he.Timeout = 3 * time.Second
+	// v6 address that nothing listens on: dial will fail fast or
+	// hang; v4 must win.
+	res, err := he.Dial(net.ParseIP("::1"), net.IPv4(127, 0, 0, 1), s4.Addr().Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Conn.Close()
+	if res.Family != V4 {
+		t.Fatalf("family %v, want V4 fallback", res.Family)
+	}
+}
+
+func TestHappyEyeballsNoAddresses(t *testing.T) {
+	he := NewHappyEyeballs()
+	if _, err := he.Dial(nil, nil, 80); err == nil {
+		t.Fatal("dial with no addresses succeeded")
+	}
+}

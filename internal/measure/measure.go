@@ -1,0 +1,309 @@
+// Package measure reimplements the paper's monitoring tool (Fig. 2):
+// for each site in the round's randomized order, a worker (at most 25
+// run in parallel, "to avoid bandwidth and processing bottlenecks")
+// queries A and AAAA records, downloads the main page over both
+// families for dual-stack sites, declares the pages identical when
+// byte counts are within 6%, and then repeats downloads per family
+// until the average download time's 95% confidence interval is within
+// 10% of the mean. Converged results, DNS outcomes, and AS-path
+// snapshots land in a store.DB.
+//
+// The engine is generic over a Fetcher: the simulation fetcher drives
+// netsim over BGP paths; the livenet fetcher speaks real DNS and HTTP
+// over loopback sockets.
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/det"
+	"v6web/internal/stats"
+	"v6web/internal/store"
+	"v6web/internal/topo"
+)
+
+// SiteRef identifies a site to monitor.
+type SiteRef struct {
+	ID        alexa.SiteID
+	FirstRank int
+}
+
+// HostName maps a site id to its synthetic DNS name.
+func HostName(id alexa.SiteID) string {
+	return fmt.Sprintf("site%d.v6web.test", id)
+}
+
+// FetchResult is one completed page download.
+type FetchResult struct {
+	PageBytes int
+	Elapsed   time.Duration
+}
+
+// Speed returns the observed download speed in kbytes/sec, the
+// paper's performance metric.
+func (f FetchResult) Speed() float64 {
+	if f.Elapsed <= 0 {
+		return 0
+	}
+	return float64(f.PageBytes) / 1000 / f.Elapsed.Seconds()
+}
+
+// Fetcher abstracts the network side of monitoring from one vantage.
+type Fetcher interface {
+	// Resolve performs the A/AAAA query phase for a site at a date.
+	Resolve(ref SiteRef, date time.Time) (hasA, hasAAAA bool, err error)
+	// Fetch downloads the site's main page once over fam. round and
+	// tFrac position the download in the study; rng supplies the
+	// sampling randomness owned by the monitor.
+	Fetch(ref SiteRef, fam topo.Family, round int, tFrac float64, rng *rand.Rand) (FetchResult, error)
+}
+
+// OriginReporter optionally reports the origin ASes of a site's A and
+// AAAA records (as the paper derives from BGP data). -1 means unknown
+// or absent.
+type OriginReporter interface {
+	Origins(ref SiteRef, date time.Time) (v4AS, v6AS int)
+}
+
+// PathReporter optionally reports the AS path to a destination AS in
+// effect at a round, mirroring the paper's post-round BGP table dump.
+type PathReporter interface {
+	PathTo(dst int, fam topo.Family, round int) []int
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	Vantage      store.Vantage
+	Workers      int     // parallel site monitors (paper: 25)
+	IdentityFrac float64 // page identity threshold (paper: 0.06)
+	CI           stats.CIStop
+	MaxDownloads int // per-family download budget within a round
+	Seed         int64
+}
+
+// DefaultConfig mirrors the paper's tool parameters.
+func DefaultConfig(vantage store.Vantage, seed int64) Config {
+	return Config{
+		Vantage:      vantage,
+		Workers:      25,
+		IdentityFrac: 0.06,
+		CI:           stats.CIStop{Frac: 0.10, MinN: 3},
+		MaxDownloads: 30,
+		Seed:         seed,
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if c.Vantage == "" {
+		return fmt.Errorf("measure: empty vantage name")
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("measure: Workers %d < 1", c.Workers)
+	}
+	if c.IdentityFrac <= 0 || c.IdentityFrac >= 1 {
+		return fmt.Errorf("measure: IdentityFrac %v out of (0,1)", c.IdentityFrac)
+	}
+	if c.MaxDownloads < c.CI.MinN {
+		return fmt.Errorf("measure: MaxDownloads %d below CI.MinN %d", c.MaxDownloads, c.CI.MinN)
+	}
+	return nil
+}
+
+// RoundStats summarizes one monitoring round.
+type RoundStats struct {
+	Round      int
+	Sites      int // sites monitored
+	Dual       int // sites with both A and AAAA
+	Identical  int // dual sites passing the page identity check
+	Measured   int // dual sites with converged samples in both families
+	FetchFails int
+}
+
+// Monitor runs monitoring rounds from one vantage point.
+type Monitor struct {
+	cfg   Config
+	fetch Fetcher
+	db    *store.DB
+}
+
+// NewMonitor builds a monitor writing into db.
+func NewMonitor(cfg Config, fetch Fetcher, db *store.DB) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fetch == nil || db == nil {
+		return nil, fmt.Errorf("measure: nil fetcher or db")
+	}
+	return &Monitor{cfg: cfg, fetch: fetch, db: db}, nil
+}
+
+// DB returns the result database.
+func (m *Monitor) DB() *store.DB { return m.db }
+
+// RunRound monitors every site once. date stamps the samples; tFrac
+// in [0,1] positions the round within the study for the simulated
+// substrate. The site order is randomized per round ("to avoid
+// time-of-day biases").
+func (m *Monitor) RunRound(round int, date time.Time, tFrac float64, sites []SiteRef) RoundStats {
+	order := make([]int, len(sites))
+	for i := range order {
+		order[i] = i
+	}
+	shuffleRng := rand.New(rand.NewSource(int64(det.Mix(uint64(m.cfg.Seed), uint64(round), 0x0BDE))))
+	shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	jobs := make(chan int, len(sites))
+	var mu sync.Mutex
+	st := RoundStats{Round: round, Sites: len(sites)}
+	destASes := make(map[int]bool) // destination ASes seen this round
+
+	var wg sync.WaitGroup
+	for w := 0; w < m.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				// The sampling RNG is derived per (seed, round,
+				// site) so results do not depend on which worker
+				// picks a site up or in what order.
+				rng := rand.New(det.NewSource(uint64(m.cfg.Seed), uint64(round), uint64(sites[idx].ID), 0xF00D))
+				res := m.monitorSite(sites[idx], round, date, tFrac, rng)
+				mu.Lock()
+				if res.dual {
+					st.Dual++
+				}
+				if res.identical {
+					st.Identical++
+				}
+				if res.measured {
+					st.Measured++
+				}
+				if res.fetchFail {
+					st.FetchFails++
+				}
+				// Only dual-stack sites count as monitored
+				// destinations (Table 2's AS coverage is about the
+				// dual-monitored population).
+				if res.dual && res.v4AS >= 0 {
+					destASes[res.v4AS] = true
+				}
+				if res.dual && res.v6AS >= 0 {
+					destASes[res.v6AS] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, idx := range order {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Post-round BGP snapshot: record paths to every destination AS
+	// seen, over both families (the paper retrieved routing tables
+	// "after each monitoring round").
+	if pr, ok := m.fetch.(PathReporter); ok {
+		for dst := range destASes {
+			for _, fam := range []topo.Family{topo.V4, topo.V6} {
+				if p := pr.PathTo(dst, fam, round); p != nil {
+					m.db.AddPath(m.cfg.Vantage, fam, dst, round, p)
+				}
+			}
+		}
+	}
+	return st
+}
+
+type siteResult struct {
+	dual      bool
+	identical bool
+	measured  bool
+	fetchFail bool
+	v4AS      int
+	v6AS      int
+}
+
+// monitorSite runs the Fig 2 phases for one site.
+func (m *Monitor) monitorSite(ref SiteRef, round int, date time.Time, tFrac float64, rng *rand.Rand) siteResult {
+	out := siteResult{v4AS: -1, v6AS: -1}
+	hasA, hasAAAA, err := m.fetch.Resolve(ref, date)
+	if err != nil {
+		out.fetchFail = true
+		return out
+	}
+	if or, ok := m.fetch.(OriginReporter); ok {
+		out.v4AS, out.v6AS = or.Origins(ref, date)
+	}
+	m.db.PutSite(store.SiteRow{
+		Site: ref.ID, Host: HostName(ref.ID), FirstRank: ref.FirstRank,
+		V4AS: out.v4AS, V6AS: out.v6AS,
+	})
+	dnsRow := store.DNSRow{Site: ref.ID, Round: round, HasA: hasA, HasAAAA: hasAAAA}
+	if !hasA || !hasAAAA {
+		m.db.AddDNS(m.cfg.Vantage, dnsRow)
+		return out
+	}
+	out.dual = true
+
+	// Phase 2: single download per family; compare byte counts.
+	first4, err4 := m.fetch.Fetch(ref, topo.V4, round, tFrac, rng)
+	first6, err6 := m.fetch.Fetch(ref, topo.V6, round, tFrac, rng)
+	if err4 != nil || err6 != nil {
+		out.fetchFail = true
+		m.db.AddDNS(m.cfg.Vantage, dnsRow)
+		return out
+	}
+	diff := first4.PageBytes - first6.PageBytes
+	if diff < 0 {
+		diff = -diff
+	}
+	dnsRow.Identical = float64(diff) <= m.cfg.IdentityFrac*float64(first4.PageBytes)
+	m.db.AddDNS(m.cfg.Vantage, dnsRow)
+	if !dnsRow.Identical {
+		return out
+	}
+	out.identical = true
+
+	// Phase 3: repeat downloads until the CI stop rule, per family
+	// ("first for IPv4 and then IPv6, each after proper resetting").
+	okBoth := true
+	for _, fam := range []topo.Family{topo.V4, topo.V6} {
+		sample, ok := m.converge(ref, fam, round, tFrac, rng)
+		sample.Round = round
+		sample.Date = date
+		m.db.AddSample(m.cfg.Vantage, ref.ID, fam, sample)
+		okBoth = okBoth && ok
+	}
+	out.measured = okBoth
+	return out
+}
+
+// converge downloads until the CI stop rule is met or the budget runs
+// out, returning the round sample.
+func (m *Monitor) converge(ref SiteRef, fam topo.Family, round int, tFrac float64, rng *rand.Rand) (store.Sample, bool) {
+	var times stats.Welford
+	page := 0
+	for i := 0; i < m.cfg.MaxDownloads; i++ {
+		res, err := m.fetch.Fetch(ref, fam, round, tFrac, rng)
+		if err != nil {
+			continue
+		}
+		page = res.PageBytes
+		times.Add(res.Elapsed.Seconds())
+		if m.cfg.CI.Done(&times) {
+			break
+		}
+	}
+	s := store.Sample{PageBytes: page, Downloads: times.N()}
+	if times.N() > 0 && times.Mean() > 0 {
+		s.MeanSpeed = float64(page) / 1000 / times.Mean()
+	}
+	s.CIOK = m.cfg.CI.Done(&times)
+	return s, s.CIOK
+}

@@ -1,0 +1,186 @@
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"v6web/internal/bgp"
+	"v6web/internal/det"
+	"v6web/internal/ipam"
+	"v6web/internal/netsim"
+	"v6web/internal/topo"
+	"v6web/internal/websim"
+)
+
+// SimFetcher satisfies Fetcher over the synthetic substrates: DNS
+// outcomes come from the adoption model, download times from netsim
+// over BGP-computed AS paths. It also implements OriginReporter and
+// PathReporter so the monitor can record site origins and post-round
+// path snapshots.
+//
+// A fraction of (destination AS, family) pairs experience one BGP
+// path change during the study: before the change the primary route
+// is used, after it the path through the vantage's second-best first
+// hop. When the two differ, sites in that AS see both a recorded path
+// change and whatever performance shift the new path implies —
+// Section 5.1's "in some of those cases, this transition was the
+// result of a path change".
+type SimFetcher struct {
+	VantageAS int
+	Cat       *websim.Catalog
+	Model     *netsim.Model
+
+	// PathChangeFrac is the probability a (destination AS, family)
+	// pair reroutes once during the study.
+	PathChangeFrac float64
+	// TotalRounds positions change rounds; must be >= 1.
+	TotalRounds int
+	// Seed drives path-change scheduling.
+	Seed int64
+
+	ribs map[topo.Family]*bgp.RIB // primary routes
+
+	// plan maps site addresses back to origin ASes by longest-prefix
+	// match, the way the paper attributed A/AAAA records to
+	// destination ASes using BGP data.
+	plan *ipam.Plan
+
+	mu   sync.Mutex
+	alts map[altKey][]int // lazily computed alternative paths
+}
+
+type altKey struct {
+	dst int
+	fam topo.Family
+}
+
+// NewSimFetcher precomputes primary and alternate RIBs from the
+// vantage AS to every AS in the graph.
+func NewSimFetcher(vantageAS int, cat *websim.Catalog, model *netsim.Model, pathChangeFrac float64, totalRounds int, seed int64) (*SimFetcher, error) {
+	if totalRounds < 1 {
+		return nil, fmt.Errorf("measure: TotalRounds %d < 1", totalRounds)
+	}
+	if pathChangeFrac < 0 || pathChangeFrac > 1 {
+		return nil, fmt.Errorf("measure: PathChangeFrac %v out of [0,1]", pathChangeFrac)
+	}
+	g := cat.Graph()
+	if vantageAS < 0 || vantageAS >= g.N() {
+		return nil, fmt.Errorf("measure: vantage AS %d out of range", vantageAS)
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	f := &SimFetcher{
+		VantageAS:      vantageAS,
+		Cat:            cat,
+		Model:          model,
+		PathChangeFrac: pathChangeFrac,
+		TotalRounds:    totalRounds,
+		Seed:           seed,
+		ribs:           make(map[topo.Family]*bgp.RIB),
+		alts:           make(map[altKey][]int),
+	}
+	for _, fam := range []topo.Family{topo.V4, topo.V6} {
+		f.ribs[fam] = bgp.BuildRIB(g, vantageAS, all, fam)
+	}
+	plan, err := ipam.NewPlan(g)
+	if err != nil {
+		return nil, err
+	}
+	f.plan = plan
+	return f, nil
+}
+
+// altPath lazily computes (and caches) the alternative path to dst.
+// nil means no policy-compliant alternative exists.
+func (f *SimFetcher) altPath(dst int, fam topo.Family) []int {
+	k := altKey{dst, fam}
+	f.mu.Lock()
+	if p, ok := f.alts[k]; ok {
+		f.mu.Unlock()
+		return p
+	}
+	f.mu.Unlock()
+	c := bgp.NewComputer(f.Cat.Graph())
+	c.Routes(dst, fam)
+	p := c.AltPathFrom(f.VantageAS)
+	f.mu.Lock()
+	f.alts[k] = p
+	f.mu.Unlock()
+	return p
+}
+
+// changeRound returns the round at which (dst, fam) reroutes, or -1.
+func (f *SimFetcher) changeRound(dst int, fam topo.Family) int {
+	if !det.Bool(f.PathChangeFrac, uint64(f.Seed), uint64(f.VantageAS), uint64(dst), uint64(fam), 0xC4A6) {
+		return -1
+	}
+	// Change somewhere in the middle half of the study.
+	lo := f.TotalRounds / 4
+	span := f.TotalRounds/2 + 1
+	return lo + det.IntN(span, uint64(f.Seed), uint64(f.VantageAS), uint64(dst), uint64(fam), 0x0DD)
+}
+
+// PathTo implements PathReporter.
+func (f *SimFetcher) PathTo(dst int, fam topo.Family, round int) []int {
+	primary := f.ribs[fam].Lookup(dst)
+	if primary == nil {
+		return nil
+	}
+	if cr := f.changeRound(dst, fam); cr >= 0 && round >= cr {
+		if alt := f.altPath(dst, fam); alt != nil {
+			return alt
+		}
+	}
+	return primary
+}
+
+// Resolve implements Fetcher: A always exists; AAAA appears at the
+// site's adoption date.
+func (f *SimFetcher) Resolve(ref SiteRef, date time.Time) (bool, bool, error) {
+	site := f.Cat.Site(ref.ID, ref.FirstRank)
+	return true, site.DualAt(date), nil
+}
+
+// Origins implements OriginReporter: the site's DNS addresses are
+// mapped back to origin ASes by longest-prefix match against the
+// address plan, mirroring the paper's BGP-based attribution.
+func (f *SimFetcher) Origins(ref SiteRef, date time.Time) (int, int) {
+	site := f.Cat.Site(ref.ID, ref.FirstRank)
+	v4 := f.plan.OriginV4(f.plan.SiteV4(site.V4AS, int64(ref.ID)))
+	v6 := -1
+	if site.DualAt(date) {
+		if addr := f.plan.SiteV6(site.V6AS, int64(ref.ID)); addr != nil {
+			v6 = f.plan.OriginV6(addr)
+		}
+	}
+	return v4, v6
+}
+
+// Fetch implements Fetcher: one simulated page download.
+func (f *SimFetcher) Fetch(ref SiteRef, fam topo.Family, round int, tFrac float64, rng *rand.Rand) (FetchResult, error) {
+	site := f.Cat.Site(ref.ID, ref.FirstRank)
+	dst := site.V4AS
+	page := site.PageV4
+	if fam == topo.V6 {
+		dst = site.V6AS
+		page = site.PageV6
+		if dst < 0 {
+			return FetchResult{}, fmt.Errorf("measure: site %d has no AAAA", ref.ID)
+		}
+	}
+	path := bgp.Path(f.PathTo(dst, fam, round))
+	if path == nil {
+		return FetchResult{}, fmt.Errorf("measure: AS %d unreachable over %v", dst, fam)
+	}
+	roundSpeed := f.Model.RoundSpeed(f.VantageAS, site, path, fam, tFrac, round)
+	speed := f.Model.SampleSpeed(roundSpeed, rng)
+	if speed <= 0 {
+		return FetchResult{}, fmt.Errorf("measure: zero speed to site %d over %v", ref.ID, fam)
+	}
+	setup := f.Model.SetupTime(f.Model.PathPerf(path, fam))
+	return FetchResult{PageBytes: page, Elapsed: netsim.DownloadTimeSetup(page, speed, setup)}, nil
+}

@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSetupTimeGrowsWithHops(t *testing.T) {
+	f := newFixture(t, 200, 21)
+	short := f.m.SetupTime(PathPerf{EffHops: 1})
+	long := f.m.SetupTime(PathPerf{EffHops: 6})
+	if long <= short {
+		t.Fatalf("setup time not growing: %v vs %v", short, long)
+	}
+	want := f.m.Config().RTTBase + 6*f.m.Config().RTTPerHop
+	if long != want {
+		t.Fatalf("setup %v, want %v", long, want)
+	}
+}
+
+func TestSetupTimePenalizesTunnels(t *testing.T) {
+	f := newFixture(t, 200, 22)
+	// A tunnel hiding 3 hops pays for 4 effective hops even though
+	// the AS path shows 1.
+	visible := f.m.SetupTime(PathPerf{EffHops: 1, VisHops: 1})
+	tunneled := f.m.SetupTime(PathPerf{EffHops: 4, VisHops: 1, HasTunnel: true})
+	if tunneled <= visible {
+		t.Fatalf("tunnel setup not penalized: %v vs %v", visible, tunneled)
+	}
+}
+
+func TestDownloadTimeSetup(t *testing.T) {
+	d := DownloadTimeSetup(10000, 100, 50*time.Millisecond)
+	want := 50*time.Millisecond + 100*time.Millisecond // 10 kB at 100 kB/s
+	if d != want {
+		t.Fatalf("duration %v, want %v", d, want)
+	}
+	if DownloadTimeSetup(10000, 0, time.Millisecond) != 0 {
+		t.Fatal("zero speed should yield zero duration")
+	}
+}
+
+func TestRTTValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.RTTBase = -time.Millisecond
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative RTTBase accepted")
+	}
+	cfg2 := DefaultConfig(1)
+	cfg2.RTTPerHop = -time.Millisecond
+	if err := cfg2.Validate(); err == nil {
+		t.Fatal("negative RTTPerHop accepted")
+	}
+}

@@ -1,0 +1,301 @@
+// Package report renders the analysis products as plain-text tables
+// matching the rows the paper reports, plus simple ASCII series for
+// the figures. Everything writes to an io.Writer so the cmd tools and
+// benchmarks can print or capture output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/analysis"
+	"v6web/internal/topo"
+)
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// table writes an aligned text table.
+func table(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig1 renders the IPv6 reachability time series.
+func Fig1(w io.Writer, dates []time.Time, series []float64) {
+	rows := make([][]string, 0, len(series))
+	for i := range series {
+		bar := strings.Repeat("#", int(series[i]*4000))
+		rows = append(rows, []string{dates[i].Format("2006-01-02"), pct(series[i]), bar})
+	}
+	table(w, "Figure 1: IPv6 reachability over time (top sites)", []string{"date", "reachable", ""}, rows)
+}
+
+// Fig3a renders reachability by rank bucket.
+func Fig3a(w io.Writer, fracs [6]float64) {
+	rows := make([][]string, 0, 6)
+	for i, f := range fracs {
+		rows = append(rows, []string{alexa.BucketLabels[i], pct(f)})
+	}
+	table(w, "Figure 3a: IPv6 reachability by site rank", []string{"bucket", "reachable"}, rows)
+}
+
+// Fig3b renders the "how often is IPv6 faster" bars for the two site
+// populations.
+func Fig3b(w io.Writer, vantage string, top1M, extended float64) {
+	table(w, "Figure 3b: how often is the IPv6 download faster ("+vantage+")",
+		[]string{"population", "IPv6 faster"},
+		[][]string{
+			{"Top 1M", pct(top1M)},
+			{"Extended (5M)", pct(extended)},
+		})
+}
+
+// Table1 renders the vantage-point roster.
+type VantageInfo struct {
+	Name    string
+	Start   string
+	ASPath  bool
+	Listed  bool // white-listed by Google
+	Ovcomml bool // commercial (vs academic)
+}
+
+// Table1 renders the monitoring vantage points.
+func Table1(w io.Writer, infos []VantageInfo) {
+	rows := make([][]string, 0, len(infos))
+	yn := map[bool]string{true: "Y", false: "N"}
+	for _, v := range infos {
+		typ := "Acad."
+		if v.Ovcomml {
+			typ = "Comml."
+		}
+		rows = append(rows, []string{v.Name, v.Start, yn[v.ASPath], yn[v.Listed], typ})
+	}
+	table(w, "Table 1: monitoring vantage points", []string{"vantage", "date", "AS_PATH", "W-L", "type"}, rows)
+}
+
+// Table2 renders monitoring profiles.
+func Table2(w io.Writer, rows []analysis.ProfileRow, all analysis.ProfileRow) {
+	header := []string{"", ""}
+	for _, r := range rows {
+		header = append(header, string(r.Vantage))
+	}
+	header = append(header, "All")
+	cells := [][]string{
+		{"Sites", "(total)"}, {"Sites", "kept"},
+		{"Dest. ASes", "(IPv4)"}, {"Dest. ASes", "(IPv6)"},
+		{"ASes crossed", "(IPv4)"}, {"ASes crossed", "(IPv6)"},
+	}
+	get := func(r analysis.ProfileRow, i int) string {
+		switch i {
+		case 0:
+			return fmt.Sprintf("%d", r.SitesTotal)
+		case 1:
+			return fmt.Sprintf("%d", r.SitesKept)
+		case 2:
+			return fmt.Sprintf("%d", r.DestV4)
+		case 3:
+			return fmt.Sprintf("%d", r.DestV6)
+		case 4:
+			return fmt.Sprintf("%d", r.CrossV4)
+		default:
+			return fmt.Sprintf("%d", r.CrossV6)
+		}
+	}
+	var out [][]string
+	for i, c := range cells {
+		row := append([]string{}, c...)
+		for _, r := range rows {
+			row = append(row, get(r, i))
+		}
+		if i < 2 {
+			row = append(row, "NA")
+		} else {
+			row = append(row, get(all, i))
+		}
+		out = append(out, row)
+	}
+	table(w, "Table 2: monitoring profiles per vantage point", header, out)
+}
+
+// Table3 renders confidence-failure causes.
+func Table3(w io.Writer, rows []analysis.FailureRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage),
+			fmt.Sprintf("%d", r.Insufficient),
+			fmt.Sprintf("%d", r.TransUp), fmt.Sprintf("%d", r.TransDown),
+			fmt.Sprintf("%d", r.TrendUp), fmt.Sprintf("%d", r.TrendDown),
+			fmt.Sprintf("%d of %d", r.TransFromPath, r.TransitionsAll),
+		})
+	}
+	table(w, "Table 3: causes of confidence target failures",
+		[]string{"vantage", "insufficient", "↑", "↓", "↗", "↘", "trans. from path change"}, out)
+}
+
+// Table4 renders the site classification.
+func Table4(w io.Writer, rows []analysis.ClassRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage), fmt.Sprintf("%d", r.DL), fmt.Sprintf("%d", r.SP), fmt.Sprintf("%d", r.DP),
+		})
+	}
+	table(w, "Table 4: sites classification", []string{"vantage", "# DL sites", "# SP sites", "# DP sites"}, out)
+}
+
+// Table5 renders the removed-site bias check.
+func Table5(w io.Writer, rows []analysis.RemovedBiasRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage),
+			fmt.Sprintf("%d", r.SPGood), fmt.Sprintf("%d", r.SPBad),
+			fmt.Sprintf("%d", r.DPGood), fmt.Sprintf("%d", r.DPBad),
+			fmt.Sprintf("%d", r.DLGood), fmt.Sprintf("%d", r.DLBad),
+		})
+	}
+	table(w, "Table 5: classification of removed sites",
+		[]string{"vantage", "SP good", "SP bad", "DP good", "DP bad", "DL good", "DL bad"}, out)
+}
+
+// Table6 renders DL performance.
+func Table6(w io.Writer, rows []analysis.DLPerfRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage), fmt.Sprintf("%d", r.Sites), pct(r.FracV4GE),
+			fmt.Sprintf("%.1f", r.MeanV4), fmt.Sprintf("%.1f", r.MeanV6),
+		})
+	}
+	table(w, "Table 6: IPv6 vs IPv4 performance (kbytes/sec) for sites in DL",
+		[]string{"vantage", "# sites", "IPv4>=IPv6", "IPv4 perf.", "IPv6 perf."}, out)
+}
+
+// HopTable renders Table 7 or 9.
+func HopTable(w io.Writer, title string, rows []analysis.HopRow) {
+	header := []string{"vantage", "fam"}
+	for _, l := range analysis.HopLabels {
+		header = append(header, l, "# sites")
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		fam := "IPv4"
+		if r.Fam == topo.V6 {
+			fam = "IPv6"
+		}
+		row := []string{string(r.Vantage), fam}
+		for b := 0; b < analysis.HopBuckets; b++ {
+			if r.Count[b] == 0 {
+				row = append(row, "-", "0")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f", r.Speed[b]), fmt.Sprintf("%d", r.Count[b]))
+			}
+		}
+		out = append(out, row)
+	}
+	table(w, title, header, out)
+}
+
+// Table8 renders the SP (H1) results.
+func Table8(w io.Writer, rows []analysis.SPRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage), pct(r.FracComparable), pct(r.FracZeroMode),
+			pct(r.FracSmall), pct(r.FracWorse), fmt.Sprintf("%d", r.NASes),
+			fmt.Sprintf("%d", r.XCheckPos), fmt.Sprintf("%d", r.XCheckNeg),
+		})
+	}
+	table(w, "Table 8: IPv6 vs IPv4 for SP destination ASes (H1)",
+		[]string{"vantage", "IPv6~IPv4", "zero mode", "small #", "worse", "# ASes", "x-check(+)", "x-check(-)"}, out)
+}
+
+// Table10 renders the World IPv6 Day SP results.
+func Table10(w io.Writer, rows []analysis.SPRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		other := 0.0
+		if r.NASes > 0 {
+			other = 1 - r.FracComparable
+		}
+		out = append(out, []string{
+			string(r.Vantage), pct(r.FracComparable), pct(other),
+			fmt.Sprintf("%d", r.NASes), fmt.Sprintf("%d", r.XCheckPos),
+		})
+	}
+	table(w, "Table 10: World IPv6 Day — IPv6 vs IPv4 for SP ASes",
+		[]string{"vantage", "IPv6~IPv4", "other", "# ASes", "x-check(+)"}, out)
+}
+
+// Table11 renders the DP (H2) results.
+func Table11(w io.Writer, rows []analysis.DPRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage), pct(r.FracComparable), pct(r.FracZeroMode), fmt.Sprintf("%d", r.NASes),
+		})
+	}
+	table(w, "Table 11: IPv6 vs IPv4 for DP destination ASes (H2)",
+		[]string{"vantage", "IPv6~IPv4", "zero mode", "# ASes"}, out)
+}
+
+// Table12 renders the World IPv6 Day DP results.
+func Table12(w io.Writer, rows []analysis.DPRow) {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Vantage), pct(r.FracComparable), fmt.Sprintf("%d", r.NASes),
+		})
+	}
+	table(w, "Table 12: World IPv6 Day — IPv6 vs IPv4 for DP ASes",
+		[]string{"vantage", "IPv6~IPv4", "# ASes"}, out)
+}
+
+// Table13 renders good-AS coverage of DP paths.
+func Table13(w io.Writer, rows []analysis.CoverageRow) {
+	labels := []string{"100%", "[75%,100%)", "[50%,75%)", "[25%,50%)", "[0%,25%)"}
+	header := []string{"% good ASes in path"}
+	for _, r := range rows {
+		header = append(header, string(r.Vantage))
+	}
+	out := make([][]string, len(labels))
+	for i, l := range labels {
+		out[i] = []string{l}
+		for _, r := range rows {
+			out[i] = append(out[i], pct(r.Frac[i]))
+		}
+	}
+	table(w, "Table 13: 'good' AS coverage in DP paths", header, out)
+}

@@ -1,0 +1,204 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"v6web/internal/analysis"
+	"v6web/internal/topo"
+)
+
+func render(f func(*bytes.Buffer)) string {
+	var buf bytes.Buffer
+	f(&buf)
+	return buf.String()
+}
+
+func TestFig1(t *testing.T) {
+	dates := []time.Time{
+		time.Date(2010, 12, 9, 0, 0, 0, 0, time.UTC),
+		time.Date(2011, 6, 9, 0, 0, 0, 0, time.UTC),
+	}
+	out := render(func(b *bytes.Buffer) { Fig1(b, dates, []float64{0.002, 0.011}) })
+	if !strings.Contains(out, "2010-12-09") || !strings.Contains(out, "0.2%") {
+		t.Fatalf("fig1 output:\n%s", out)
+	}
+	if !strings.Contains(out, "1.1%") {
+		t.Fatalf("fig1 output missing second point:\n%s", out)
+	}
+	// The bar for 1.1% must be longer than for 0.2%.
+	lines := strings.Split(out, "\n")
+	var bars []int
+	for _, l := range lines {
+		if strings.Contains(l, "%") && strings.Contains(l, "#") {
+			bars = append(bars, strings.Count(l, "#"))
+		}
+	}
+	if len(bars) != 2 || bars[1] <= bars[0] {
+		t.Fatalf("bars not proportional: %v", bars)
+	}
+}
+
+func TestFig3a(t *testing.T) {
+	out := render(func(b *bytes.Buffer) {
+		Fig3a(b, [6]float64{0.10, 0.07, 0.05, 0.03, 0.02, 0.011})
+	})
+	for _, want := range []string{"Top 10", "Top 1M", "10.0%", "1.1%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3a missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3b(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Fig3b(b, "Penn", 0.041, 0.047) })
+	if !strings.Contains(out, "Penn") || !strings.Contains(out, "4.1%") || !strings.Contains(out, "4.7%") {
+		t.Fatalf("fig3b output:\n%s", out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := render(func(b *bytes.Buffer) {
+		Table1(b, []VantageInfo{
+			{Name: "Penn", Start: "7/22/09", ASPath: true},
+			{Name: "UPCB", Start: "2/28/11", ASPath: true, Listed: true, Ovcomml: true},
+		})
+	})
+	if !strings.Contains(out, "Penn") || !strings.Contains(out, "Acad.") || !strings.Contains(out, "Comml.") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := []analysis.ProfileRow{
+		{Vantage: "Penn", SitesTotal: 100, SitesKept: 70, DestV4: 30, DestV6: 20, CrossV4: 50, CrossV6: 35},
+	}
+	all := analysis.ProfileRow{DestV4: 30, DestV6: 20, CrossV4: 55, CrossV6: 40}
+	out := render(func(b *bytes.Buffer) { Table2(b, rows, all) })
+	for _, want := range []string{"Penn", "100", "70", "NA", "55"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := render(func(b *bytes.Buffer) {
+		Table3(b, []analysis.FailureRow{
+			{Vantage: "Penn", Insufficient: 2807, TransUp: 180, TransDown: 103, TrendUp: 732, TrendDown: 569, TransFromPath: 64, TransitionsAll: 283},
+		})
+	})
+	for _, want := range []string{"2807", "180", "103", "732", "569", "64 of 283"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4Through6(t *testing.T) {
+	out := render(func(b *bytes.Buffer) {
+		Table4(b, []analysis.ClassRow{{Vantage: "Penn", DL: 784, SP: 424, DP: 6786}})
+	})
+	for _, want := range []string{"784", "424", "6786"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table4 missing %q", want)
+		}
+	}
+	out = render(func(b *bytes.Buffer) {
+		Table5(b, []analysis.RemovedBiasRow{{Vantage: "Penn", SPGood: 64, SPBad: 8, DPGood: 404, DPBad: 880, DLGood: 111, DLBad: 117}})
+	})
+	for _, want := range []string{"64", "880", "117"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table5 missing %q", want)
+		}
+	}
+	out = render(func(b *bytes.Buffer) {
+		Table6(b, []analysis.DLPerfRow{{Vantage: "Penn", Sites: 784, FracV4GE: 0.96, MeanV4: 35.6, MeanV6: 28.2}})
+	})
+	for _, want := range []string{"96.0%", "35.6", "28.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHopTable(t *testing.T) {
+	rows := []analysis.HopRow{
+		{Vantage: "Penn", Fam: topo.V4, Speed: [5]float64{25.4, 39.5, 31.1, 28.5, 22.7}, Count: [5]int{5, 4327, 2318, 567, 179}},
+		{Vantage: "Penn", Fam: topo.V6, Speed: [5]float64{0, 104.0, 33.9, 28.7, 22.1}, Count: [5]int{0, 6, 742, 3296, 3352}},
+	}
+	out := render(func(b *bytes.Buffer) { HopTable(b, "Table 7", rows) })
+	for _, want := range []string{"IPv4", "IPv6", "39.5", "4327", "104.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hop table missing %q:\n%s", want, out)
+		}
+	}
+	// Empty buckets render as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("empty bucket not dashed")
+	}
+}
+
+func TestTable8And10(t *testing.T) {
+	rows := []analysis.SPRow{
+		{Vantage: "Penn", FracComparable: 0.813, FracZeroMode: 0.094, FracSmall: 0.093, NASes: 75, XCheckPos: 47},
+	}
+	out := render(func(b *bytes.Buffer) { Table8(b, rows) })
+	for _, want := range []string{"81.3%", "9.4%", "9.3%", "75", "47"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table8 missing %q:\n%s", want, out)
+		}
+	}
+	out = render(func(b *bytes.Buffer) { Table10(b, rows) })
+	if !strings.Contains(out, "18.7%") { // "other" = 1 - comparable
+		t.Fatalf("table10 other column:\n%s", out)
+	}
+	// Zero ASes renders a zero other-column, not 100%.
+	out = render(func(b *bytes.Buffer) { Table10(b, []analysis.SPRow{{Vantage: "LU"}}) })
+	if strings.Contains(out, "100.0%") {
+		t.Fatalf("table10 with 0 ASes shows 100%%:\n%s", out)
+	}
+}
+
+func TestTable11And12(t *testing.T) {
+	rows := []analysis.DPRow{{Vantage: "Penn", FracComparable: 0.03, FracZeroMode: 0.12, NASes: 587}}
+	out := render(func(b *bytes.Buffer) { Table11(b, rows) })
+	for _, want := range []string{"3.0%", "12.0%", "587"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table11 missing %q:\n%s", want, out)
+		}
+	}
+	out = render(func(b *bytes.Buffer) { Table12(b, rows) })
+	if !strings.Contains(out, "3.0%") || strings.Contains(out, "12.0%") {
+		t.Fatalf("table12 content wrong:\n%s", out)
+	}
+}
+
+func TestTable13(t *testing.T) {
+	rows := []analysis.CoverageRow{
+		{Vantage: "Penn", Frac: [5]float64{0.032, 0.208, 0.588, 0.158, 0.014}, NDsts: 100},
+	}
+	out := render(func(b *bytes.Buffer) { Table13(b, rows) })
+	for _, want := range []string{"100%", "[50%,75%)", "58.8%", "3.2%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table13 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	// Header separator must be as wide as the widest cell.
+	out := render(func(b *bytes.Buffer) {
+		Table4(b, []analysis.ClassRow{{Vantage: "a-very-long-vantage-name", DL: 1, SP: 2, DP: 3}})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+	sep := lines[2]
+	if !strings.Contains(sep, strings.Repeat("-", len("a-very-long-vantage-name"))) {
+		t.Fatalf("separator not widened:\n%s", out)
+	}
+}

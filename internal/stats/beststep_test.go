@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBestStepExact(t *testing.T) {
+	xs := []float64{10, 10, 10, 20, 20, 20, 20}
+	split, before, after, sse := BestStep(xs)
+	if split != 3 {
+		t.Fatalf("split %d, want 3", split)
+	}
+	if before != 10 || after != 20 {
+		t.Fatalf("levels %v %v", before, after)
+	}
+	if sse > 1e-9 {
+		t.Fatalf("sse %v on exact step", sse)
+	}
+}
+
+func TestBestStepDegenerate(t *testing.T) {
+	if s, _, _, _ := BestStep(nil); s != 0 {
+		t.Fatal("nil input")
+	}
+	s, b, a, e := BestStep([]float64{5})
+	if s != 0 || b != 5 || a != 5 || e != 0 {
+		t.Fatalf("single input: %d %v %v %v", s, b, a, e)
+	}
+}
+
+func TestBestStepBeatsLineOnStep(t *testing.T) {
+	xs := make([]float64, 40)
+	for i := range xs {
+		if i < 20 {
+			xs[i] = 30
+		} else {
+			xs[i] = 60
+		}
+	}
+	_, _, _, stepSSE := BestStep(xs)
+	line := LinearRegression(xs)
+	if stepSSE >= line.SSE {
+		t.Fatalf("step fit (%v) not better than line (%v) on a step", stepSSE, line.SSE)
+	}
+}
+
+func TestLineBeatsStepOnRamp(t *testing.T) {
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = 30 + float64(i)
+	}
+	_, _, _, stepSSE := BestStep(xs)
+	line := LinearRegression(xs)
+	if line.SSE >= stepSSE {
+		t.Fatalf("line fit (%v) not better than step (%v) on a ramp", line.SSE, stepSSE)
+	}
+}
+
+func TestBestStepNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 50)
+	for i := range xs {
+		level := 40.0
+		if i >= 30 {
+			level = 80
+		}
+		xs[i] = level + rng.NormFloat64()*2
+	}
+	split, before, after, _ := BestStep(xs)
+	if split < 28 || split > 32 {
+		t.Fatalf("split %d, want ~30", split)
+	}
+	if before > 50 || after < 70 {
+		t.Fatalf("levels %v %v", before, after)
+	}
+}

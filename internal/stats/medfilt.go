@@ -1,0 +1,179 @@
+package stats
+
+import "sort"
+
+// Median returns the median of xs (the mean of the two central
+// elements for even lengths) without modifying xs. It returns 0 for an
+// empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// MedianFilter returns the running median of xs using a centered
+// window of the given odd length, truncated at the edges. An even
+// length is rounded up to the next odd value.
+func MedianFilter(xs []float64, length int) []float64 {
+	if length < 1 {
+		length = 1
+	}
+	if length%2 == 0 {
+		length++
+	}
+	half := length / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out[i] = Median(xs[lo:hi])
+	}
+	return out
+}
+
+// BestStep fits the best two-level step model to xs: the split index
+// s (first sample of the second level) minimizing the total squared
+// error of approximating xs[:s] and xs[s:] by their means. It returns
+// the split, the two level means, and the SSE. A series shorter than
+// 2 returns split 0 and the trivial fit.
+func BestStep(xs []float64) (split int, before, after, sse float64) {
+	n := len(xs)
+	if n < 2 {
+		if n == 1 {
+			return 0, xs[0], xs[0], 0
+		}
+		return 0, 0, 0, 0
+	}
+	// Prefix sums of x and x².
+	ps := make([]float64, n+1)
+	ps2 := make([]float64, n+1)
+	for i, x := range xs {
+		ps[i+1] = ps[i] + x
+		ps2[i+1] = ps2[i] + x*x
+	}
+	segSSE := func(lo, hi int) float64 { // [lo,hi)
+		cnt := float64(hi - lo)
+		if cnt == 0 {
+			return 0
+		}
+		sum := ps[hi] - ps[lo]
+		sum2 := ps2[hi] - ps2[lo]
+		return sum2 - sum*sum/cnt
+	}
+	best := -1.0
+	for s := 1; s < n; s++ {
+		e := segSSE(0, s) + segSSE(s, n)
+		if best < 0 || e < best {
+			best = e
+			split = s
+		}
+	}
+	before = (ps[split] - ps[0]) / float64(split)
+	after = (ps[n] - ps[split]) / float64(n-split)
+	return split, before, after, best
+}
+
+// Direction classifies a detected performance change.
+type Direction int
+
+const (
+	// NoChange means no transition or trend was detected.
+	NoChange Direction = iota
+	// Up means performance shifted or drifted upward.
+	Up
+	// Down means performance shifted or drifted downward.
+	Down
+)
+
+// String returns the arrow notation the paper's Table 3 uses.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "↑"
+	case Down:
+		return "↓"
+	default:
+		return "-"
+	}
+}
+
+// Transition describes a sharp level shift in a site's performance
+// series, per Section 5.1: "a median filter of length 11 configured to
+// report changes in performance of magnitude greater than 30%, i.e.,
+// it triggered after 6 or more consecutive samples 30% higher (lower)
+// than the previous ones."
+type Transition struct {
+	Dir   Direction
+	Index int     // index of the first post-transition sample
+	Ratio float64 // post/pre level ratio
+}
+
+// TransitionDetector implements the paper's median-filter transition
+// detector. FilterLen is the median filter length (11 in the paper),
+// Threshold the relative magnitude (0.30), and MinRun the number of
+// consecutive confirming samples (6).
+type TransitionDetector struct {
+	FilterLen int
+	Threshold float64
+	MinRun    int
+}
+
+// DefaultTransitionDetector mirrors the paper's configuration.
+func DefaultTransitionDetector() TransitionDetector {
+	return TransitionDetector{FilterLen: 11, Threshold: 0.30, MinRun: 6}
+}
+
+// Detect scans the series and returns the first transition found, or a
+// zero Transition with Dir == NoChange. Detection compares each
+// filtered sample against the median of the pre-window; a transition
+// is confirmed when MinRun consecutive filtered samples sit more than
+// Threshold above (below) that reference level.
+func (t TransitionDetector) Detect(xs []float64) Transition {
+	if len(xs) < t.MinRun+2 {
+		return Transition{}
+	}
+	filt := MedianFilter(xs, t.FilterLen)
+	for i := 1; i+t.MinRun <= len(filt); i++ {
+		ref := Median(filt[:i])
+		if ref <= 0 {
+			continue
+		}
+		upRun, downRun := 0, 0
+		for j := i; j < len(filt); j++ {
+			switch {
+			case filt[j] > ref*(1+t.Threshold):
+				upRun++
+				downRun = 0
+			case filt[j] < ref*(1-t.Threshold):
+				downRun++
+				upRun = 0
+			default:
+				upRun, downRun = 0, 0
+			}
+			if upRun >= t.MinRun {
+				return Transition{Dir: Up, Index: j - upRun + 1, Ratio: Median(filt[j-upRun+1:]) / ref}
+			}
+			if downRun >= t.MinRun {
+				return Transition{Dir: Down, Index: j - downRun + 1, Ratio: Median(filt[j-downRun+1:]) / ref}
+			}
+			if upRun == 0 && downRun == 0 {
+				break // this split point failed; advance the split
+			}
+		}
+	}
+	return Transition{}
+}

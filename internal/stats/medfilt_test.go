@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianBasics(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Median mutated input: %v", in)
+	}
+}
+
+func TestMedianFilterConstant(t *testing.T) {
+	in := []float64{7, 7, 7, 7, 7, 7, 7}
+	out := MedianFilter(in, 11)
+	for i, v := range out {
+		if v != 7 {
+			t.Fatalf("filter[%d] = %v on constant input", i, v)
+		}
+	}
+}
+
+func TestMedianFilterRemovesSpike(t *testing.T) {
+	in := make([]float64, 21)
+	for i := range in {
+		in[i] = 10
+	}
+	in[10] = 1000 // single spike
+	out := MedianFilter(in, 11)
+	for i, v := range out {
+		if v != 10 {
+			t.Fatalf("spike survived median filter at %d: %v", i, v)
+		}
+	}
+}
+
+func TestMedianFilterEvenLengthRoundsUp(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5}
+	a := MedianFilter(in, 4)
+	b := MedianFilter(in, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("even filter length not rounded up at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMedianFilterIdempotentOnMonotone(t *testing.T) {
+	// Property: a sorted series stays sorted under median filtering.
+	f := func(raw []float64) bool {
+		xs := bounded(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		out := MedianFilter(xs, 5)
+		return sort.Float64sAreSorted(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitionDetectorUp(t *testing.T) {
+	det := DefaultTransitionDetector()
+	series := make([]float64, 40)
+	for i := range series {
+		if i < 20 {
+			series[i] = 30
+		} else {
+			series[i] = 60 // +100% level shift
+		}
+	}
+	tr := det.Detect(series)
+	if tr.Dir != Up {
+		t.Fatalf("expected Up transition, got %v", tr.Dir)
+	}
+	if tr.Index < 15 || tr.Index > 25 {
+		t.Fatalf("transition index %d far from 20", tr.Index)
+	}
+	if tr.Ratio < 1.5 {
+		t.Fatalf("ratio %v, want about 2", tr.Ratio)
+	}
+}
+
+func TestTransitionDetectorDown(t *testing.T) {
+	det := DefaultTransitionDetector()
+	series := make([]float64, 40)
+	for i := range series {
+		if i < 20 {
+			series[i] = 50
+		} else {
+			series[i] = 20
+		}
+	}
+	tr := det.Detect(series)
+	if tr.Dir != Down {
+		t.Fatalf("expected Down transition, got %v", tr.Dir)
+	}
+}
+
+func TestTransitionDetectorIgnoresSmallShift(t *testing.T) {
+	det := DefaultTransitionDetector()
+	series := make([]float64, 40)
+	for i := range series {
+		if i < 20 {
+			series[i] = 50
+		} else {
+			series[i] = 55 // only +10%, below the 30% threshold
+		}
+	}
+	if tr := det.Detect(series); tr.Dir != NoChange {
+		t.Fatalf("small shift reported as transition: %+v", tr)
+	}
+}
+
+func TestTransitionDetectorIgnoresNoise(t *testing.T) {
+	det := DefaultTransitionDetector()
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = 50 * (1 + 0.05*rng.NormFloat64())
+	}
+	if tr := det.Detect(series); tr.Dir != NoChange {
+		t.Fatalf("noise reported as transition: %+v", tr)
+	}
+}
+
+func TestTransitionDetectorIgnoresShortBurst(t *testing.T) {
+	// Fewer than MinRun samples above threshold must not trigger.
+	det := DefaultTransitionDetector()
+	series := make([]float64, 40)
+	for i := range series {
+		series[i] = 50
+	}
+	// With a length-11 median filter, a 3-sample burst never survives
+	// filtering; use raw series shape that produces < MinRun filtered
+	// excursions.
+	series[20], series[21], series[22] = 90, 90, 90
+	if tr := det.Detect(series); tr.Dir != NoChange {
+		t.Fatalf("short burst reported as transition: %+v", tr)
+	}
+}
+
+func TestTransitionDetectorShortSeries(t *testing.T) {
+	det := DefaultTransitionDetector()
+	if tr := det.Detect([]float64{1, 2}); tr.Dir != NoChange {
+		t.Fatalf("short series triggered: %+v", tr)
+	}
+	if tr := det.Detect(nil); tr.Dir != NoChange {
+		t.Fatalf("nil series triggered: %+v", tr)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "↑" || Down.String() != "↓" || NoChange.String() != "-" {
+		t.Fatal("Direction string mismatch")
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import "math"
+
+// LinReg holds an ordinary-least-squares fit y = Intercept + Slope*x.
+type LinReg struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	SSE       float64 // residual sum of squares
+	N         int
+}
+
+// LinearRegression fits ys against their indices 0..n-1. With fewer
+// than two points it returns a zero fit.
+func LinearRegression(ys []float64) LinReg {
+	n := len(ys)
+	if n < 2 {
+		return LinReg{N: n}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i, y := range ys {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return LinReg{N: n}
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	// R² = 1 - SSres/SStot.
+	meanY := sy / fn
+	var ssRes, ssTot float64
+	for i, y := range ys {
+		fit := intercept + slope*float64(i)
+		ssRes += (y - fit) * (y - fit)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return LinReg{Slope: slope, Intercept: intercept, R2: r2, SSE: ssRes, N: n}
+}
+
+// TrendDetector flags series whose linear fit reveals a steady upward
+// or downward drift, per Section 5.1 (the ↗/↘ columns of Table 3).
+// MinRelDrift is the total drift over the series relative to the mean
+// level (e.g. 0.3 = 30%); MinR2 requires the fit to actually explain
+// the series.
+type TrendDetector struct {
+	MinRelDrift float64
+	MinR2       float64
+	MinN        int
+}
+
+// DefaultTrendDetector returns the configuration used by the pipeline.
+func DefaultTrendDetector() TrendDetector {
+	return TrendDetector{MinRelDrift: 0.30, MinR2: 0.55, MinN: 8}
+}
+
+// Detect reports the drift direction of ys, or NoChange.
+func (t TrendDetector) Detect(ys []float64) Direction {
+	if len(ys) < t.MinN {
+		return NoChange
+	}
+	fit := LinearRegression(ys)
+	if fit.R2 < t.MinR2 {
+		return NoChange
+	}
+	var w Welford
+	w.AddAll(ys)
+	mean := w.Mean()
+	if mean <= 0 {
+		return NoChange
+	}
+	drift := fit.Slope * float64(len(ys)-1) / mean
+	switch {
+	case drift > t.MinRelDrift:
+		return Up
+	case drift < -t.MinRelDrift:
+		return Down
+	default:
+		return NoChange
+	}
+}
+
+// RelDiff returns (b-a)/a, the relative difference of b against
+// baseline a; it returns 0 when a is 0.
+func RelDiff(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a
+}
+
+// Comparable implements the paper's comparability rule for download
+// speeds: v6 counts as comparable when it is within tol (10%) of v4,
+// or better. Speeds are "higher is better".
+func Comparable(v4, v6, tol float64) bool {
+	if v4 <= 0 {
+		return v6 >= 0
+	}
+	return v6 >= v4*(1-tol)
+}
+
+// ZeroMode reports whether the distribution of per-site relative
+// performance differences exhibits a mode around zero, per Section 4:
+// "A zero-mode is claimed, if there is at least one site for which
+// this difference is within 10% of IPv4 performance." diffs holds
+// (v6-v4)/v4 per site. It also returns how many sites fall inside the
+// tolerance band.
+func ZeroMode(diffs []float64, tol float64) (bool, int) {
+	n := 0
+	for _, d := range diffs {
+		if math.Abs(d) <= tol {
+			n++
+		}
+	}
+	return n > 0, n
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit := LinearRegression(ys)
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearRegressionFlat(t *testing.T) {
+	fit := LinearRegression([]float64{4, 4, 4, 4})
+	if fit.Slope != 0 {
+		t.Fatalf("slope = %v on flat series", fit.Slope)
+	}
+}
+
+func TestLinearRegressionDegenerate(t *testing.T) {
+	if fit := LinearRegression(nil); fit.N != 0 {
+		t.Fatalf("nil series: %+v", fit)
+	}
+	if fit := LinearRegression([]float64{5}); fit.Slope != 0 || fit.N != 1 {
+		t.Fatalf("single point: %+v", fit)
+	}
+}
+
+func TestLinearRegressionNoiseLowR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = rng.Float64()
+	}
+	fit := LinearRegression(ys)
+	if fit.R2 > 0.2 {
+		t.Fatalf("R2 = %v on pure noise", fit.R2)
+	}
+}
+
+func TestTrendDetectorUpDown(t *testing.T) {
+	det := DefaultTrendDetector()
+	up := make([]float64, 30)
+	down := make([]float64, 30)
+	for i := range up {
+		up[i] = 30 + float64(i)   // drifts +97% over the window
+		down[i] = 60 - float64(i) // drifts down
+	}
+	if det.Detect(up) != Up {
+		t.Fatal("upward drift not detected")
+	}
+	if det.Detect(down) != Down {
+		t.Fatal("downward drift not detected")
+	}
+}
+
+func TestTrendDetectorRejectsNoise(t *testing.T) {
+	det := DefaultTrendDetector()
+	rng := rand.New(rand.NewSource(5))
+	ys := make([]float64, 40)
+	for i := range ys {
+		ys[i] = 50 * (1 + 0.08*rng.NormFloat64())
+	}
+	if d := det.Detect(ys); d != NoChange {
+		t.Fatalf("noise classified as trend %v", d)
+	}
+}
+
+func TestTrendDetectorRejectsSmallDrift(t *testing.T) {
+	det := DefaultTrendDetector()
+	ys := make([]float64, 30)
+	for i := range ys {
+		ys[i] = 100 + 0.2*float64(i) // only ~6% total drift
+	}
+	if d := det.Detect(ys); d != NoChange {
+		t.Fatalf("small drift classified as trend %v", d)
+	}
+}
+
+func TestTrendDetectorShortSeries(t *testing.T) {
+	det := DefaultTrendDetector()
+	if d := det.Detect([]float64{1, 2, 3}); d != NoChange {
+		t.Fatalf("short series classified as %v", d)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if RelDiff(0, 5) != 0 {
+		t.Fatal("RelDiff with zero baseline should be 0")
+	}
+	if !almostEq(RelDiff(50, 60), 0.2, 1e-12) {
+		t.Fatalf("RelDiff(50,60) = %v", RelDiff(50, 60))
+	}
+	if !almostEq(RelDiff(50, 40), -0.2, 1e-12) {
+		t.Fatalf("RelDiff(50,40) = %v", RelDiff(50, 40))
+	}
+}
+
+func TestComparable(t *testing.T) {
+	cases := []struct {
+		v4, v6 float64
+		want   bool
+	}{
+		{50, 50, true},
+		{50, 46, true},  // within 10%
+		{50, 44, false}, // below 10%
+		{50, 80, true},  // v6 better always comparable
+		{0, 5, true},
+		{0, -1, false},
+	}
+	for _, c := range cases {
+		if got := Comparable(c.v4, c.v6, 0.10); got != c.want {
+			t.Errorf("Comparable(%v,%v) = %v, want %v", c.v4, c.v6, got, c.want)
+		}
+	}
+}
+
+func TestZeroMode(t *testing.T) {
+	ok, n := ZeroMode([]float64{-0.5, -0.4, 0.05, -0.3}, 0.10)
+	if !ok || n != 1 {
+		t.Fatalf("zero mode: ok=%v n=%d", ok, n)
+	}
+	ok, n = ZeroMode([]float64{-0.5, -0.4}, 0.10)
+	if ok || n != 0 {
+		t.Fatalf("false zero mode: ok=%v n=%d", ok, n)
+	}
+	ok, n = ZeroMode(nil, 0.10)
+	if ok || n != 0 {
+		t.Fatalf("nil diffs: ok=%v n=%d", ok, n)
+	}
+}

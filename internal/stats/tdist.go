@@ -1,0 +1,65 @@
+package stats
+
+// tCrit95 holds two-sided 95% Student-t critical values for degrees of
+// freedom 1..30. Beyond 30 the normal approximation 1.96 is used.
+var tCrit95 = [31]float64{
+	0, // df 0 unused
+	12.706, 4.303, 3.182, 2.776, 2.571,
+	2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131,
+	2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060,
+	2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom. It returns +Inf semantics via the df=1
+// value for df < 1 (a CI that can never be satisfied with one sample).
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return tCrit95[1]
+	case df <= 30:
+		return tCrit95[df]
+	default:
+		return 1.96
+	}
+}
+
+// CI95Half returns the half-width of the 95% confidence interval of
+// the mean summarized by w. With fewer than two samples it returns
+// +Inf-like behaviour by way of a very large value derived from df=1.
+func CI95Half(w *Welford) float64 {
+	if w.N() < 2 {
+		return maxFloat
+	}
+	return TCritical95(w.N()-1) * w.StderrMean()
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+// CIStop implements the paper's stop rule: downloads repeat "until the
+// measured average download time is within 10% of the mean with 95%
+// confidence". Done reports whether the 95% CI half-width is within
+// frac (e.g. 0.10) of the current mean, requiring at least minN
+// samples. A non-positive mean never satisfies the rule.
+type CIStop struct {
+	Frac float64 // relative CI target, e.g. 0.10
+	MinN int     // minimum number of samples, e.g. 3
+}
+
+// Done reports whether the accumulator satisfies the stop rule.
+func (c CIStop) Done(w *Welford) bool {
+	minN := c.MinN
+	if minN < 2 {
+		minN = 2
+	}
+	if w.N() < minN {
+		return false
+	}
+	m := w.Mean()
+	if m <= 0 {
+		return false
+	}
+	return CI95Half(w) <= c.Frac*m
+}

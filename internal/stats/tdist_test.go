@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTCritical95Values(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {10, 2.228}, {30, 2.042}, {31, 1.96}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+func TestTCritical95Monotone(t *testing.T) {
+	// Critical values shrink as df grows.
+	prev := TCritical95(1)
+	for df := 2; df <= 40; df++ {
+		cur := TCritical95(df)
+		if cur > prev {
+			t.Fatalf("TCritical95 not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTCritical95InvalidDF(t *testing.T) {
+	if got := TCritical95(0); got != tCrit95[1] {
+		t.Fatalf("df=0 got %v", got)
+	}
+	if got := TCritical95(-5); got != tCrit95[1] {
+		t.Fatalf("df=-5 got %v", got)
+	}
+}
+
+func TestCI95HalfFewSamples(t *testing.T) {
+	var w Welford
+	if CI95Half(&w) != maxFloat {
+		t.Fatal("empty accumulator should have unbounded CI")
+	}
+	w.Add(5)
+	if CI95Half(&w) != maxFloat {
+		t.Fatal("single sample should have unbounded CI")
+	}
+}
+
+func TestCIStopNeverOnTwoWildSamples(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{1, 100})
+	rule := CIStop{Frac: 0.10, MinN: 3}
+	if rule.Done(&w) {
+		t.Fatal("stop rule satisfied by two wildly different samples")
+	}
+}
+
+func TestCIStopConvergesOnTightSamples(t *testing.T) {
+	rule := CIStop{Frac: 0.10, MinN: 3}
+	var w Welford
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		w.Add(50 + rng.NormFloat64()*0.5)
+		if rule.Done(&w) {
+			if w.N() < rule.MinN {
+				t.Fatalf("stopped before MinN: n=%d", w.N())
+			}
+			return
+		}
+	}
+	t.Fatal("stop rule never satisfied on tight samples")
+}
+
+func TestCIStopRespectsMinN(t *testing.T) {
+	rule := CIStop{Frac: 0.10, MinN: 5}
+	var w Welford
+	w.AddAll([]float64{50, 50, 50}) // identical: CI width 0
+	if rule.Done(&w) {
+		t.Fatal("stop rule ignored MinN")
+	}
+	w.AddAll([]float64{50, 50})
+	if !rule.Done(&w) {
+		t.Fatal("stop rule not satisfied at MinN identical samples")
+	}
+}
+
+func TestCIStopRejectsNonPositiveMean(t *testing.T) {
+	rule := CIStop{Frac: 0.10, MinN: 2}
+	var w Welford
+	w.AddAll([]float64{-1, -1, -1})
+	if rule.Done(&w) {
+		t.Fatal("stop rule satisfied with negative mean")
+	}
+}
+
+func TestCIStopSoundness(t *testing.T) {
+	// Property: whenever the rule says Done, the CI half-width really
+	// is within Frac of the mean.
+	rule := CIStop{Frac: 0.10, MinN: 3}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		var w Welford
+		level := 10 + rng.Float64()*100
+		noise := rng.Float64() * 20
+		for i := 0; i < 200; i++ {
+			w.Add(level + rng.NormFloat64()*noise)
+			if rule.Done(&w) {
+				if CI95Half(&w) > rule.Frac*w.Mean()+1e-12 {
+					t.Fatalf("trial %d: Done but CI %v > %v", trial, CI95Half(&w), rule.Frac*w.Mean())
+				}
+				break
+			}
+		}
+	}
+}

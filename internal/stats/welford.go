@@ -1,0 +1,82 @@
+// Package stats implements the statistical machinery the paper's
+// monitoring tool and analysis pipeline rely on: running mean/variance
+// accumulation, Student-t confidence intervals and the paper's
+// "95% CI within 10% of the mean" stop rule, the median-filter
+// transition detector of Section 5.1 (length 11, 30% threshold), a
+// linear-regression trend detector, and the zero-mode detector used to
+// separate server effects from network effects.
+package stats
+
+import "math"
+
+// Welford accumulates a stream of float64 samples and maintains the
+// running mean and variance using Welford's numerically stable online
+// algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddAll incorporates every sample in xs.
+func (w *Welford) AddAll(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// N reports the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the unbiased sample variance (n-1 denominator),
+// or 0 with fewer than two samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// StderrMean reports the standard error of the mean, or 0 with fewer
+// than two samples.
+func (w *Welford) StderrMean() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.Stddev() / math.Sqrt(float64(w.n))
+}
+
+// Merge folds the samples summarized by other into w (parallel
+// variance combination). Merging an empty accumulator is a no-op.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	d := other.mean - w.mean
+	tot := n1 + n2
+	w.m2 += other.m2 + d*d*n1*n2/tot
+	w.mean += d * n2 / tot
+	w.n += other.n
+}
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }

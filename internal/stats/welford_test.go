@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= tol*scale
+}
+
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	mean = s / n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, ss / (n - 1)
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.Stddev() != 0 {
+		t.Fatalf("zero-value Welford not zero: %+v", w)
+	}
+	if w.StderrMean() != 0 {
+		t.Fatalf("StderrMean on empty = %v", w.StderrMean())
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.N() != 1 || w.Mean() != 42 {
+		t.Fatalf("got n=%d mean=%v", w.N(), w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Fatalf("variance of one sample = %v", w.Variance())
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if w.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	want := 32.0 / 7.0
+	if !almostEq(w.Variance(), want, 1e-12) {
+		t.Fatalf("variance = %v, want %v", w.Variance(), want)
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 100
+		}
+		var w Welford
+		w.AddAll(xs)
+		m, v := naiveMeanVar(xs)
+		if !almostEq(w.Mean(), m, 1e-9) || !almostEq(w.Variance(), v, 1e-9) {
+			t.Fatalf("trial %d: welford (%v,%v) naive (%v,%v)", trial, w.Mean(), w.Variance(), m, v)
+		}
+	}
+}
+
+// bounded maps arbitrary floats into a numerically tame range so
+// property tests exercise logic rather than float64 overflow.
+func bounded(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, math.Remainder(x, 1e6))
+	}
+	return out
+}
+
+func TestWelfordMergeProperty(t *testing.T) {
+	// Property: merging two accumulators equals accumulating the
+	// concatenation.
+	f := func(rawA, rawB []float64) bool {
+		a, b := bounded(rawA), bounded(rawB)
+		var wa, wb, wc Welford
+		wa.AddAll(a)
+		wb.AddAll(b)
+		wc.AddAll(a)
+		wc.AddAll(b)
+		wa.Merge(wb)
+		if wa.N() != wc.N() {
+			return false
+		}
+		if wa.N() == 0 {
+			return true
+		}
+		return almostEq(wa.Mean(), wc.Mean(), 1e-9) && almostEq(wa.Variance(), wc.Variance(), 1e-6)
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{1, 2, 3})
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Fatalf("reset failed: %+v", w)
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	b.AddAll([]float64{1, 2, 3})
+	a.Merge(b) // empty <- nonempty
+	if a.N() != 3 || a.Mean() != 2 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	var c Welford
+	a.Merge(c) // nonempty <- empty
+	if a.N() != 3 || a.Mean() != 2 {
+		t.Fatalf("merge of empty changed state: %+v", a)
+	}
+}

@@ -1,0 +1,309 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/topo"
+)
+
+// File names used by Save/Load.
+const (
+	sitesFile   = "sites.csv"
+	dnsFile     = "dns.csv"
+	samplesFile = "samples.csv"
+	pathsFile   = "paths.csv"
+)
+
+// Save writes the database as four CSV files under dir, creating it
+// if needed.
+func (db *DB) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := db.saveSites(filepath.Join(dir, sitesFile)); err != nil {
+		return err
+	}
+	if err := db.saveDNS(filepath.Join(dir, dnsFile)); err != nil {
+		return err
+	}
+	if err := db.saveSamples(filepath.Join(dir, samplesFile)); err != nil {
+		return err
+	}
+	return db.savePaths(filepath.Join(dir, pathsFile))
+}
+
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (db *DB) saveSites(path string) error {
+	var rows [][]string
+	for _, s := range db.Sites() {
+		rows = append(rows, []string{
+			strconv.FormatInt(int64(s.Site), 10), s.Host,
+			strconv.Itoa(s.FirstRank), strconv.Itoa(s.V4AS), strconv.Itoa(s.V6AS),
+		})
+	}
+	return writeCSV(path, []string{"site", "host", "first_rank", "v4_as", "v6_as"}, rows)
+}
+
+func (db *DB) saveDNS(path string) error {
+	db.mu.RLock()
+	var rows [][]string
+	vs := make([]Vantage, 0, len(db.dns))
+	for v := range db.dns {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		for _, r := range db.dns[v] {
+			rows = append(rows, []string{
+				string(v), strconv.FormatInt(int64(r.Site), 10), strconv.Itoa(r.Round),
+				strconv.FormatBool(r.HasA), strconv.FormatBool(r.HasAAAA), strconv.FormatBool(r.Identical),
+			})
+		}
+	}
+	db.mu.RUnlock()
+	return writeCSV(path, []string{"vantage", "site", "round", "has_a", "has_aaaa", "identical"}, rows)
+}
+
+func (db *DB) saveSamples(path string) error {
+	db.mu.RLock()
+	keys := make([]sampleKey, 0, len(db.samples))
+	for k := range db.samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		if a.site != b.site {
+			return a.site < b.site
+		}
+		return a.fam < b.fam
+	})
+	var rows [][]string
+	for _, k := range keys {
+		for _, s := range db.samples[k] {
+			rows = append(rows, []string{
+				string(k.v), strconv.FormatInt(int64(k.site), 10), strconv.Itoa(int(k.fam)),
+				strconv.Itoa(s.Round), s.Date.UTC().Format(time.RFC3339),
+				strconv.Itoa(s.PageBytes), strconv.Itoa(s.Downloads),
+				strconv.FormatFloat(s.MeanSpeed, 'g', 17, 64), strconv.FormatBool(s.CIOK),
+			})
+		}
+	}
+	db.mu.RUnlock()
+	return writeCSV(path, []string{"vantage", "site", "family", "round", "date", "page_bytes", "downloads", "mean_speed", "ci_ok"}, rows)
+}
+
+func (db *DB) savePaths(path string) error {
+	db.mu.RLock()
+	keys := make([]pathKey, 0, len(db.paths))
+	for k := range db.paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		if a.fam != b.fam {
+			return a.fam < b.fam
+		}
+		return a.dst < b.dst
+	})
+	var rows [][]string
+	for _, k := range keys {
+		for _, snap := range db.paths[k] {
+			rows = append(rows, []string{
+				string(k.v), strconv.Itoa(int(k.fam)), strconv.Itoa(k.dst),
+				strconv.Itoa(snap.Round), joinInts(snap.Path),
+			})
+		}
+	}
+	db.mu.RUnlock()
+	return writeCSV(path, []string{"vantage", "family", "dst", "round", "path"}, rows)
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ";")
+}
+
+func splitInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Load reads a database previously written by Save.
+func Load(dir string) (*DB, error) {
+	db := NewDB()
+	if err := loadCSV(filepath.Join(dir, sitesFile), 5, func(rec []string) error {
+		site, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		fr, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		v4, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return err
+		}
+		v6, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return err
+		}
+		db.PutSite(SiteRow{Site: alexa.SiteID(site), Host: rec[1], FirstRank: fr, V4AS: v4, V6AS: v6})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := loadCSV(filepath.Join(dir, dnsFile), 6, func(rec []string) error {
+		site, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		round, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		db.AddDNS(Vantage(rec[0]), DNSRow{
+			Site: alexa.SiteID(site), Round: round,
+			HasA: rec[3] == "true", HasAAAA: rec[4] == "true", Identical: rec[5] == "true",
+		})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := loadCSV(filepath.Join(dir, samplesFile), 9, func(rec []string) error {
+		site, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		fam, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		round, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return err
+		}
+		date, err := time.Parse(time.RFC3339, rec[4])
+		if err != nil {
+			return err
+		}
+		page, err := strconv.Atoi(rec[5])
+		if err != nil {
+			return err
+		}
+		dls, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return err
+		}
+		speed, err := strconv.ParseFloat(rec[7], 64)
+		if err != nil {
+			return err
+		}
+		db.AddSample(Vantage(rec[0]), alexa.SiteID(site), topo.Family(fam), Sample{
+			Round: round, Date: date, PageBytes: page, Downloads: dls,
+			MeanSpeed: speed, CIOK: rec[8] == "true",
+		})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := loadCSV(filepath.Join(dir, pathsFile), 5, func(rec []string) error {
+		fam, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return err
+		}
+		dst, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		round, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return err
+		}
+		p, err := splitInts(rec[4])
+		if err != nil {
+			return err
+		}
+		db.AddPath(Vantage(rec[0]), topo.Family(fam), dst, round, p)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func loadCSV(path string, fields int, fn func([]string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	recs, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	for i, rec := range recs {
+		if i == 0 {
+			continue // header
+		}
+		if len(rec) != fields {
+			return fmt.Errorf("store: %s row %d has %d fields, want %d", filepath.Base(path), i, len(rec), fields)
+		}
+		if err := fn(rec); err != nil {
+			return fmt.Errorf("store: %s row %d: %w", filepath.Base(path), i, err)
+		}
+	}
+	return nil
+}

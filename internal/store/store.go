@@ -1,0 +1,336 @@
+// Package store is the measurement result database standing in for
+// the paper's MySQL backend: per-vantage tables of DNS results,
+// per-round download samples, AS-path snapshots, and site metadata,
+// with query helpers the analysis pipeline scans and CSV persistence
+// for the common repository ("aggregated at Penn") role.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/topo"
+)
+
+// Vantage identifies a monitoring vantage point by name.
+type Vantage string
+
+// SiteRow is the catalogue entry the monitor learns about a site.
+type SiteRow struct {
+	Site      alexa.SiteID
+	Host      string
+	FirstRank int
+	V4AS      int // origin AS of the A record (-1 unknown)
+	V6AS      int // origin AS of the AAAA record (-1 unknown/none)
+}
+
+// DNSRow is the outcome of one round's A/AAAA query phase.
+type DNSRow struct {
+	Site      alexa.SiteID
+	Round     int
+	HasA      bool
+	HasAAAA   bool
+	Identical bool // v4/v6 page byte counts within the identity threshold
+}
+
+// Sample is one round's converged download measurement for one family.
+type Sample struct {
+	Round     int
+	Date      time.Time
+	PageBytes int
+	Downloads int     // downloads needed to satisfy the CI stop rule
+	MeanSpeed float64 // kbytes/sec
+	CIOK      bool    // stop rule satisfied within the download budget
+}
+
+// PathSnapshot is the AS path to a destination AS observed after a
+// round.
+type PathSnapshot struct {
+	Round int
+	Path  []int // dense AS indices, vantage first
+}
+
+type sampleKey struct {
+	v    Vantage
+	site alexa.SiteID
+	fam  topo.Family
+}
+
+type pathKey struct {
+	v   Vantage
+	fam topo.Family
+	dst int
+}
+
+// DB is an in-memory measurement database safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	sites   map[alexa.SiteID]SiteRow
+	dns     map[Vantage][]DNSRow
+	samples map[sampleKey][]Sample
+	paths   map[pathKey][]PathSnapshot
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		sites:   make(map[alexa.SiteID]SiteRow),
+		dns:     make(map[Vantage][]DNSRow),
+		samples: make(map[sampleKey][]Sample),
+		paths:   make(map[pathKey][]PathSnapshot),
+	}
+}
+
+// PutSite inserts or updates a site row.
+func (db *DB) PutSite(row SiteRow) {
+	db.mu.Lock()
+	db.sites[row.Site] = row
+	db.mu.Unlock()
+}
+
+// Site returns a site row.
+func (db *DB) Site(id alexa.SiteID) (SiteRow, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.sites[id]
+	return r, ok
+}
+
+// Sites returns all site rows sorted by id.
+func (db *DB) Sites() []SiteRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]SiteRow, 0, len(db.sites))
+	for _, r := range db.sites {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// AddDNS appends a DNS phase result.
+func (db *DB) AddDNS(v Vantage, row DNSRow) {
+	db.mu.Lock()
+	db.dns[v] = append(db.dns[v], row)
+	db.mu.Unlock()
+}
+
+// DNS returns all DNS rows for a vantage in insertion order.
+func (db *DB) DNS(v Vantage) []DNSRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]DNSRow(nil), db.dns[v]...)
+}
+
+// AddSample appends a download sample.
+func (db *DB) AddSample(v Vantage, site alexa.SiteID, fam topo.Family, s Sample) {
+	k := sampleKey{v, site, fam}
+	db.mu.Lock()
+	db.samples[k] = append(db.samples[k], s)
+	db.mu.Unlock()
+}
+
+// Samples returns the round-ordered samples for (vantage, site,
+// family).
+func (db *DB) Samples(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
+	k := sampleKey{v, site, fam}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := append([]Sample(nil), db.samples[k]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
+}
+
+// SampledSites returns the distinct site ids with samples at vantage
+// v, sorted.
+func (db *DB) SampledSites(v Vantage) []alexa.SiteID {
+	db.mu.RLock()
+	seen := make(map[alexa.SiteID]bool)
+	for k := range db.samples {
+		if k.v == v {
+			seen[k.site] = true
+		}
+	}
+	db.mu.RUnlock()
+	out := make([]alexa.SiteID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddPath records the AS path to dst observed after a round. Only
+// changes are stored: identical consecutive snapshots collapse.
+func (db *DB) AddPath(v Vantage, fam topo.Family, dst, round int, path []int) {
+	k := pathKey{v, fam, dst}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	snaps := db.paths[k]
+	if n := len(snaps); n > 0 && equalPath(snaps[n-1].Path, path) {
+		return
+	}
+	db.paths[k] = append(snaps, PathSnapshot{Round: round, Path: append([]int(nil), path...)})
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathAt returns the AS path to dst in effect at round, or nil.
+func (db *DB) PathAt(v Vantage, fam topo.Family, dst, round int) []int {
+	k := pathKey{v, fam, dst}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snaps := db.paths[k]
+	var cur []int
+	for _, s := range snaps {
+		if s.Round > round {
+			break
+		}
+		cur = s.Path
+	}
+	return append([]int(nil), cur...)
+}
+
+// LatestPath returns the most recent path to dst, or nil.
+func (db *DB) LatestPath(v Vantage, fam topo.Family, dst int) []int {
+	k := pathKey{v, fam, dst}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snaps := db.paths[k]
+	if len(snaps) == 0 {
+		return nil
+	}
+	return append([]int(nil), snaps[len(snaps)-1].Path...)
+}
+
+// PathChanged reports whether the path to dst changed during the
+// study (more than one stored snapshot).
+func (db *DB) PathChanged(v Vantage, fam topo.Family, dst int) bool {
+	k := pathKey{v, fam, dst}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.paths[k]) > 1
+}
+
+// PathDestinations returns all destination ASes with a stored path for
+// (vantage, family), sorted.
+func (db *DB) PathDestinations(v Vantage, fam topo.Family) []int {
+	db.mu.RLock()
+	var out []int
+	for k := range db.paths {
+		if k.v == v && k.fam == fam {
+			out = append(out, k.dst)
+		}
+	}
+	db.mu.RUnlock()
+	sort.Ints(out)
+	return out
+}
+
+// ASesCrossed returns the distinct ASes appearing on any stored path
+// for (vantage, family) — Table 2's "ASes crossed".
+func (db *DB) ASesCrossed(v Vantage, fam topo.Family) map[int]bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[int]bool)
+	for k, snaps := range db.paths {
+		if k.v != v || k.fam != fam {
+			continue
+		}
+		for _, s := range snaps {
+			for _, a := range s.Path {
+				out[a] = true
+			}
+		}
+	}
+	return out
+}
+
+// Vantages returns every vantage with any stored data, sorted.
+func (db *DB) Vantages() []Vantage {
+	db.mu.RLock()
+	seen := make(map[Vantage]bool)
+	for v := range db.dns {
+		seen[v] = true
+	}
+	for k := range db.samples {
+		seen[k.v] = true
+	}
+	for k := range db.paths {
+		seen[k.v] = true
+	}
+	db.mu.RUnlock()
+	out := make([]Vantage, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge folds another database into this one — the paper's "common
+// repository at Penn aggregates the measurement data from the
+// different vantage points". Site rows from other win on conflict;
+// samples and DNS rows append; path histories are replayed through
+// the change-collapsing insert.
+func (db *DB) Merge(other *DB) {
+	if db == other || other == nil {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	for _, row := range other.sites {
+		db.PutSite(row)
+	}
+	for v, rows := range other.dns {
+		for _, r := range rows {
+			db.AddDNS(v, r)
+		}
+	}
+	for k, ss := range other.samples {
+		for _, s := range ss {
+			db.AddSample(k.v, k.site, k.fam, s)
+		}
+	}
+	for k, snaps := range other.paths {
+		for _, snap := range snaps {
+			db.AddPath(k.v, k.fam, k.dst, snap.Round, snap.Path)
+		}
+	}
+}
+
+// Counts summarizes table sizes, for logging and sanity checks.
+func (db *DB) Counts() (sites, dnsRows, sampleRows, pathSnaps int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	sites = len(db.sites)
+	for _, rows := range db.dns {
+		dnsRows += len(rows)
+	}
+	for _, ss := range db.samples {
+		sampleRows += len(ss)
+	}
+	for _, ps := range db.paths {
+		pathSnaps += len(ps)
+	}
+	return
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (db *DB) String() string {
+	s, d, sa, p := db.Counts()
+	return fmt.Sprintf("store.DB{sites:%d dns:%d samples:%d paths:%d}", s, d, sa, p)
+}

@@ -1,0 +1,196 @@
+// Package sweep drives parameter sweeps over full scenario runs: one
+// knob varied across points, a set of scalar metrics evaluated at
+// each point. The ablation benchmarks and cmd/v6sweep are built on
+// it; it is how the repository answers "what happens to the paper's
+// findings if the world had been different?"
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"v6web/internal/analysis"
+	"v6web/internal/core"
+)
+
+// Point is one sweep position: a label and a config mutation.
+type Point struct {
+	Label  string
+	Mutate func(*core.Config)
+}
+
+// Metric evaluates one scalar on a completed scenario.
+type Metric func(*core.Scenario) float64
+
+// Result is the metric vector at one point.
+type Result struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Run executes the sweep: for each point, clone the base config,
+// apply the mutation, run the full study, and evaluate every metric.
+func Run(base core.Config, points []Point, metrics map[string]Metric) ([]Result, error) {
+	var out []Result
+	for _, pt := range points {
+		cfg := base
+		if pt.Mutate != nil {
+			pt.Mutate(&cfg)
+		}
+		s, err := core.NewScenario(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %q: %w", pt.Label, err)
+		}
+		if err := s.Run(); err != nil {
+			return nil, fmt.Errorf("sweep %q: %w", pt.Label, err)
+		}
+		res := Result{Label: pt.Label, Values: make(map[string]float64, len(metrics))}
+		for name, m := range metrics {
+			res.Values[name] = m(s)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Write renders sweep results as an aligned table, metrics sorted by
+// name.
+func Write(w io.Writer, title string, results []Result) {
+	fmt.Fprintln(w, title)
+	if len(results) == 0 {
+		fmt.Fprintln(w, "  (no results)")
+		return
+	}
+	var names []string
+	for name := range results[0].Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	header := append([]string{"point"}, names...)
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		row := []string{r.Label}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.2f", r.Values[n]))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// Standard metrics used by cmd/v6sweep and tests.
+
+// SPShare is the share of kept same-location sites in SP (vs DP),
+// pooled over vantages.
+func SPShare(s *core.Scenario) float64 {
+	var sp, dp int
+	for _, r := range s.Study().Table4() {
+		sp += r.SP
+		dp += r.DP
+	}
+	if sp+dp == 0 {
+		return 0
+	}
+	return float64(sp) / float64(sp+dp)
+}
+
+// H1Comparable is the AS-weighted SP comparable+zero-mode fraction.
+func H1Comparable(s *core.Scenario) float64 {
+	var comp, n float64
+	for _, r := range s.Study().Table8() {
+		comp += (r.FracComparable + r.FracZeroMode) * float64(r.NASes)
+		n += float64(r.NASes)
+	}
+	if n == 0 {
+		return 0
+	}
+	return comp / n
+}
+
+// H2Comparable is the AS-weighted DP comparable+zero-mode fraction.
+func H2Comparable(s *core.Scenario) float64 {
+	var comp, n float64
+	for _, r := range s.Study().Table11() {
+		comp += (r.FracComparable + r.FracZeroMode) * float64(r.NASes)
+		n += float64(r.NASes)
+	}
+	if n == 0 {
+		return 0
+	}
+	return comp / n
+}
+
+// DLV4Advantage is the pooled fraction of DL sites where IPv4 wins.
+func DLV4Advantage(s *core.Scenario) float64 {
+	var sum float64
+	var n int
+	for _, r := range s.Study().Table6() {
+		if r.Sites > 0 {
+			sum += r.FracV4GE
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// KeptFraction is the pooled share of monitored dual-stack sites that
+// met the confidence target.
+func KeptFraction(s *core.Scenario) float64 {
+	rows, _ := s.Study().Table2()
+	var kept, total int
+	for _, r := range rows {
+		kept += r.SitesKept
+		total += r.SitesTotal
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(kept) / float64(total)
+}
+
+// V6DeficitDP is the pooled relative IPv6 speed deficit across kept
+// DP sites.
+func V6DeficitDP(s *core.Scenario) float64 {
+	study := s.Study()
+	var sum float64
+	var n int
+	for _, va := range study.Vantages {
+		for _, site := range va.KeptSites(analysis.DP) {
+			if site.MeanV4 > 0 {
+				sum += 1 - site.MeanV6/site.MeanV4
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,351 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GenConfig parameterizes topology generation. All randomness derives
+// from Seed; the same config always yields the same graph.
+type GenConfig struct {
+	Seed int64
+
+	NASes  int // total number of ASes
+	NTier1 int // size of the default-free core
+	NTier2 int // transit networks; remainder become stubs
+	NCDN   int // CDN ASes carved out of the stubs (v4-only content)
+
+	// Connectivity shape.
+	MaxStubProviders  int     // stubs attach to 1..MaxStubProviders tier2s
+	MaxTier2Providers int     // tier2s attach to 1..MaxTier2Providers tier1s
+	Tier2PeerDegree   float64 // expected tier2-tier2 peering edges per tier2
+
+	// IPv6 capability per tier: probability that an AS announces v6.
+	V6Tier1Frac float64
+	V6Tier2Frac float64
+	V6StubFrac  float64
+
+	// V6EdgeParity is the probability that an edge between two
+	// v6-capable ASes is itself v6-enabled. This is the paper's
+	// "peering parity" knob: 1.0 means every v4 adjacency between v6
+	// ASes also carries v6 (SP-dominated world); lower values force
+	// IPv6 onto different, typically longer, paths (DP world).
+	V6EdgeParity float64
+
+	// Tunnels. TunnelFrac of v6 stub/tier2 ASes whose v6 uplink is
+	// missing get an IPv6-in-IPv4 tunnel to a broker instead of a
+	// forced native edge. Tunnels hide HiddenHopsMin..HiddenHopsMax
+	// underlying hops.
+	NTunnelBrokers int
+	TunnelFrac     float64
+	HiddenHopsMin  int
+	HiddenHopsMax  int
+}
+
+// DefaultGenConfig returns a config producing a plausible Internet of
+// n ASes, scaled from the ratios observed circa 2011 (sparse IPv6,
+// imperfect peering parity, a tunnel fringe).
+func DefaultGenConfig(n int, seed int64) GenConfig {
+	if n < 20 {
+		n = 20
+	}
+	t1 := n / 100
+	if t1 < 4 {
+		t1 = 4
+	}
+	if t1 > 12 {
+		t1 = 12
+	}
+	t2 := n / 6
+	if t2 < 8 {
+		t2 = 8
+	}
+	cdn := n / 400
+	if cdn < 3 {
+		cdn = 3
+	}
+	brokers := n / 500
+	if brokers < 2 {
+		brokers = 2
+	}
+	return GenConfig{
+		Seed:              seed,
+		NASes:             n,
+		NTier1:            t1,
+		NTier2:            t2,
+		NCDN:              cdn,
+		MaxStubProviders:  3,
+		MaxTier2Providers: 3,
+		Tier2PeerDegree:   2.0,
+		V6Tier1Frac:       1.0,
+		V6Tier2Frac:       0.45,
+		V6StubFrac:        0.10,
+		V6EdgeParity:      0.70,
+		NTunnelBrokers:    brokers,
+		TunnelFrac:        0.30,
+		HiddenHopsMin:     2,
+		HiddenHopsMax:     4,
+	}
+}
+
+// Validate reports whether the config is internally consistent.
+func (c GenConfig) Validate() error {
+	if c.NASes < c.NTier1+c.NTier2+c.NCDN {
+		return fmt.Errorf("topo: NASes=%d too small for tiers (%d+%d+%d)", c.NASes, c.NTier1, c.NTier2, c.NCDN)
+	}
+	if c.NTier1 < 1 {
+		return fmt.Errorf("topo: need at least one tier1 AS")
+	}
+	if c.NTier2 < 1 {
+		return fmt.Errorf("topo: need at least one tier2 AS")
+	}
+	if c.MaxStubProviders < 1 || c.MaxTier2Providers < 1 {
+		return fmt.Errorf("topo: provider counts must be >= 1")
+	}
+	if c.V6EdgeParity < 0 || c.V6EdgeParity > 1 {
+		return fmt.Errorf("topo: V6EdgeParity %v out of [0,1]", c.V6EdgeParity)
+	}
+	if c.HiddenHopsMin < 1 || c.HiddenHopsMax < c.HiddenHopsMin {
+		return fmt.Errorf("topo: hidden hop range [%d,%d] invalid", c.HiddenHopsMin, c.HiddenHopsMax)
+	}
+	return nil
+}
+
+// baseASN is added to the dense index to form an ASN.
+const baseASN ASN = 1000
+
+// builder accumulates edges with dedup during generation.
+type builder struct {
+	g    *Graph
+	seen map[[2]int]bool
+}
+
+func (b *builder) hasEdge(a, c int) bool {
+	if a > c {
+		a, c = c, a
+	}
+	return b.seen[[2]int{a, c}]
+}
+
+// addEdge installs an undirected edge; rel is a's view of c.
+func (b *builder) addEdge(a, c int, rel Rel, v6 bool, tunnel bool, hidden int) {
+	if a == c || b.hasEdge(a, c) {
+		return
+	}
+	lo, hi := a, c
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	b.seen[[2]int{lo, hi}] = true
+	b.g.adj[a] = append(b.g.adj[a], Neighbor{Idx: c, Rel: rel, V6: v6, Tunnel: tunnel, HiddenHops: hidden})
+	b.g.adj[c] = append(b.g.adj[c], Neighbor{Idx: a, Rel: rel.Invert(), V6: v6, Tunnel: tunnel, HiddenHops: hidden})
+}
+
+// enableV6 marks the existing a—c edge v6-enabled on both sides.
+func (b *builder) enableV6(a, c int) {
+	for _, pair := range [2][2]int{{a, c}, {c, a}} {
+		adj := b.g.adj[pair[0]]
+		for i := range adj {
+			if adj[i].Idx == pair[1] && !adj[i].Tunnel {
+				adj[i].V6 = true
+			}
+		}
+	}
+}
+
+// Generate builds a deterministic topology from cfg.
+func Generate(cfg GenConfig) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	g := &Graph{
+		ases:  make([]AS, cfg.NASes),
+		adj:   make([][]Neighbor, cfg.NASes),
+		byASN: make(map[ASN]int, cfg.NASes),
+	}
+	b := &builder{g: g, seen: make(map[[2]int]bool)}
+
+	// Index layout: [0,NTier1) tier1, [NTier1,NTier1+NTier2) tier2,
+	// the rest stubs. CDNs and tunnel brokers are carved out below.
+	t1End := cfg.NTier1
+	t2End := cfg.NTier1 + cfg.NTier2
+	for i := range g.ases {
+		tier := Stub
+		switch {
+		case i < t1End:
+			tier = Tier1
+		case i < t2End:
+			tier = Tier2
+		}
+		g.ases[i] = AS{ASN: baseASN + ASN(i), Tier: tier}
+		g.byASN[g.ases[i].ASN] = i
+	}
+
+	// CDN ASes: the last NCDN stubs. CDNs are v4-only content hosts
+	// in 2011 ("most CDN providers do not yet offer production-level
+	// IPv6 services").
+	for k := 0; k < cfg.NCDN; k++ {
+		g.ases[cfg.NASes-1-k].CDN = true
+	}
+
+	// Tunnel brokers: the first NTunnelBrokers tier2 ASes.
+	brokers := make([]int, 0, cfg.NTunnelBrokers)
+	for k := 0; k < cfg.NTunnelBrokers && t1End+k < t2End; k++ {
+		i := t1End + k
+		g.ases[i].TunnelBroker = true
+		brokers = append(brokers, i)
+	}
+
+	// 1. Build the full (v4) edge structure first.
+	nt2 := t2End - t1End
+	for i := 0; i < t1End; i++ { // tier1 full peering mesh
+		for j := i + 1; j < t1End; j++ {
+			b.addEdge(i, j, RelPeer, false, false, 0)
+		}
+	}
+	for i := t1End; i < t2End; i++ { // tier2 → tier1 transit
+		n := 1 + rng.Intn(cfg.MaxTier2Providers)
+		for k := 0; k < n; k++ {
+			b.addEdge(rng.Intn(t1End), i, RelCustomer, false, false, 0)
+		}
+	}
+	peerEdges := int(cfg.Tier2PeerDegree * float64(nt2) / 2)
+	for k := 0; k < peerEdges; k++ { // tier2 ↔ tier2 peering
+		a := t1End + rng.Intn(nt2)
+		c := t1End + rng.Intn(nt2)
+		b.addEdge(a, c, RelPeer, false, false, 0)
+	}
+	for i := t2End; i < cfg.NASes; i++ { // stubs → tier2 transit
+		n := 1 + rng.Intn(cfg.MaxStubProviders)
+		if g.ases[i].CDN {
+			n = cfg.MaxStubProviders
+		}
+		for k := 0; k < n; k++ {
+			b.addEdge(t1End+rng.Intn(nt2), i, RelCustomer, false, false, 0)
+		}
+	}
+
+	// 2. IPv6 capability. Tier1s per fraction; tier2s degree-biased —
+	// in 2011 the large transit networks dual-stacked first, which is
+	// what made same-path IPv6 routes possible at all; stubs at
+	// random. CDNs stay v4-only, brokers are forced capable.
+	for i := 0; i < t1End; i++ {
+		g.ases[i].V6 = rng.Float64() < cfg.V6Tier1Frac
+	}
+	if cfg.V6Tier1Frac > 0 {
+		g.ases[0].V6 = true // the v6 core must exist
+	}
+	t2ByDegree := make([]int, 0, nt2)
+	for i := t1End; i < t2End; i++ {
+		t2ByDegree = append(t2ByDegree, i)
+	}
+	sort.SliceStable(t2ByDegree, func(a, b int) bool {
+		return len(g.adj[t2ByDegree[a]]) > len(g.adj[t2ByDegree[b]])
+	})
+	nV6T2 := int(cfg.V6Tier2Frac*float64(nt2) + 0.5)
+	for k, i := range t2ByDegree {
+		g.ases[i].V6 = k < nV6T2
+	}
+	for _, br := range brokers {
+		g.ases[br].V6 = true
+	}
+	for i := t2End; i < cfg.NASes; i++ {
+		g.ases[i].V6 = !g.ases[i].CDN && rng.Float64() < cfg.V6StubFrac
+	}
+
+	// 3. Enable IPv6 on edges between capable ASes with probability
+	// V6EdgeParity; the v6 tier1 core is fully meshed (peering parity
+	// at the core was real by 2011).
+	for i := 0; i < cfg.NASes; i++ {
+		for _, n := range g.adj[i] {
+			if n.Idx < i {
+				continue // visit each edge once
+			}
+			if !g.ases[i].V6 || !g.ases[n.Idx].V6 {
+				continue
+			}
+			core := g.ases[i].Tier == Tier1 && g.ases[n.Idx].Tier == Tier1
+			if core || rng.Float64() < cfg.V6EdgeParity {
+				b.enableV6(i, n.Idx)
+			}
+		}
+	}
+
+	// 5. Repair v6 uplinks. Every v6-capable AS below tier1 needs a
+	// v6 path "up": a v6-enabled provider edge to a v6-capable
+	// provider, or a tunnel to a broker. Walk tier2 first so stub
+	// repairs can rely on tier2 uplinks existing.
+	repair := func(i int) {
+		if !g.ases[i].V6 || g.ases[i].Tier == Tier1 {
+			return
+		}
+		hasUp := false
+		var candidates []int // v6-capable providers over non-v6 edges
+		for _, n := range g.adj[i] {
+			if n.Rel != RelProvider {
+				continue
+			}
+			if n.Tunnel || (n.V6 && g.ases[n.Idx].V6) {
+				hasUp = true
+				break
+			}
+			if g.ases[n.Idx].V6 {
+				candidates = append(candidates, n.Idx)
+			}
+		}
+		if hasUp {
+			return
+		}
+		useTunnel := rng.Float64() < cfg.TunnelFrac || len(candidates) == 0
+		if useTunnel && len(brokers) > 0 {
+			br := brokers[rng.Intn(len(brokers))]
+			if br != i && !b.hasEdge(i, br) {
+				hidden := cfg.HiddenHopsMin
+				if cfg.HiddenHopsMax > cfg.HiddenHopsMin {
+					hidden += rng.Intn(cfg.HiddenHopsMax - cfg.HiddenHopsMin + 1)
+				}
+				b.addEdge(br, i, RelCustomer, false, true, hidden)
+				return
+			}
+		}
+		if len(candidates) > 0 {
+			b.enableV6(i, candidates[rng.Intn(len(candidates))])
+			return
+		}
+		// No v6 provider and no broker available: demote to v4-only.
+		g.ases[i].V6 = false
+	}
+	// Brokers must have native v6 uplinks; force-enable one.
+	for _, br := range brokers {
+		hasUp := false
+		var candidates []int
+		for _, n := range g.adj[br] {
+			if n.Rel == RelProvider && g.ases[n.Idx].V6 {
+				if n.V6 {
+					hasUp = true
+					break
+				}
+				candidates = append(candidates, n.Idx)
+			}
+		}
+		if !hasUp {
+			if len(candidates) == 0 {
+				// Attach a new provider edge to the v6 tier1.
+				b.addEdge(0, br, RelCustomer, true, false, 0)
+			} else {
+				b.enableV6(br, candidates[rng.Intn(len(candidates))])
+			}
+		}
+	}
+	for i := t1End; i < t2End; i++ {
+		repair(i)
+	}
+	for i := t2End; i < cfg.NASes; i++ {
+		repair(i)
+	}
+
+	return g, nil
+}

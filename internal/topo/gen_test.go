@@ -1,0 +1,278 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	g, err := Generate(DefaultGenConfig(n, seed))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return g
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, n := range []int{50, 200, 1000} {
+		g := mustGen(t, n, 42)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGen(t, 300, 7)
+	b := mustGen(t, 300, 7)
+	if a.N() != b.N() || a.EdgeCount(V4) != b.EdgeCount(V4) || a.EdgeCount(V6) != b.EdgeCount(V6) {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.AS(i) != b.AS(i) {
+			t.Fatalf("AS %d differs: %+v vs %+v", i, a.AS(i), b.AS(i))
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := mustGen(t, 300, 1)
+	b := mustGen(t, 300, 2)
+	if a.EdgeCount(V4) == b.EdgeCount(V4) && a.CountV6() == b.CountV6() {
+		t.Fatal("different seeds produced suspiciously identical graphs")
+	}
+}
+
+func TestV6Sparser(t *testing.T) {
+	g := mustGen(t, 1000, 3)
+	v4, v6 := g.EdgeCount(V4), g.EdgeCount(V6)
+	if v6 >= v4 {
+		t.Fatalf("v6 edges (%d) should be fewer than v4 (%d)", v6, v4)
+	}
+	if g.CountV6() >= g.N()/2 {
+		t.Fatalf("v6 ASes %d of %d: adoption too high for 2011 defaults", g.CountV6(), g.N())
+	}
+	if g.CountV6() == 0 {
+		t.Fatal("no v6 ASes at all")
+	}
+}
+
+func TestCDNsAreV4Only(t *testing.T) {
+	g := mustGen(t, 500, 9)
+	cdns := g.CDNs()
+	if len(cdns) == 0 {
+		t.Fatal("no CDN ASes generated")
+	}
+	for _, i := range cdns {
+		a := g.AS(i)
+		if a.V6 {
+			t.Fatalf("CDN AS %d is v6-capable; 2011 CDNs are not", i)
+		}
+		if a.Tier != Stub {
+			t.Fatalf("CDN AS %d not a stub", i)
+		}
+	}
+}
+
+func TestTunnelBrokersAreV6Tier2(t *testing.T) {
+	g := mustGen(t, 500, 9)
+	found := 0
+	for i := 0; i < g.N(); i++ {
+		a := g.AS(i)
+		if a.TunnelBroker {
+			found++
+			if !a.V6 || a.Tier != Tier2 {
+				t.Fatalf("broker %d: v6=%v tier=%v", i, a.V6, a.Tier)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no tunnel brokers generated")
+	}
+}
+
+func TestTunnelsExist(t *testing.T) {
+	// With default TunnelFrac and enough ASes, some tunnels appear.
+	g := mustGen(t, 2000, 11)
+	tunnels := 0
+	for i := 0; i < g.N(); i++ {
+		for _, n := range g.RawNeighbors(i) {
+			if n.Tunnel {
+				tunnels++
+				if n.HiddenHops < 2 || n.HiddenHops > 4 {
+					t.Fatalf("tunnel hidden hops %d outside [2,4]", n.HiddenHops)
+				}
+			}
+		}
+	}
+	if tunnels == 0 {
+		t.Fatal("no tunnels generated at n=2000")
+	}
+}
+
+func TestNeighborsFamilies(t *testing.T) {
+	g := mustGen(t, 400, 5)
+	for i := 0; i < g.N(); i++ {
+		for _, n := range g.Neighbors(i, V4) {
+			if n.Tunnel {
+				t.Fatal("tunnel edge in v4 adjacency")
+			}
+		}
+		for _, n := range g.Neighbors(i, V6) {
+			if !n.V6 && !n.Tunnel {
+				t.Fatal("non-v6, non-tunnel edge in v6 adjacency")
+			}
+		}
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	g := mustGen(t, 100, 1)
+	for i := 0; i < g.N(); i++ {
+		if got := g.IndexOf(g.AS(i).ASN); got != i {
+			t.Fatalf("IndexOf(%v) = %d, want %d", g.AS(i).ASN, got, i)
+		}
+	}
+	if g.IndexOf(ASN(999999)) != -1 {
+		t.Fatal("unknown ASN should map to -1")
+	}
+}
+
+func TestPeeringParityExtremes(t *testing.T) {
+	// Parity 1.0: every edge between v6 ASes is v6-enabled.
+	cfg := DefaultGenConfig(500, 13)
+	cfg.V6EdgeParity = 1.0
+	cfg.TunnelFrac = 0
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if !g.AS(i).V6 {
+			continue
+		}
+		for _, n := range g.RawNeighbors(i) {
+			if g.AS(n.Idx).V6 && !n.Tunnel && !n.V6 {
+				t.Fatalf("parity=1 but edge %d-%d not v6", i, n.Idx)
+			}
+		}
+	}
+	// Parity 0: only repaired uplinks and the forced tier1 core mesh
+	// are v6-enabled. The graph must still validate.
+	cfg2 := DefaultGenConfig(500, 13)
+	cfg2.V6EdgeParity = 0
+	g2, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("parity=0 graph invalid: %v", err)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []GenConfig{
+		{NASes: 5, NTier1: 4, NTier2: 4, NCDN: 2},
+		{NASes: 100, NTier1: 0, NTier2: 10},
+		{NASes: 100, NTier1: 4, NTier2: 0},
+		{NASes: 100, NTier1: 4, NTier2: 10, MaxStubProviders: 0, MaxTier2Providers: 1},
+		func() GenConfig { c := DefaultGenConfig(100, 1); c.V6EdgeParity = 1.5; return c }(),
+		func() GenConfig { c := DefaultGenConfig(100, 1); c.HiddenHopsMin = 0; return c }(),
+		func() GenConfig { c := DefaultGenConfig(100, 1); c.HiddenHopsMax = 1; c.HiddenHopsMin = 3; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateSmallConfigsProperty(t *testing.T) {
+	// Property: any seed and modest size produce a valid graph.
+	f := func(seed int64, rawN uint8) bool {
+		n := 30 + int(rawN)%400
+		g, err := Generate(DefaultGenConfig(n, seed))
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelInvert(t *testing.T) {
+	if RelCustomer.Invert() != RelProvider || RelProvider.Invert() != RelCustomer || RelPeer.Invert() != RelPeer {
+		t.Fatal("Rel.Invert broken")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Tier1.String() != "tier1" || Tier2.String() != "tier2" || Stub.String() != "stub" {
+		t.Fatal("Tier strings")
+	}
+	if RelCustomer.String() != "customer" || RelPeer.String() != "peer" || RelProvider.String() != "provider" {
+		t.Fatal("Rel strings")
+	}
+	if V4.String() != "IPv4" || V6.String() != "IPv6" {
+		t.Fatal("Family strings")
+	}
+	if Tier(9).String() == "" || Rel(9).String() == "" {
+		t.Fatal("fallback strings empty")
+	}
+}
+
+func TestTier2V6DegreeBiased(t *testing.T) {
+	// The highest-degree tier2 ASes must be the v6-capable ones
+	// (2011's big transit networks dual-stacked first).
+	g := mustGen(t, 1000, 77)
+	type t2 struct {
+		deg int
+		v6  bool
+	}
+	var all []t2
+	for i := 0; i < g.N(); i++ {
+		a := g.AS(i)
+		if a.Tier != Tier2 || a.TunnelBroker {
+			continue
+		}
+		all = append(all, t2{len(g.RawNeighbors(i)), a.V6})
+	}
+	var v6Deg, v4Deg, nv6, nv4 float64
+	for _, x := range all {
+		if x.v6 {
+			v6Deg += float64(x.deg)
+			nv6++
+		} else {
+			v4Deg += float64(x.deg)
+			nv4++
+		}
+	}
+	if nv6 == 0 || nv4 == 0 {
+		t.Skip("degenerate tier2 split")
+	}
+	if v6Deg/nv6 <= v4Deg/nv4 {
+		t.Fatalf("v6 tier2 mean degree %.1f not above v4-only %.1f", v6Deg/nv6, v4Deg/nv4)
+	}
+}
+
+func TestV6StubFractionRoughlyRespected(t *testing.T) {
+	g := mustGen(t, 2000, 78)
+	stubs, v6 := 0, 0
+	for i := 0; i < g.N(); i++ {
+		a := g.AS(i)
+		if a.Tier != Stub || a.CDN {
+			continue
+		}
+		stubs++
+		if a.V6 {
+			v6++
+		}
+	}
+	frac := float64(v6) / float64(stubs)
+	if frac < 0.05 || frac > 0.16 {
+		t.Fatalf("v6 stub fraction %v far from configured 0.10", frac)
+	}
+}

@@ -1,0 +1,118 @@
+package topo
+
+import "fmt"
+
+// Validate checks structural invariants of the graph:
+//   - adjacency symmetry with inverted relationships,
+//   - no self-loops or duplicate edges,
+//   - tier sanity (tier1 has no providers; stubs have providers),
+//   - tunnel edges are v6-only constructs with positive hidden hops,
+//   - the v4 topology is connected,
+//   - every v6-capable AS below tier1 has a v6 uplink (native v6
+//     provider edge or tunnel), guaranteeing valley-free v6 reach.
+func (g *Graph) Validate() error {
+	for i := range g.adj {
+		seen := map[int]bool{}
+		for _, n := range g.adj[i] {
+			if n.Idx == i {
+				return fmt.Errorf("topo: self-loop at %d", i)
+			}
+			if seen[n.Idx] {
+				return fmt.Errorf("topo: duplicate edge %d-%d", i, n.Idx)
+			}
+			seen[n.Idx] = true
+			if !g.hasReverse(i, n) {
+				return fmt.Errorf("topo: asymmetric edge %d-%d", i, n.Idx)
+			}
+			if n.Tunnel {
+				if n.HiddenHops < 1 {
+					return fmt.Errorf("topo: tunnel %d-%d with hidden hops %d", i, n.Idx, n.HiddenHops)
+				}
+				if n.V6 {
+					return fmt.Errorf("topo: tunnel %d-%d marked native v6", i, n.Idx)
+				}
+			}
+		}
+	}
+	for i := range g.ases {
+		a := g.ases[i]
+		providers := 0
+		for _, n := range g.adj[i] {
+			if n.Rel == RelProvider {
+				providers++
+			}
+		}
+		switch a.Tier {
+		case Tier1:
+			if providers > 0 {
+				return fmt.Errorf("topo: tier1 AS %d has a provider", i)
+			}
+		default:
+			if providers == 0 {
+				return fmt.Errorf("topo: %s AS %d has no provider", a.Tier, i)
+			}
+		}
+	}
+	if err := g.checkConnected(V4); err != nil {
+		return err
+	}
+	for i := range g.ases {
+		a := g.ases[i]
+		if !a.V6 || a.Tier == Tier1 {
+			continue
+		}
+		if !g.hasV6Uplink(i) {
+			return fmt.Errorf("topo: v6 AS %d has no v6 uplink", i)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) hasReverse(i int, n Neighbor) bool {
+	for _, m := range g.adj[n.Idx] {
+		if m.Idx == i {
+			return m.Rel == n.Rel.Invert() && m.V6 == n.V6 && m.Tunnel == n.Tunnel && m.HiddenHops == n.HiddenHops
+		}
+	}
+	return false
+}
+
+func (g *Graph) hasV6Uplink(i int) bool {
+	for _, n := range g.adj[i] {
+		if n.Rel != RelProvider {
+			continue
+		}
+		if n.Tunnel {
+			return true
+		}
+		if n.V6 && g.ases[n.Idx].V6 {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) checkConnected(fam Family) error {
+	if g.N() == 0 {
+		return nil
+	}
+	visited := make([]bool, g.N())
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.Neighbors(cur, fam) {
+			if !visited[n.Idx] {
+				visited[n.Idx] = true
+				count++
+				queue = append(queue, n.Idx)
+			}
+		}
+	}
+	if count != g.N() {
+		return fmt.Errorf("topo: %s graph disconnected: reached %d of %d", fam, count, g.N())
+	}
+	return nil
+}

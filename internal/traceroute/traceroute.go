@@ -1,0 +1,215 @@
+// Package traceroute simulates IP-level path discovery along the
+// AS-level forwarding paths of the synthetic Internet. Section 3 of
+// the paper explains why the study used BGP AS paths instead of
+// traceroute: runs failed to complete over 50% of the time, router
+// interface addresses often cannot be mapped to ASes, and tunnels
+// hide IPv6 hops — while AS-level/IP-level discrepancies, when both
+// are available, are relatively rare. This package reproduces those
+// phenomena so the methodological claim itself can be validated (see
+// the core extension and its tests).
+package traceroute
+
+import (
+	"fmt"
+	"net"
+
+	"v6web/internal/bgp"
+	"v6web/internal/det"
+	"v6web/internal/ipam"
+	"v6web/internal/topo"
+)
+
+// Config parameterizes the probe model.
+type Config struct {
+	Seed int64
+
+	// HopRespondProb is the probability a router hop answers probes
+	// at all (many rate-limit or drop ICMP).
+	HopRespondProb float64
+
+	// UnmappableProb is the probability a responding hop's interface
+	// address cannot be attributed to an AS ("many of these
+	// addresses ... are not registered with DNS").
+	UnmappableProb float64
+
+	// DestRespondProb is the probability the destination host
+	// answers probes at all — most web servers filtered
+	// traceroute's UDP/ICMP probes, the dominant reason the paper's
+	// runs "did not complete over 50% of the time".
+	DestRespondProb float64
+
+	// MaxTTL bounds the probe depth.
+	MaxTTL int
+}
+
+// DefaultConfig reproduces the paper's observed failure rates: the
+// destination answers under half the time, transit hops mostly do.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, HopRespondProb: 0.82, UnmappableProb: 0.25, DestRespondProb: 0.45, MaxTTL: 30}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if c.HopRespondProb < 0 || c.HopRespondProb > 1 {
+		return fmt.Errorf("traceroute: HopRespondProb %v out of [0,1]", c.HopRespondProb)
+	}
+	if c.UnmappableProb < 0 || c.UnmappableProb > 1 {
+		return fmt.Errorf("traceroute: UnmappableProb %v out of [0,1]", c.UnmappableProb)
+	}
+	if c.DestRespondProb < 0 || c.DestRespondProb > 1 {
+		return fmt.Errorf("traceroute: DestRespondProb %v out of [0,1]", c.DestRespondProb)
+	}
+	if c.MaxTTL < 1 {
+		return fmt.Errorf("traceroute: MaxTTL %d < 1", c.MaxTTL)
+	}
+	return nil
+}
+
+// Hop is one TTL step's outcome.
+type Hop struct {
+	TTL       int
+	Responded bool
+	Addr      net.IP // interface address when responded
+	AS        int    // mapped origin AS, or -1 when unmappable
+	Tunnel    bool   // hop hidden inside a tunnel (IPv6 only)
+}
+
+// Result is one traceroute run.
+type Result struct {
+	Dest     int // destination AS (dense index)
+	Fam      topo.Family
+	Hops     []Hop
+	Complete bool // destination reached with a response
+}
+
+// Prober runs simulated traceroutes over a graph and address plan.
+type Prober struct {
+	cfg  Config
+	g    *topo.Graph
+	plan *ipam.Plan
+}
+
+// NewProber builds a prober.
+func NewProber(g *topo.Graph, plan *ipam.Plan, cfg Config) (*Prober, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Prober{cfg: cfg, g: g, plan: plan}, nil
+}
+
+// Run probes along the AS-level forwarding path (vantage first,
+// destination last). probeID decorrelates repeated runs. IPv6 runs
+// pass through tunnels: hidden hops appear as unresponsive or
+// tunnel-endpoint addresses, exactly the ambiguity the paper calls
+// out.
+func (p *Prober) Run(path bgp.Path, fam topo.Family, probeID int64) Result {
+	res := Result{Fam: fam}
+	if len(path) == 0 {
+		return res
+	}
+	res.Dest = path[len(path)-1]
+	ttl := 0
+	seed := uint64(p.cfg.Seed)
+	pid := uint64(probeID)
+	// Walk the ASes after the vantage; each AS contributes one
+	// visible hop (plus hidden tunnel hops on IPv6).
+	for i := 1; i < len(path); i++ {
+		n, ok := bgp.EdgeOnPath(p.g, path[i-1], path[i], fam)
+		if !ok {
+			return res
+		}
+		if n.Tunnel {
+			// The tunnel's hidden hops: unresponsive TTL steps
+			// attributed to nobody.
+			for h := 0; h < n.HiddenHops; h++ {
+				ttl++
+				if ttl > p.cfg.MaxTTL {
+					return res
+				}
+				res.Hops = append(res.Hops, Hop{TTL: ttl, Tunnel: true})
+			}
+		}
+		ttl++
+		if ttl > p.cfg.MaxTTL {
+			return res
+		}
+		hop := Hop{TTL: ttl, AS: -1}
+		respondProb := p.cfg.HopRespondProb
+		if i == len(path)-1 {
+			respondProb = p.cfg.DestRespondProb
+		}
+		if det.Bool(respondProb, seed, pid, uint64(path[i]), uint64(ttl), 0x7E) {
+			hop.Responded = true
+			hop.Addr = p.hopAddr(path[i], fam, probeID, ttl)
+			if !det.Bool(p.cfg.UnmappableProb, seed, pid, uint64(path[i]), uint64(ttl), 0x9A) {
+				hop.AS = p.mapAddr(hop.Addr, fam)
+			}
+		}
+		res.Hops = append(res.Hops, hop)
+	}
+	if len(res.Hops) > 0 {
+		last := res.Hops[len(res.Hops)-1]
+		res.Complete = last.Responded && path[len(path)-1] == res.Dest
+	}
+	return res
+}
+
+// hopAddr synthesizes a router interface address inside the hop AS's
+// prefix.
+func (p *Prober) hopAddr(as int, fam topo.Family, probeID int64, ttl int) net.IP {
+	host := int64(det.IntN(200, uint64(p.cfg.Seed), uint64(probeID), uint64(as), uint64(ttl)))
+	if fam == topo.V6 {
+		return p.plan.SiteV6(as, host)
+	}
+	return p.plan.SiteV4(as, host)
+}
+
+func (p *Prober) mapAddr(ip net.IP, fam topo.Family) int {
+	if ip == nil {
+		return -1
+	}
+	if fam == topo.V6 {
+		return p.plan.OriginV6(ip)
+	}
+	return p.plan.OriginV4(ip)
+}
+
+// InferASPath collapses the responsive, mappable hops into an AS
+// sequence (consecutive duplicates merged), prepending the vantage
+// AS. Unmappable and silent hops simply vanish — the lossy view
+// traceroute gives of the AS path.
+func (r Result) InferASPath(vantage int) []int {
+	out := []int{vantage}
+	for _, h := range r.Hops {
+		if !h.Responded || h.AS < 0 {
+			continue
+		}
+		if out[len(out)-1] != h.AS {
+			out = append(out, h.AS)
+		}
+	}
+	return out
+}
+
+// AgreesWith reports whether the inferred AS path is consistent with
+// the true path: every inferred AS appears in the true path in order
+// (the inferred path is a subsequence). The paper's observation:
+// where comparable, AS-level and IP-level paths rarely disagree.
+func AgreesWith(inferred, truth []int) bool {
+	j := 0
+	for _, a := range inferred {
+		found := false
+		for j < len(truth) {
+			if truth[j] == a {
+				found = true
+				j++
+				break
+			}
+			j++
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

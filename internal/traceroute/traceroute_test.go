@@ -1,0 +1,208 @@
+package traceroute
+
+import (
+	"testing"
+
+	"v6web/internal/bgp"
+	"v6web/internal/ipam"
+	"v6web/internal/topo"
+)
+
+type fixture struct {
+	g    *topo.Graph
+	plan *ipam.Plan
+	p    *Prober
+	comp *bgp.Computer
+}
+
+func newFixture(t *testing.T, nAS int, seed int64) *fixture {
+	t.Helper()
+	g, err := topo.Generate(topo.DefaultGenConfig(nAS, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ipam.NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProber(g, plan, DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, plan: plan, p: p, comp: bgp.NewComputer(g)}
+}
+
+func (f *fixture) path(t *testing.T, src, dst int, fam topo.Family) bgp.Path {
+	t.Helper()
+	f.comp.Routes(dst, fam)
+	return f.comp.PathFrom(src)
+}
+
+func TestConfigValidation(t *testing.T) {
+	g, _ := topo.Generate(topo.DefaultGenConfig(100, 1))
+	plan, _ := ipam.NewPlan(g)
+	bad := []Config{
+		{HopRespondProb: -0.1, MaxTTL: 5},
+		{HopRespondProb: 0.5, DestRespondProb: -1, MaxTTL: 5},
+		{HopRespondProb: 1.1, MaxTTL: 5},
+		{HopRespondProb: 0.5, UnmappableProb: 2, MaxTTL: 5},
+		{HopRespondProb: 0.5, MaxTTL: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewProber(g, plan, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	f := newFixture(t, 500, 2)
+	path := f.path(t, 0, 300, topo.V4)
+	if path == nil {
+		t.Skip("no path")
+	}
+	res := f.p.Run(path, topo.V4, 1)
+	if res.Dest != 300 {
+		t.Fatalf("dest %d", res.Dest)
+	}
+	if len(res.Hops) != len(path)-1 {
+		t.Fatalf("hops %d for path %v", len(res.Hops), path)
+	}
+	for _, h := range res.Hops {
+		if h.Responded && h.Addr == nil {
+			t.Fatal("responded hop without address")
+		}
+		if h.AS >= 0 && !h.Responded {
+			t.Fatal("mapped AS without response")
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	f := newFixture(t, 400, 3)
+	path := f.path(t, 0, 200, topo.V4)
+	a := f.p.Run(path, topo.V4, 7)
+	b := f.p.Run(path, topo.V4, 7)
+	if a.Complete != b.Complete || len(a.Hops) != len(b.Hops) {
+		t.Fatal("non-deterministic run")
+	}
+	c := f.p.Run(path, topo.V4, 8)
+	_ = c // different probe id may differ; just must not panic
+}
+
+func TestCompletionRateUnderFiftyPercent(t *testing.T) {
+	// The paper: traceroute "did not complete over 50% of the time".
+	f := newFixture(t, 1000, 4)
+	complete, runs := 0, 0
+	for dst := 0; dst < f.g.N(); dst += 3 {
+		path := f.path(t, 0, dst, topo.V4)
+		if path == nil || len(path) < 3 {
+			continue
+		}
+		runs++
+		if f.p.Run(path, topo.V4, int64(dst)).Complete {
+			complete++
+		}
+	}
+	if runs < 50 {
+		t.Skip("too few multi-hop paths")
+	}
+	frac := float64(complete) / float64(runs)
+	if frac > 0.55 {
+		t.Fatalf("completion rate %v, want < ~0.5", frac)
+	}
+	if frac < 0.15 {
+		t.Fatalf("completion rate %v implausibly low", frac)
+	}
+}
+
+func TestInferredPathsAgree(t *testing.T) {
+	// Where hops respond and map, the inferred AS path must be a
+	// subsequence of the true path ("discrepancies ... relatively
+	// rare" — in the simulator, absent).
+	f := newFixture(t, 800, 5)
+	checked := 0
+	for dst := 0; dst < f.g.N(); dst += 7 {
+		path := f.path(t, 0, dst, topo.V4)
+		if path == nil || len(path) < 2 {
+			continue
+		}
+		res := f.p.Run(path, topo.V4, int64(dst))
+		inferred := res.InferASPath(0)
+		if !AgreesWith(inferred, path) {
+			t.Fatalf("inferred %v disagrees with true %v", inferred, path)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("nothing to check")
+	}
+}
+
+func TestTunnelHopsInvisible(t *testing.T) {
+	f := newFixture(t, 2000, 6)
+	// Find a v6 path crossing a tunnel.
+	for dst := 0; dst < f.g.N(); dst++ {
+		if !f.g.AS(dst).V6 {
+			continue
+		}
+		path := f.path(t, 0, dst, topo.V6)
+		if path == nil {
+			continue
+		}
+		hasTunnel := false
+		hidden := 0
+		for i := 1; i < len(path); i++ {
+			if n, ok := bgp.EdgeOnPath(f.g, path[i-1], path[i], topo.V6); ok && n.Tunnel {
+				hasTunnel = true
+				hidden += n.HiddenHops
+			}
+		}
+		if !hasTunnel {
+			continue
+		}
+		res := f.p.Run(path, topo.V6, 1)
+		tunnelHops := 0
+		for _, h := range res.Hops {
+			if h.Tunnel {
+				tunnelHops++
+				if h.Responded {
+					t.Fatal("hidden tunnel hop responded")
+				}
+			}
+		}
+		if tunnelHops != hidden {
+			t.Fatalf("tunnel hops %d, want %d", tunnelHops, hidden)
+		}
+		return
+	}
+	t.Skip("no tunneled v6 path from AS 0")
+}
+
+func TestAgreesWith(t *testing.T) {
+	truth := []int{0, 5, 9, 12}
+	cases := []struct {
+		inferred []int
+		want     bool
+	}{
+		{[]int{0, 5, 9, 12}, true},
+		{[]int{0, 9}, true},
+		{[]int{0}, true},
+		{[]int{0, 12, 9}, false}, // out of order
+		{[]int{0, 7}, false},     // foreign AS
+		{nil, true},
+	}
+	for _, c := range cases {
+		if got := AgreesWith(c.inferred, truth); got != c.want {
+			t.Errorf("AgreesWith(%v) = %v, want %v", c.inferred, got, c.want)
+		}
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	f := newFixture(t, 100, 7)
+	res := f.p.Run(nil, topo.V4, 1)
+	if res.Complete || len(res.Hops) != 0 {
+		t.Fatalf("empty path run: %+v", res)
+	}
+}

@@ -1,0 +1,426 @@
+// Package websim builds the catalogue of monitored web sites: where
+// each site is hosted per address family (CDN users and relocated IPv6
+// presences produce the paper's "different location" DL class), how
+// its servers perform over IPv4 and IPv6 (per-AS mixes of deficient
+// IPv6 server stacks produce the zero-mode phenomenon of Section 4),
+// page sizes (including the few sites whose IPv4 and IPv6 pages differ
+// by more than the 6% identity threshold), World IPv6 Day
+// participation, and the scheduled performance transitions and trends
+// behind Table 3's confidence failures.
+//
+// All attributes are pure functions of (seed, site id), computed
+// lazily and cached, so catalogues over millions of sites stay cheap.
+package websim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/det"
+	"v6web/internal/topo"
+)
+
+// EventKind classifies a scheduled performance change.
+type EventKind int
+
+const (
+	// TransitionUp is a sharp upward level shift (Table 3 "↑").
+	TransitionUp EventKind = iota
+	// TransitionDown is a sharp downward level shift ("↓").
+	TransitionDown
+	// TrendUp is a steady upward drift ("↗").
+	TrendUp
+	// TrendDown is a steady downward drift ("↘").
+	TrendDown
+)
+
+// EventScope selects which address families an event affects.
+type EventScope int
+
+const (
+	// ScopeBoth affects IPv4 and IPv6 alike.
+	ScopeBoth EventScope = iota
+	// ScopeV4 affects only IPv4.
+	ScopeV4
+	// ScopeV6 affects only IPv6.
+	ScopeV6
+)
+
+// PerfEvent is one scheduled non-stationarity of a site's performance.
+type PerfEvent struct {
+	Kind      EventKind
+	Scope     EventScope
+	AtFrac    float64 // transition point as a fraction of the study
+	Magnitude float64 // level ratio (transitions) or total drift (trends)
+}
+
+// Site is the full synthetic description of one monitored web site.
+type Site struct {
+	ID        alexa.SiteID
+	FirstRank int
+
+	V4AS int // hosting AS (dense index) for the A record
+	V6AS int // hosting AS for the AAAA record; -1 if never v6
+	CDN  bool
+
+	AdoptTime time.Time // when the AAAA record appears (if V6AS >= 0)
+
+	PageV4 int // main page size over IPv4, bytes
+	PageV6 int // main page size over IPv6, bytes
+
+	SrvV4       float64 // server rate multiplier over IPv4 (~1.0)
+	SrvV6       float64 // server rate multiplier over IPv6
+	BadV6Server bool    // deficient IPv6 server stack
+
+	V6DayParticipant bool
+
+	Events []PerfEvent
+}
+
+// DL reports whether the site's IPv4 and IPv6 presences are in
+// different ASes (the paper's "different locations" class).
+func (s *Site) DL() bool { return s.V6AS >= 0 && s.V6AS != s.V4AS }
+
+// DualAt reports whether the site is reachable over both families at
+// time t.
+func (s *Site) DualAt(t time.Time) bool {
+	return s.V6AS >= 0 && !t.Before(s.AdoptTime)
+}
+
+// SameContent reports whether the IPv4 and IPv6 page sizes agree
+// within the tool's identity threshold (byte counts within frac).
+func (s *Site) SameContent(frac float64) bool {
+	d := s.PageV4 - s.PageV6
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) <= frac*float64(s.PageV4)
+}
+
+// PerfMultiplier returns the combined effect of the site's scheduled
+// events on family fam at study fraction tFrac in [0,1].
+func (s *Site) PerfMultiplier(fam topo.Family, tFrac float64) float64 {
+	mult := 1.0
+	for _, e := range s.Events {
+		if e.Scope == ScopeV4 && fam != topo.V4 {
+			continue
+		}
+		if e.Scope == ScopeV6 && fam != topo.V6 {
+			continue
+		}
+		switch e.Kind {
+		case TransitionUp, TransitionDown:
+			if tFrac >= e.AtFrac {
+				mult *= e.Magnitude
+			}
+		case TrendUp:
+			mult *= 1 + e.Magnitude*tFrac
+		case TrendDown:
+			mult *= 1 - e.Magnitude*tFrac
+			if mult < 0.05 {
+				mult = 0.05
+			}
+		}
+	}
+	return mult
+}
+
+// Config parameterizes catalogue generation.
+type Config struct {
+	Seed int64
+
+	CDNFrac     float64 // fraction of sites hosted on a CDN (v4 side)
+	RelocateDL  float64 // adopting sites on non-v6 host ASes that move v6 elsewhere
+	DiffContent float64 // dual sites serving different v4/v6 page content
+
+	// Server quality. A fraction of ASes are "bad mixes" where most
+	// sites run deficient IPv6 server stacks; the rest host mostly
+	// clean dual stacks.
+	BadMixASFrac   float64 // ASes with a high deficient-server rate
+	BadFracInBad   float64 // deficient-site rate inside bad-mix ASes
+	BadFracInGood  float64 // deficient-site rate elsewhere
+	V6DayCleanFrac float64 // participants that cleaned up servers
+
+	TransitionFrac float64 // sites with one scheduled transition
+	TrendFrac      float64 // sites with one scheduled trend
+
+	// Page sizes, bytes (lognormal around Median).
+	PageMedian float64
+	PageSigma  float64
+}
+
+// DefaultConfig mirrors the 2011 web: sparse CDN v6, a sizeable
+// deficient-server fringe, and enough non-stationarity to populate
+// Table 3.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		CDNFrac:        0.05,
+		RelocateDL:     0.08,
+		DiffContent:    0.03,
+		BadMixASFrac:   0.15,
+		BadFracInBad:   0.75,
+		BadFracInGood:  0.05,
+		V6DayCleanFrac: 0.95,
+		TransitionFrac: 0.04,
+		TrendFrac:      0.13,
+		PageMedian:     30000,
+		PageSigma:      0.8,
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CDNFrac", c.CDNFrac}, {"RelocateDL", c.RelocateDL},
+		{"DiffContent", c.DiffContent}, {"BadMixASFrac", c.BadMixASFrac},
+		{"BadFracInBad", c.BadFracInBad}, {"BadFracInGood", c.BadFracInGood},
+		{"TransitionFrac", c.TransitionFrac}, {"TrendFrac", c.TrendFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("websim: %s=%v out of [0,1]", f.name, f.v)
+		}
+	}
+	if c.PageMedian <= 0 {
+		return fmt.Errorf("websim: PageMedian %v <= 0", c.PageMedian)
+	}
+	return nil
+}
+
+// Catalog lazily materializes Sites. Safe for concurrent use.
+type Catalog struct {
+	cfg   Config
+	g     *topo.Graph
+	adopt *alexa.Adoption
+
+	// Candidate hosting pools (dense indices).
+	stubs   []int // all non-CDN stub ASes
+	v6stubs []int // v6-capable non-CDN stubs
+	cdns    []int
+
+	// Zipf-style cumulative weights over stubs and v6stubs.
+	stubCum   []float64
+	v6stubCum []float64
+
+	mu    sync.Mutex
+	cache map[alexa.SiteID]*Site
+}
+
+// NewCatalog builds a catalogue over graph g with adoption model ad.
+func NewCatalog(g *topo.Graph, ad *alexa.Adoption, cfg Config) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Catalog{cfg: cfg, g: g, adopt: ad, cache: make(map[alexa.SiteID]*Site)}
+	for i := 0; i < g.N(); i++ {
+		a := g.AS(i)
+		if a.Tier != topo.Stub {
+			continue
+		}
+		if a.CDN {
+			c.cdns = append(c.cdns, i)
+			continue
+		}
+		c.stubs = append(c.stubs, i)
+		if a.V6 {
+			c.v6stubs = append(c.v6stubs, i)
+		}
+	}
+	if len(c.stubs) == 0 {
+		return nil, fmt.Errorf("websim: topology has no stub ASes to host sites")
+	}
+	if len(c.v6stubs) == 0 {
+		return nil, fmt.Errorf("websim: topology has no v6-capable stub ASes")
+	}
+	c.stubCum = zipfCum(len(c.stubs))
+	c.v6stubCum = zipfCum(len(c.v6stubs))
+	return c, nil
+}
+
+// zipfCum builds cumulative weights w_i ∝ 1/(i+1)^0.8, giving a
+// heavy-tailed site-per-AS distribution: a few content-dense ASes and
+// many ASes with a handful of sites (Table 8's "small number of
+// sites" rows).
+func zipfCum(n int) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), 0.8)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+// pick selects an index from cum by binary search on u in [0,1).
+func pick(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Site materializes (or returns the cached) description of a site.
+// firstRank is the site's rank at first appearance in the list.
+func (c *Catalog) Site(id alexa.SiteID, firstRank int) *Site {
+	c.mu.Lock()
+	if s, ok := c.cache[id]; ok {
+		c.mu.Unlock()
+		return s
+	}
+	c.mu.Unlock()
+	s := c.build(id, firstRank)
+	c.mu.Lock()
+	// Double-checked: keep the first stored instance so all callers
+	// share one pointer.
+	if prev, ok := c.cache[id]; ok {
+		s = prev
+	} else {
+		c.cache[id] = s
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// badMixAS reports whether hosting AS as (dense index) has a high
+// deficient-IPv6-server rate.
+func (c *Catalog) badMixAS(as int) bool {
+	return det.Bool(c.cfg.BadMixASFrac, uint64(c.cfg.Seed), uint64(as), 0xBAD)
+}
+
+func (c *Catalog) build(id alexa.SiteID, firstRank int) *Site {
+	seed := uint64(c.cfg.Seed)
+	sid := uint64(id)
+	s := &Site{ID: id, FirstRank: firstRank, V6AS: -1}
+
+	adoptTime, adopts := c.adopt.Adopts(id, firstRank)
+
+	// Hosting.
+	s.CDN = det.Bool(c.cfg.CDNFrac, seed, sid, 1)
+	switch {
+	case s.CDN:
+		s.V4AS = c.cdns[det.IntN(len(c.cdns), seed, sid, 2)]
+		if adopts {
+			// CDNs have no production v6: the AAAA points at the
+			// origin server in some v6-capable AS → DL.
+			s.V6AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 3))]
+		}
+	case adopts:
+		// Adopting sites live in v6-capable ASes, except the
+		// RelocateDL fraction whose home AS lacks v6 and who host
+		// their v6 presence elsewhere.
+		if det.Bool(c.cfg.RelocateDL, seed, sid, 4) {
+			s.V4AS = c.stubs[pick(c.stubCum, det.Float(seed, sid, 5))]
+			// A collision (home AS happens to be the chosen v6 host)
+			// simply yields a same-location site, which is fine.
+			s.V6AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 6))]
+		} else {
+			s.V4AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 7))]
+			s.V6AS = s.V4AS
+		}
+	default:
+		s.V4AS = c.stubs[pick(c.stubCum, det.Float(seed, sid, 8))]
+	}
+	if adopts {
+		s.AdoptTime = adoptTime
+	}
+
+	// Pages.
+	s.PageV4 = int(det.Lognormal(math.Log(c.cfg.PageMedian), c.cfg.PageSigma, seed, sid, 9))
+	if s.PageV4 < 512 {
+		s.PageV4 = 512
+	}
+	if s.V6AS >= 0 && det.Bool(c.cfg.DiffContent, seed, sid, 10) {
+		// Different content: sizes differ well beyond 6%.
+		s.PageV6 = int(float64(s.PageV4) * det.Range(1.2, 3.0, seed, sid, 11))
+	} else {
+		// Identical modulo tiny dynamic variation (well inside 6%).
+		s.PageV6 = int(float64(s.PageV4) * det.Range(0.99, 1.01, seed, sid, 12))
+	}
+
+	// Servers.
+	s.SrvV4 = det.Lognormal(0, 0.10, seed, sid, 13)
+	if s.CDN {
+		s.SrvV4 *= 1.25 // CDNs serve fast
+	}
+	if s.V6AS >= 0 {
+		badFrac := c.cfg.BadFracInGood
+		if c.badMixAS(s.V6AS) {
+			badFrac = c.cfg.BadFracInBad
+		}
+		s.BadV6Server = det.Bool(badFrac, seed, sid, 14)
+		// World IPv6 Day participants: sites already planning v6 on
+		// the day itself, with cleaned-up stacks.
+		if s.AdoptTime.Equal(c.adopt.Timeline.V6Day) {
+			s.V6DayParticipant = true
+			if det.Bool(c.cfg.V6DayCleanFrac, seed, sid, 15) {
+				s.BadV6Server = false
+			}
+		}
+		if s.BadV6Server {
+			s.SrvV6 = s.SrvV4 * det.Range(0.30, 0.75, seed, sid, 16)
+		} else {
+			s.SrvV6 = s.SrvV4 * det.Range(0.95, 1.03, seed, sid, 17)
+		}
+	}
+
+	// Non-stationarity.
+	if det.Bool(c.cfg.TransitionFrac, seed, sid, 18) {
+		kind := TransitionDown
+		mag := det.Range(0.30, 0.60, seed, sid, 19) // level drops to 30-60%
+		if det.Bool(0.45, seed, sid, 20) {
+			kind = TransitionUp
+			mag = det.Range(1.7, 2.8, seed, sid, 21)
+		}
+		s.Events = append(s.Events, PerfEvent{
+			Kind:      kind,
+			Scope:     EventScope(det.IntN(3, seed, sid, 22)),
+			AtFrac:    det.Range(0.25, 0.75, seed, sid, 23),
+			Magnitude: mag,
+		})
+	}
+	if det.Bool(c.cfg.TrendFrac, seed, sid, 25) {
+		// Up-drifts inflate the mean as they inflate the variance,
+		// so they need a larger magnitude than down-drifts to defeat
+		// the relative CI target.
+		kind := TrendDown
+		mag := det.Range(0.8, 1.3, seed, sid, 28)
+		if det.Bool(0.55, seed, sid, 26) {
+			kind = TrendUp
+			mag = det.Range(1.8, 3.2, seed, sid, 29)
+		}
+		s.Events = append(s.Events, PerfEvent{
+			Kind:      kind,
+			Scope:     EventScope(det.IntN(3, seed, sid, 27)),
+			Magnitude: mag,
+		})
+	}
+	return s
+}
+
+// CachedCount returns how many sites have been materialized.
+func (c *Catalog) CachedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Graph returns the topology the catalogue hosts sites on.
+func (c *Catalog) Graph() *topo.Graph { return c.g }
+
+// Adoption returns the adoption model in use.
+func (c *Catalog) Adoption() *alexa.Adoption { return c.adopt }
