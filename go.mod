@@ -1,0 +1,3 @@
+module v6web
+
+go 1.21

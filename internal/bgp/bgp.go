@@ -11,6 +11,18 @@
 // the lowest next-hop index. The resulting forwarding paths are
 // valley-free: zero or more customer→provider ("up") edges, at most
 // one peer edge, then zero or more provider→customer ("down") edges.
+//
+// Two route computations are provided:
+//
+//   - Computer: the per-destination reference ("oracle"). Routes(dst)
+//     materializes every AS's best route toward dst with the exact
+//     propagation order of the export rules. Its scratch arrays are
+//     epoch-stamped, so repeated Routes calls skip the O(N) clears.
+//   - BuildRIBSingleSource (rib.go): the single-pass fast path that
+//     builds one vantage's whole RIB by exploiting the valley-free
+//     duality — see the invariants documented there. It is
+//     differentially tested against Computer and falls back to it on
+//     any internal inconsistency.
 package bgp
 
 import (
@@ -56,13 +68,25 @@ func (r RouteType) String() string {
 // Computer computes per-destination routing state with reusable
 // scratch space. It is not safe for concurrent use; create one per
 // goroutine.
+//
+// The scratch arrays are epoch-stamped: a Routes call bumps the epoch
+// instead of clearing typ/dist/next, and stale entries read as
+// RouteNone. This keeps repeated Routes calls O(touched) rather than
+// O(N) on the reset.
 type Computer struct {
 	g    *topo.Graph
 	typ  []RouteType
 	dist []int32
 	next []int32
-	dst  int
-	fam  topo.Family
+
+	stamp []uint32 // epoch stamp per node; stale ⇒ RouteNone
+	epoch uint32
+
+	holders []int32   // routed nodes this epoch, stage-1 BFS order first
+	buckets [][]int32 // stage-3 bucket queue, reused across calls
+
+	dst int
+	fam topo.Family
 
 	// TiebreakHigh flips the equal-length next-hop tiebreak from
 	// lowest to highest index. Routing with the opposite tiebreak
@@ -76,27 +100,53 @@ type Computer struct {
 func NewComputer(g *topo.Graph) *Computer {
 	n := g.N()
 	return &Computer{
-		g:    g,
-		typ:  make([]RouteType, n),
-		dist: make([]int32, n),
-		next: make([]int32, n),
-		dst:  -1,
+		g:     g,
+		typ:   make([]RouteType, n),
+		dist:  make([]int32, n),
+		next:  make([]int32, n),
+		stamp: make([]uint32, n),
+		dst:   -1,
 	}
 }
 
 // Graph returns the topology the computer routes over.
 func (c *Computer) Graph() *topo.Graph { return c.g }
 
+// bump starts a fresh epoch; on wraparound the stamps are cleared so
+// stale entries can never alias the new epoch.
+func (c *Computer) bump() {
+	c.epoch++
+	if c.epoch == 0 {
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
+	c.holders = c.holders[:0]
+}
+
+// ty reads node i's route type, treating stale scratch as RouteNone.
+func (c *Computer) ty(i int) RouteType {
+	if c.stamp[i] != c.epoch {
+		return RouteNone
+	}
+	return c.typ[i]
+}
+
+// set installs a route for node i in the current epoch.
+func (c *Computer) set(i int32, t RouteType, d, nxt int32) {
+	c.stamp[i] = c.epoch
+	c.typ[i] = t
+	c.dist[i] = d
+	c.next[i] = nxt
+}
+
 // Routes computes every AS's best route toward dst over family fam.
 // The state remains valid until the next Routes call.
 func (c *Computer) Routes(dst int, fam topo.Family) {
 	g := c.g
 	n := g.N()
-	for i := 0; i < n; i++ {
-		c.typ[i] = RouteNone
-		c.dist[i] = 0
-		c.next[i] = -1
-	}
+	c.bump()
 	c.dst = dst
 	c.fam = fam
 	if fam == topo.V6 && !g.AS(dst).V6 {
@@ -105,11 +155,10 @@ func (c *Computer) Routes(dst int, fam topo.Family) {
 
 	// Stage 1: customer routes climb provider edges from dst (BFS,
 	// unit weights).
-	c.typ[dst] = RouteSelf
-	queue := make([]int32, 0, n)
-	queue = append(queue, int32(dst))
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
+	c.set(int32(dst), RouteSelf, 0, -1)
+	c.holders = append(c.holders, int32(dst))
+	for head := 0; head < len(c.holders); head++ {
+		u := c.holders[head]
 		for _, nb := range g.Neighbors(int(u), fam) {
 			if nb.Rel != topo.RelProvider {
 				continue
@@ -117,38 +166,36 @@ func (c *Computer) Routes(dst int, fam topo.Family) {
 			p := int32(nb.Idx)
 			cand := c.dist[u] + 1
 			switch {
-			case c.typ[p] == RouteNone:
-				c.typ[p] = RouteCustomer
-				c.dist[p] = cand
-				c.next[p] = u
-				queue = append(queue, p)
+			case c.ty(int(p)) == RouteNone:
+				c.set(p, RouteCustomer, cand, u)
+				c.holders = append(c.holders, p)
 			case c.typ[p] == RouteCustomer && c.dist[p] == cand && c.prefer(u, c.next[p]):
 				c.next[p] = u // deterministic next-hop tiebreak
 			}
 		}
 	}
+	nCustomer := len(c.holders)
 
 	// Stage 2: peer routes. Every AS holding a self/customer route
 	// exports once across each peer edge; peer routes do not
-	// propagate further.
-	for u := 0; u < n; u++ {
-		if c.typ[u] != RouteSelf && c.typ[u] != RouteCustomer {
-			continue
-		}
-		for _, nb := range g.Neighbors(u, fam) {
+	// propagate further. Iterating the stage-1 holders instead of all
+	// N nodes yields the identical fixpoint (the result is
+	// order-independent: minimum distance, preferred next hop).
+	for k := 0; k < nCustomer; k++ {
+		u := c.holders[k]
+		for _, nb := range g.Neighbors(int(u), fam) {
 			if nb.Rel != topo.RelPeer {
 				continue
 			}
-			v := nb.Idx
+			v := int32(nb.Idx)
 			cand := c.dist[u] + 1
 			switch {
-			case c.typ[v] == RouteNone:
-				c.typ[v] = RoutePeer
+			case c.ty(int(v)) == RouteNone:
+				c.set(v, RoutePeer, cand, u)
+				c.holders = append(c.holders, v)
+			case c.typ[v] == RoutePeer && (cand < c.dist[v] || (cand == c.dist[v] && c.prefer(u, c.next[v]))):
 				c.dist[v] = cand
-				c.next[v] = int32(u)
-			case c.typ[v] == RoutePeer && (cand < c.dist[v] || (cand == c.dist[v] && c.prefer(int32(u), c.next[v]))):
-				c.dist[v] = cand
-				c.next[v] = int32(u)
+				c.next[v] = u
 			}
 		}
 	}
@@ -157,22 +204,23 @@ func (c *Computer) Routes(dst int, fam topo.Family) {
 	// path length (bucket-queue Dijkstra with unit weights). Every
 	// route holder exports its best route to its customers.
 	maxLen := int32(n + 1)
-	buckets := make([][]int32, maxLen+2)
+	if cap(c.buckets) < int(maxLen)+2 {
+		c.buckets = make([][]int32, maxLen+2)
+	}
+	buckets := c.buckets[:maxLen+2]
 	push := func(u, d int32) {
 		if d > maxLen {
 			return
 		}
 		buckets[d] = append(buckets[d], u)
 	}
-	for u := 0; u < n; u++ {
-		if c.typ[u] != RouteNone {
-			push(int32(u), c.dist[u])
-		}
+	for _, u := range c.holders {
+		push(u, c.dist[u])
 	}
 	for d := int32(0); d <= maxLen; d++ {
 		for i := 0; i < len(buckets[d]); i++ {
 			u := buckets[d][i]
-			if c.dist[u] != d || c.typ[u] == RouteNone {
+			if c.dist[u] != d || c.ty(int(u)) == RouteNone {
 				continue // stale entry
 			}
 			for _, nb := range g.Neighbors(int(u), c.fam) {
@@ -182,10 +230,8 @@ func (c *Computer) Routes(dst int, fam topo.Family) {
 				v := int32(nb.Idx)
 				cand := d + 1
 				switch {
-				case c.typ[v] == RouteNone:
-					c.typ[v] = RouteProvider
-					c.dist[v] = cand
-					c.next[v] = u
+				case c.ty(int(v)) == RouteNone:
+					c.set(v, RouteProvider, cand, u)
 					push(v, cand)
 				case c.typ[v] == RouteProvider && cand < c.dist[v]:
 					c.dist[v] = cand
@@ -196,6 +242,7 @@ func (c *Computer) Routes(dst int, fam topo.Family) {
 				}
 			}
 		}
+		buckets[d] = buckets[d][:0] // reset for the next Routes call
 	}
 }
 
@@ -206,31 +253,23 @@ func (c *Computer) Routes(dst int, fam topo.Family) {
 // works as usual.
 func (c *Computer) RoutesShortest(dst int, fam topo.Family) {
 	g := c.g
-	n := g.N()
-	for i := 0; i < n; i++ {
-		c.typ[i] = RouteNone
-		c.dist[i] = 0
-		c.next[i] = -1
-	}
+	c.bump()
 	c.dst = dst
 	c.fam = fam
 	if fam == topo.V6 && !g.AS(dst).V6 {
 		return
 	}
-	c.typ[dst] = RouteSelf
-	queue := make([]int32, 0, n)
-	queue = append(queue, int32(dst))
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
+	c.set(int32(dst), RouteSelf, 0, -1)
+	c.holders = append(c.holders, int32(dst))
+	for head := 0; head < len(c.holders); head++ {
+		u := c.holders[head]
 		for _, nb := range g.Neighbors(int(u), fam) {
 			v := int32(nb.Idx)
-			if c.typ[v] != RouteNone {
+			if c.ty(int(v)) != RouteNone {
 				continue
 			}
-			c.typ[v] = RouteCustomer
-			c.dist[v] = c.dist[u] + 1
-			c.next[v] = u
-			queue = append(queue, v)
+			c.set(v, RouteCustomer, c.dist[u]+1, u)
+			c.holders = append(c.holders, v)
 		}
 	}
 }
@@ -246,10 +285,10 @@ func (c *Computer) prefer(u, current int32) bool {
 
 // Reachable reports whether src holds a route to the computed
 // destination.
-func (c *Computer) Reachable(src int) bool { return c.typ[src] != RouteNone }
+func (c *Computer) Reachable(src int) bool { return c.ty(src) != RouteNone }
 
 // Type returns src's route type toward the computed destination.
-func (c *Computer) Type(src int) RouteType { return c.typ[src] }
+func (c *Computer) Type(src int) RouteType { return c.ty(src) }
 
 // AltPathFrom returns a plausible alternative forwarding path from
 // src: the path through src's best *other* first hop, honoring export
@@ -259,7 +298,7 @@ func (c *Computer) Type(src int) RouteType { return c.typ[src] }
 // routing state after a BGP event withdraws or depreferences the
 // primary route.
 func (c *Computer) AltPathFrom(src int) []int {
-	if c.dst < 0 || c.typ[src] == RouteNone || src == c.dst {
+	if c.dst < 0 || c.ty(src) == RouteNone || src == c.dst {
 		return nil
 	}
 	primary := c.next[src]
@@ -267,7 +306,7 @@ func (c *Computer) AltPathFrom(src int) []int {
 	bestDist := int32(1 << 30)
 	for _, nb := range c.g.Neighbors(src, c.fam) {
 		v := int32(nb.Idx)
-		if v == primary || c.typ[v] == RouteNone {
+		if v == primary || c.ty(int(v)) == RouteNone {
 			continue
 		}
 		// Export rule: providers export everything to customers;
@@ -299,7 +338,7 @@ func (c *Computer) AltPathFrom(src int) []int {
 // computed destination as dense indices, inclusive of both endpoints.
 // It returns nil if src has no route.
 func (c *Computer) PathFrom(src int) []int {
-	if c.dst < 0 || c.typ[src] == RouteNone {
+	if c.dst < 0 || c.ty(src) == RouteNone {
 		return nil
 	}
 	path := make([]int, 0, 8)

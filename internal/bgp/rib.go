@@ -1,6 +1,10 @@
 package bgp
 
-import "v6web/internal/topo"
+import (
+	"math"
+
+	"v6web/internal/topo"
+)
 
 // Path is an AS-level path as dense graph indices, source first,
 // destination last. A one-element path means the destination is the
@@ -33,11 +37,14 @@ func (p Path) Equal(q Path) bool {
 
 // RIB holds the AS paths from one vantage AS to a set of destination
 // ASes over one address family — the per-vantage "routing table"
-// snapshot the paper retrieved after each monitoring round.
+// snapshot the paper retrieved after each monitoring round. Paths are
+// stored in a dense slice indexed by destination, so Lookup on the
+// measurement hot path is a bounds check and a load.
 type RIB struct {
 	Vantage int
 	Fam     topo.Family
-	paths   map[int]Path
+	paths   []Path // dense by destination index; nil = unreachable
+	n       int    // routed destinations
 }
 
 // BuildRIB computes paths from the vantage AS to every destination in
@@ -48,34 +55,102 @@ func BuildRIB(g *topo.Graph, vantage int, dsts []int, fam topo.Family) *RIB {
 
 // BuildRIBTiebreak is BuildRIB with an explicit next-hop tiebreak
 // direction; the "high" variant models the routing state after a BGP
-// path change.
+// path change. It uses the single-source fast path.
 func BuildRIBTiebreak(g *topo.Graph, vantage int, dsts []int, fam topo.Family, tiebreakHigh bool) *RIB {
+	return BuildRIBSingleSource(g, vantage, dsts, fam, tiebreakHigh)
+}
+
+// BuildRIBOracle is the per-destination reference implementation: one
+// full Computer.Routes sweep per destination, O(N·(N+E)) for a full
+// RIB. BuildRIBSingleSource is differentially tested against it and
+// falls back to it per destination on any internal inconsistency.
+func BuildRIBOracle(g *topo.Graph, vantage int, dsts []int, fam topo.Family, tiebreakHigh bool) *RIB {
 	c := NewComputer(g)
 	c.TiebreakHigh = tiebreakHigh
-	rib := &RIB{Vantage: vantage, Fam: fam, paths: make(map[int]Path, len(dsts))}
+	rib := &RIB{Vantage: vantage, Fam: fam, paths: make([]Path, g.N())}
 	for _, d := range dsts {
 		c.Routes(d, fam)
 		if p := c.PathFrom(vantage); p != nil {
-			rib.paths[d] = p
+			rib.insert(d, p)
 		}
 	}
 	return rib
 }
 
-// Lookup returns the AS path to dst, or nil if unreachable.
-func (r *RIB) Lookup(dst int) Path { return r.paths[dst] }
+// BuildRIBSingleSource builds the vantage's RIB in a single pass per
+// destination over that destination's provider up-cone instead of a
+// whole-graph route computation per destination.
+//
+// It exploits the valley-free duality: the oracle's path from the
+// vantage v to dst is fully determined by
+//
+//  1. dst's customer-route tree — the BFS climbing provider edges
+//     from dst (the oracle's stage 1), which only touches dst's
+//     provider ancestry (the "up-cone", typically a handful of ASes);
+//  2. the peer edges incident to that up-cone (stage 2 restricted to
+//     the nodes that can matter for v); and
+//  3. a shortest-route fixpoint over v's own provider ancestry
+//     (stage 3 restricted to the only nodes v's path can climb
+//     through).
+//
+// Invariants relied on (and preserved bit-for-bit from the oracle):
+//
+//   - Paths are valley-free: up* peer? down*. The up phase can only
+//     traverse v's provider ancestry; the down phase is a chain of
+//     stage-1 next pointers inside dst's up-cone.
+//   - Route preference is per node: customer > peer > provider,
+//     then shortest distance, then the configured index tiebreak.
+//     The resulting next-hop choice is order-independent (preferred
+//     index among the minimum-distance candidates), which is what
+//     makes the restricted sweeps exact rather than approximate.
+//   - A node with a customer route never takes a peer or provider
+//     route, so the up phase stops at the first ancestor holding a
+//     customer or peer route toward dst.
+//
+// Any internal inconsistency while materializing a path (a walk that
+// does not terminate at dst, a broken next pointer) falls back to the
+// per-destination oracle for that destination.
+func BuildRIBSingleSource(g *topo.Graph, vantage int, dsts []int, fam topo.Family, tiebreakHigh bool) *RIB {
+	b := newSSBuilder(g, vantage, fam, tiebreakHigh)
+	rib := &RIB{Vantage: vantage, Fam: fam, paths: make([]Path, g.N())}
+	for _, d := range dsts {
+		if p := b.path(d); p != nil {
+			rib.insert(d, p)
+		}
+	}
+	return rib
+}
 
-// Destinations returns every destination with a route.
+// insert stores a path for destination d.
+func (r *RIB) insert(d int, p Path) {
+	if r.paths[d] == nil {
+		r.n++
+	}
+	r.paths[d] = p
+}
+
+// Lookup returns the AS path to dst, or nil if unreachable.
+func (r *RIB) Lookup(dst int) Path {
+	if dst < 0 || dst >= len(r.paths) {
+		return nil
+	}
+	return r.paths[dst]
+}
+
+// Destinations returns every destination with a route, in ascending
+// order.
 func (r *RIB) Destinations() []int {
-	out := make([]int, 0, len(r.paths))
-	for d := range r.paths {
-		out = append(out, d)
+	out := make([]int, 0, r.n)
+	for d, p := range r.paths {
+		if p != nil {
+			out = append(out, d)
+		}
 	}
 	return out
 }
 
 // Len returns the number of routed destinations.
-func (r *RIB) Len() int { return len(r.paths) }
+func (r *RIB) Len() int { return r.n }
 
 // ASesCrossed returns the set of distinct ASes appearing on any path
 // in the RIB (including destination ASes), matching the "ASes crossed"
@@ -88,6 +163,278 @@ func (r *RIB) ASesCrossed() map[int]bool {
 		}
 	}
 	return out
+}
+
+// --- single-source builder -------------------------------------------
+
+const ssInf = int32(math.MaxInt32)
+
+// Route classes of a vantage-ancestor node toward the current
+// destination.
+const (
+	ssNone int8 = iota
+	ssCustomer
+	ssPeer
+	ssProvider
+)
+
+// ssBuilder holds the reusable state of one single-source RIB build.
+type ssBuilder struct {
+	g       *topo.Graph
+	fam     topo.Family
+	vantage int32
+	high    bool
+
+	// Family-filtered provider and peer adjacency (indices only),
+	// built once: the per-destination sweeps never scan full
+	// adjacency lists.
+	prov [][]int32
+	peer [][]int32
+
+	// anc is the vantage's provider ancestry (up-closure, vantage
+	// first); ancPos maps a node to its position in anc, -1 outside.
+	anc    []int32
+	ancPos []int32
+
+	// Epoch-stamped per-destination scratch for the stage-1 BFS over
+	// the destination's up-cone.
+	stamp []uint32
+	epoch uint32
+	dist1 []int32
+	next1 []int32
+	q     []int32
+
+	// Per-ancestor scratch for the current destination.
+	dA     []int32
+	nextA  []int32
+	classA []int8
+
+	oracle *Computer // lazy fallback
+}
+
+func newSSBuilder(g *topo.Graph, vantage int, fam topo.Family, high bool) *ssBuilder {
+	n := g.N()
+	b := &ssBuilder{
+		g:       g,
+		fam:     fam,
+		vantage: int32(vantage),
+		high:    high,
+		prov:    make([][]int32, n),
+		peer:    make([][]int32, n),
+		ancPos:  make([]int32, n),
+		stamp:   make([]uint32, n),
+		dist1:   make([]int32, n),
+		next1:   make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		b.ancPos[i] = -1
+		for _, nb := range g.Neighbors(i, fam) {
+			switch nb.Rel {
+			case topo.RelProvider:
+				b.prov[i] = append(b.prov[i], int32(nb.Idx))
+			case topo.RelPeer:
+				b.peer[i] = append(b.peer[i], int32(nb.Idx))
+			}
+		}
+	}
+	// Vantage up-closure over provider edges.
+	b.anc = append(b.anc, b.vantage)
+	b.ancPos[vantage] = 0
+	for head := 0; head < len(b.anc); head++ {
+		for _, p := range b.prov[b.anc[head]] {
+			if b.ancPos[p] < 0 {
+				b.ancPos[p] = int32(len(b.anc))
+				b.anc = append(b.anc, p)
+			}
+		}
+	}
+	b.dA = make([]int32, len(b.anc))
+	b.nextA = make([]int32, len(b.anc))
+	b.classA = make([]int8, len(b.anc))
+	return b
+}
+
+func (b *ssBuilder) prefer(u, current int32) bool {
+	if current < 0 {
+		return true
+	}
+	if b.high {
+		return u > current
+	}
+	return u < current
+}
+
+// path computes the vantage's path to dst, or nil if unreachable.
+func (b *ssBuilder) path(dst int) Path {
+	g := b.g
+	if b.fam == topo.V6 && !g.AS(dst).V6 {
+		return nil
+	}
+	b.epoch++
+	if b.epoch == 0 {
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.epoch = 1
+	}
+
+	// Stage 1: BFS from dst climbing provider edges — the oracle's
+	// customer-route tree, restricted to dst's up-cone. next1 points
+	// one step closer to dst (the oracle's next pointer).
+	q := b.q[:0]
+	d32 := int32(dst)
+	b.stamp[d32] = b.epoch
+	b.dist1[d32] = 0
+	b.next1[d32] = -1
+	q = append(q, d32)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		cand := b.dist1[u] + 1
+		for _, p := range b.prov[u] {
+			if b.stamp[p] != b.epoch {
+				b.stamp[p] = b.epoch
+				b.dist1[p] = cand
+				b.next1[p] = u
+				q = append(q, p)
+			} else if b.dist1[p] == cand && b.prefer(u, b.next1[p]) {
+				b.next1[p] = u
+			}
+		}
+	}
+	b.q = q
+
+	if b.stamp[b.vantage] == b.epoch {
+		// The vantage holds a customer route (or is the destination).
+		return b.walkDown(nil, b.vantage, dst)
+	}
+
+	// Peer bases: ancestors reachable by one peer edge from the
+	// up-cone (the oracle's stage 2, restricted to the nodes v's
+	// path can traverse). Ancestors inside the up-cone keep their
+	// customer route — preference, not distance, decides.
+	for i := range b.anc {
+		b.dA[i] = ssInf
+		b.nextA[i] = -1
+		b.classA[i] = ssNone
+	}
+	for _, u := range q {
+		cand := b.dist1[u] + 1
+		for _, pe := range b.peer[u] {
+			ap := b.ancPos[pe]
+			if ap < 0 || b.stamp[pe] == b.epoch {
+				continue
+			}
+			if b.classA[ap] != ssPeer || cand < b.dA[ap] || (cand == b.dA[ap] && b.prefer(u, b.nextA[ap])) {
+				b.classA[ap] = ssPeer
+				b.dA[ap] = cand
+				b.nextA[ap] = u
+			}
+		}
+	}
+	for i, a := range b.anc {
+		if b.stamp[a] == b.epoch {
+			b.classA[i] = ssCustomer
+			b.dA[i] = b.dist1[a]
+			b.nextA[i] = b.next1[a]
+		}
+	}
+
+	// Provider fixpoint over the ancestry: dist(w) = 1 + min over
+	// providers dist(u), customer/peer classes frozen (preference).
+	for changed := true; changed; {
+		changed = false
+		for i, a := range b.anc {
+			if b.classA[i] == ssCustomer || b.classA[i] == ssPeer {
+				continue
+			}
+			best := ssInf
+			for _, p := range b.prov[a] {
+				if dp := b.dA[b.ancPos[p]]; dp != ssInf && dp+1 < best {
+					best = dp + 1
+				}
+			}
+			if best < b.dA[i] {
+				b.dA[i] = best
+				changed = true
+			}
+		}
+	}
+	// Final next-hop selection for provider-class ancestors: the
+	// preferred index among minimum-distance providers (the oracle's
+	// stage-3 fixpoint state).
+	for i, a := range b.anc {
+		if b.classA[i] != ssNone || b.dA[i] == ssInf {
+			continue
+		}
+		b.classA[i] = ssProvider
+		want := b.dA[i] - 1
+		best := int32(-1)
+		for _, p := range b.prov[a] {
+			if b.dA[b.ancPos[p]] == want && b.prefer(p, best) {
+				best = p
+			}
+		}
+		b.nextA[i] = best
+	}
+
+	if b.dA[0] == ssInf {
+		return nil // vantage has no route of any class
+	}
+
+	// Materialize: climb provider-class ancestors, cross at most one
+	// peer edge, descend the stage-1 tree.
+	path := make(Path, 0, int(b.dA[0])+1)
+	cur := b.vantage
+	for steps := 0; steps <= len(b.anc); steps++ {
+		i := b.ancPos[cur]
+		if i < 0 {
+			return b.fallback(dst)
+		}
+		switch b.classA[i] {
+		case ssCustomer:
+			return b.walkDown(path, cur, dst)
+		case ssPeer:
+			path = append(path, int(cur))
+			return b.walkDown(path, b.nextA[i], dst)
+		case ssProvider:
+			path = append(path, int(cur))
+			cur = b.nextA[i]
+			if cur < 0 {
+				return b.fallback(dst)
+			}
+		default:
+			return b.fallback(dst)
+		}
+	}
+	return b.fallback(dst) // cycle guard; cannot happen with a consistent fixpoint
+}
+
+// walkDown appends the stage-1 next chain from node x down to dst.
+func (b *ssBuilder) walkDown(path Path, x int32, dst int) Path {
+	for steps := 0; steps <= b.g.N(); steps++ {
+		if b.stamp[x] != b.epoch {
+			return b.fallback(dst)
+		}
+		path = append(path, int(x))
+		if int(x) == dst {
+			return path
+		}
+		x = b.next1[x]
+		if x < 0 {
+			return b.fallback(dst)
+		}
+	}
+	return b.fallback(dst)
+}
+
+// fallback recomputes one destination with the per-destination oracle.
+func (b *ssBuilder) fallback(dst int) Path {
+	if b.oracle == nil {
+		b.oracle = NewComputer(b.g)
+		b.oracle.TiebreakHigh = b.high
+	}
+	b.oracle.Routes(dst, b.fam)
+	return b.oracle.PathFrom(int(b.vantage))
 }
 
 // EdgeOnPath finds the adjacency used between consecutive path ASes a

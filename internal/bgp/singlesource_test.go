@@ -1,0 +1,154 @@
+package bgp
+
+import (
+	"fmt"
+	"testing"
+
+	"v6web/internal/topo"
+)
+
+// diffConfigs returns the topology shapes the differential test sweeps:
+// the default shape plus variants stressing each structural dimension
+// the single-source fast path depends on (peering density, v6
+// sparsity, tunnel prevalence, hierarchy width).
+func diffConfigs(n int, seed int64) []topo.GenConfig {
+	base := topo.DefaultGenConfig(n, seed)
+
+	densePeering := base
+	densePeering.Tier2PeerDegree = 6.0
+
+	sparseV6 := base
+	sparseV6.V6Tier2Frac = 0.2
+	sparseV6.V6StubFrac = 0.03
+	sparseV6.V6EdgeParity = 0.4
+
+	fullParity := base
+	fullParity.V6EdgeParity = 1.0
+	fullParity.TunnelFrac = 0
+
+	tunnelHeavy := base
+	tunnelHeavy.TunnelFrac = 0.9
+	tunnelHeavy.NTunnelBrokers = 5
+
+	flat := base
+	flat.NTier1 = 4
+	flat.NTier2 = n / 3
+	flat.MaxStubProviders = 5
+
+	return []topo.GenConfig{base, densePeering, sparseV6, fullParity, tunnelHeavy, flat}
+}
+
+// TestSingleSourceMatchesOracle differentially tests
+// BuildRIBSingleSource against the per-destination oracle across
+// seeds, topology shapes, families, tiebreak directions, and vantage
+// placements. Paths must match exactly, not just in length.
+func TestSingleSourceMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		for shape, cfg := range diffConfigs(220, seed) {
+			g, err := topo.Generate(cfg)
+			if err != nil {
+				t.Fatalf("seed %d shape %d: %v", seed, shape, err)
+			}
+			all := make([]int, g.N())
+			for i := range all {
+				all[i] = i
+			}
+			// Vantages across the hierarchy: a tier1, a tier2, a stub,
+			// and a v6-capable stub if one exists.
+			vantages := []int{0, g.N() / 4, g.N() - 1}
+			for i := g.N() - 1; i >= 0; i-- {
+				if g.AS(i).V6 && g.AS(i).Tier == topo.Stub {
+					vantages = append(vantages, i)
+					break
+				}
+			}
+			for _, vantage := range vantages {
+				for _, fam := range []topo.Family{topo.V4, topo.V6} {
+					for _, high := range []bool{false, true} {
+						name := fmt.Sprintf("seed=%d/shape=%d/v=%d/%v/high=%v", seed, shape, vantage, fam, high)
+						fast := BuildRIBSingleSource(g, vantage, all, fam, high)
+						slow := BuildRIBOracle(g, vantage, all, fam, high)
+						if fast.Len() != slow.Len() {
+							t.Fatalf("%s: fast %d routes, oracle %d", name, fast.Len(), slow.Len())
+						}
+						for _, d := range all {
+							fp, sp := fast.Lookup(d), slow.Lookup(d)
+							if !fp.Equal(sp) {
+								t.Fatalf("%s: path to %d diverges:\n fast   %v\n oracle %v", name, d, fp, sp)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSingleSourcePathsValleyFree checks the structural invariant the
+// fast path is built on: every produced path is valley-free.
+func TestSingleSourcePathsValleyFree(t *testing.T) {
+	g := genGraph(t, 500, 77)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	for _, fam := range []topo.Family{topo.V4, topo.V6} {
+		rib := BuildRIBSingleSource(g, 0, all, fam, false)
+		for _, d := range rib.Destinations() {
+			p := rib.Lookup(d)
+			if !IsValleyFree(g, p, fam) {
+				t.Fatalf("%v path to %d not valley-free: %v", fam, d, p)
+			}
+		}
+	}
+}
+
+// TestSingleSourceSelfAndUnreachable pins the degenerate cases: the
+// vantage as its own destination, and v6 destinations without v6.
+func TestSingleSourceSelfAndUnreachable(t *testing.T) {
+	g := genGraph(t, 200, 31)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	rib := BuildRIBSingleSource(g, 5, all, topo.V4, false)
+	if p := rib.Lookup(5); len(p) != 1 || p[0] != 5 {
+		t.Fatalf("self path = %v, want [5]", p)
+	}
+	rib6 := BuildRIBSingleSource(g, 5, all, topo.V6, false)
+	for _, d := range all {
+		if !g.AS(d).V6 && rib6.Lookup(d) != nil {
+			t.Fatalf("v6 path to non-v6 AS %d", d)
+		}
+	}
+}
+
+func BenchmarkBuildRIBSingleSourceFull(b *testing.B) {
+	g, err := topo.Generate(topo.DefaultGenConfig(1000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRIBSingleSource(g, 0, all, topo.V4, false)
+	}
+}
+
+func BenchmarkBuildRIBOracleFull(b *testing.B) {
+	g, err := topo.Generate(topo.DefaultGenConfig(1000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRIBOracle(g, 0, all, topo.V4, false)
+	}
+}

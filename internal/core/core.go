@@ -203,6 +203,10 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reserve the lock-free site tables: the main list's ids are dense
+	// from zero (grown between rounds as churn mints new sites), the
+	// extended population is dense from ExtendedBase.
+	cat.Reserve(list.TotalSeen(), ExtendedBase, cfg.Extended)
 	s.Catalog = cat
 
 	nc := netsim.DefaultConfig(cfg.Seed)
@@ -364,6 +368,9 @@ func (s *Scenario) Run() error {
 				s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
 			}
 		}
+		// Keep the catalog's lock-free table covering every minted id;
+		// no monitor is running here, so growing is safe.
+		s.Catalog.Reserve(s.List.TotalSeen(), 0, 0)
 		for _, vp := range s.Cfg.Vantages {
 			if r < vp.StartRound {
 				continue

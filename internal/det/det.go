@@ -77,6 +77,11 @@ func NewSource(parts ...uint64) *source { //nolint:revive // unexported return i
 	return &source{state: Mix(parts...)}
 }
 
+// Reseed resets the stream to the state NewSource(parts...) would
+// start from, letting hot loops reuse one source (and one wrapping
+// rand.Rand) instead of allocating per entity.
+func (s *source) Reseed(parts ...uint64) { s.state = Mix(parts...) }
+
 // Uint64 implements rand.Source64.
 func (s *source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -15,7 +15,9 @@ package measure
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,8 +36,12 @@ type SiteRef struct {
 
 // HostName maps a site id to its synthetic DNS name.
 func HostName(id alexa.SiteID) string {
-	return fmt.Sprintf("site%d.v6web.test", id)
+	// strconv instead of fmt: this runs once per site per round.
+	return "site" + strconv.FormatInt(int64(id), 10) + ".v6web.test"
 }
+
+// famBoth avoids a fresh slice per site when iterating both families.
+var famBoth = [2]topo.Family{topo.V4, topo.V6}
 
 // FetchResult is one completed page download.
 type FetchResult struct {
@@ -67,6 +73,14 @@ type Fetcher interface {
 // or absent.
 type OriginReporter interface {
 	Origins(ref SiteRef, date time.Time) (v4AS, v6AS int)
+}
+
+// SiteResolver is an optional Fetcher extension that performs the
+// A/AAAA phase and the origin attribution in one call, saving a
+// second per-site catalogue lookup on the monitoring hot path. The
+// outcome must match Resolve followed by Origins.
+type SiteResolver interface {
+	ResolveOrigins(ref SiteRef, date time.Time) (hasA, hasAAAA bool, v4AS, v6AS int, err error)
 }
 
 // PathReporter optionally reports the AS path to a destination AS in
@@ -129,6 +143,12 @@ type Monitor struct {
 	cfg   Config
 	fetch Fetcher
 	db    *store.DB
+
+	// Optional fetcher capabilities, asserted once at construction
+	// instead of per site on the hot path.
+	origins  OriginReporter
+	paths    PathReporter
+	resolver SiteResolver
 }
 
 // NewMonitor builds a monitor writing into db.
@@ -139,16 +159,67 @@ func NewMonitor(cfg Config, fetch Fetcher, db *store.DB) (*Monitor, error) {
 	if fetch == nil || db == nil {
 		return nil, fmt.Errorf("measure: nil fetcher or db")
 	}
-	return &Monitor{cfg: cfg, fetch: fetch, db: db}, nil
+	m := &Monitor{cfg: cfg, fetch: fetch, db: db}
+	m.origins, _ = fetch.(OriginReporter)
+	m.paths, _ = fetch.(PathReporter)
+	m.resolver, _ = fetch.(SiteResolver)
+	return m, nil
 }
 
 // DB returns the result database.
 func (m *Monitor) DB() *store.DB { return m.db }
 
+// destSet is a growable bitset over dense destination-AS indices —
+// the per-worker "ASes seen this round" accumulator.
+type destSet struct{ bits []uint64 }
+
+func (s *destSet) add(i int) {
+	w := i >> 6
+	if w >= len(s.bits) {
+		grown := make([]uint64, max(w+1, 2*len(s.bits)))
+		copy(grown, s.bits)
+		s.bits = grown
+	}
+	s.bits[w] |= 1 << (uint(i) & 63)
+}
+
+func (s *destSet) merge(o *destSet) {
+	if len(o.bits) > len(s.bits) {
+		grown := make([]uint64, len(o.bits))
+		copy(grown, s.bits)
+		s.bits = grown
+	}
+	for i, b := range o.bits {
+		s.bits[i] |= b
+	}
+}
+
+// forEach visits set bits in ascending order.
+func (s *destSet) forEach(fn func(int)) {
+	for w, b := range s.bits {
+		for b != 0 {
+			fn(w<<6 + bits.TrailingZeros64(b))
+			b &= b - 1
+		}
+	}
+}
+
+// roundAcc is one worker's private accumulator; workers never share
+// state during a round, so the per-site path takes no locks.
+type roundAcc struct {
+	st   RoundStats
+	dest destSet
+	_    [5]uint64 // pad to a cache line so workers don't false-share
+}
+
 // RunRound monitors every site once. date stamps the samples; tFrac
 // in [0,1] positions the round within the study for the simulated
 // substrate. The site order is randomized per round ("to avoid
 // time-of-day biases").
+//
+// Stats and the destination-AS set are accumulated per worker and
+// merged after the round: the per-site path is free of the global
+// mutex the original design serialized every worker through.
 func (m *Monitor) RunRound(round int, date time.Time, tFrac float64, sites []SiteRef) RoundStats {
 	order := make([]int, len(sites))
 	for i := range order {
@@ -157,65 +228,88 @@ func (m *Monitor) RunRound(round int, date time.Time, tFrac float64, sites []Sit
 	shuffleRng := rand.New(rand.NewSource(int64(det.Mix(uint64(m.cfg.Seed), uint64(round), 0x0BDE))))
 	shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
-	jobs := make(chan int, len(sites))
-	var mu sync.Mutex
-	st := RoundStats{Round: round, Sites: len(sites)}
-	destASes := make(map[int]bool) // destination ASes seen this round
+	// Sites are dispatched in contiguous chunks of the shuffled order,
+	// bounding channel operations; the per-(seed,round,site) RNG
+	// derivation keeps results independent of worker assignment.
+	const chunk = 64
+	jobs := make(chan [2]int, len(order)/chunk+1)
+	accs := make([]roundAcc, m.cfg.Workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < m.cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(acc *roundAcc) {
 			defer wg.Done()
-			for idx := range jobs {
-				// The sampling RNG is derived per (seed, round,
-				// site) so results do not depend on which worker
-				// picks a site up or in what order.
-				rng := rand.New(det.NewSource(uint64(m.cfg.Seed), uint64(round), uint64(sites[idx].ID), 0xF00D))
-				res := m.monitorSite(sites[idx], round, date, tFrac, rng)
-				mu.Lock()
-				if res.dual {
-					st.Dual++
+			// One reusable RNG per worker, reseeded per (seed, round,
+			// site) so results do not depend on which worker picks a
+			// site up or in what order.
+			src := det.NewSource(0)
+			rng := rand.New(src)
+			var dnsBuf []store.DNSRow
+			for rg := range jobs {
+				for _, idx := range order[rg[0]:rg[1]] {
+					src.Reseed(uint64(m.cfg.Seed), uint64(round), uint64(sites[idx].ID), 0xF00D)
+					res := m.monitorSite(sites[idx], round, date, tFrac, rng)
+					if res.hasDNS {
+						dnsBuf = append(dnsBuf, res.dns)
+					}
+					if res.dual {
+						acc.st.Dual++
+					}
+					if res.identical {
+						acc.st.Identical++
+					}
+					if res.measured {
+						acc.st.Measured++
+					}
+					if res.fetchFail {
+						acc.st.FetchFails++
+					}
+					// Only dual-stack sites count as monitored
+					// destinations (Table 2's AS coverage is about the
+					// dual-monitored population).
+					if res.dual && res.v4AS >= 0 {
+						acc.dest.add(res.v4AS)
+					}
+					if res.dual && res.v6AS >= 0 {
+						acc.dest.add(res.v6AS)
+					}
 				}
-				if res.identical {
-					st.Identical++
-				}
-				if res.measured {
-					st.Measured++
-				}
-				if res.fetchFail {
-					st.FetchFails++
-				}
-				// Only dual-stack sites count as monitored
-				// destinations (Table 2's AS coverage is about the
-				// dual-monitored population).
-				if res.dual && res.v4AS >= 0 {
-					destASes[res.v4AS] = true
-				}
-				if res.dual && res.v6AS >= 0 {
-					destASes[res.v6AS] = true
-				}
-				mu.Unlock()
 			}
-		}()
+			m.db.AddDNSBatch(m.cfg.Vantage, dnsBuf)
+		}(&accs[w])
 	}
-	for _, idx := range order {
-		jobs <- idx
+	for start := 0; start < len(order); start += chunk {
+		end := start + chunk
+		if end > len(order) {
+			end = len(order)
+		}
+		jobs <- [2]int{start, end}
 	}
 	close(jobs)
 	wg.Wait()
 
+	st := RoundStats{Round: round, Sites: len(sites)}
+	var destASes destSet
+	for w := range accs {
+		st.Dual += accs[w].st.Dual
+		st.Identical += accs[w].st.Identical
+		st.Measured += accs[w].st.Measured
+		st.FetchFails += accs[w].st.FetchFails
+		destASes.merge(&accs[w].dest)
+	}
+
 	// Post-round BGP snapshot: record paths to every destination AS
 	// seen, over both families (the paper retrieved routing tables
 	// "after each monitoring round").
-	if pr, ok := m.fetch.(PathReporter); ok {
-		for dst := range destASes {
-			for _, fam := range []topo.Family{topo.V4, topo.V6} {
-				if p := pr.PathTo(dst, fam, round); p != nil {
+	if m.paths != nil {
+		destASes.forEach(func(dst int) {
+			for _, fam := range famBoth {
+				if p := m.paths.PathTo(dst, fam, round); p != nil {
 					m.db.AddPath(m.cfg.Vantage, fam, dst, round, p)
 				}
 			}
-		}
+		})
 	}
 	return st
 }
@@ -227,26 +321,33 @@ type siteResult struct {
 	fetchFail bool
 	v4AS      int
 	v6AS      int
+	dns       store.DNSRow
+	hasDNS    bool // dns holds this round's row (workers batch-insert)
 }
 
-// monitorSite runs the Fig 2 phases for one site.
+// monitorSite runs the Fig 2 phases for one site. The DNS row is
+// returned in the result rather than written here so workers can
+// batch their inserts.
 func (m *Monitor) monitorSite(ref SiteRef, round int, date time.Time, tFrac float64, rng *rand.Rand) siteResult {
 	out := siteResult{v4AS: -1, v6AS: -1}
-	hasA, hasAAAA, err := m.fetch.Resolve(ref, date)
+	var hasA, hasAAAA bool
+	var err error
+	if m.resolver != nil {
+		hasA, hasAAAA, out.v4AS, out.v6AS, err = m.resolver.ResolveOrigins(ref, date)
+	} else {
+		hasA, hasAAAA, err = m.fetch.Resolve(ref, date)
+	}
 	if err != nil {
 		out.fetchFail = true
 		return out
 	}
-	if or, ok := m.fetch.(OriginReporter); ok {
-		out.v4AS, out.v6AS = or.Origins(ref, date)
+	if m.resolver == nil && m.origins != nil {
+		out.v4AS, out.v6AS = m.origins.Origins(ref, date)
 	}
-	m.db.PutSite(store.SiteRow{
-		Site: ref.ID, Host: HostName(ref.ID), FirstRank: ref.FirstRank,
-		V4AS: out.v4AS, V6AS: out.v6AS,
-	})
-	dnsRow := store.DNSRow{Site: ref.ID, Round: round, HasA: hasA, HasAAAA: hasAAAA}
+	m.db.EnsureSite(ref.ID, ref.FirstRank, out.v4AS, out.v6AS, HostName)
+	out.dns = store.DNSRow{Site: ref.ID, Round: round, HasA: hasA, HasAAAA: hasAAAA}
+	out.hasDNS = true
 	if !hasA || !hasAAAA {
-		m.db.AddDNS(m.cfg.Vantage, dnsRow)
 		return out
 	}
 	out.dual = true
@@ -256,16 +357,14 @@ func (m *Monitor) monitorSite(ref SiteRef, round int, date time.Time, tFrac floa
 	first6, err6 := m.fetch.Fetch(ref, topo.V6, round, tFrac, rng)
 	if err4 != nil || err6 != nil {
 		out.fetchFail = true
-		m.db.AddDNS(m.cfg.Vantage, dnsRow)
 		return out
 	}
 	diff := first4.PageBytes - first6.PageBytes
 	if diff < 0 {
 		diff = -diff
 	}
-	dnsRow.Identical = float64(diff) <= m.cfg.IdentityFrac*float64(first4.PageBytes)
-	m.db.AddDNS(m.cfg.Vantage, dnsRow)
-	if !dnsRow.Identical {
+	out.dns.Identical = float64(diff) <= m.cfg.IdentityFrac*float64(first4.PageBytes)
+	if !out.dns.Identical {
 		return out
 	}
 	out.identical = true
@@ -273,7 +372,7 @@ func (m *Monitor) monitorSite(ref SiteRef, round int, date time.Time, tFrac floa
 	// Phase 3: repeat downloads until the CI stop rule, per family
 	// ("first for IPv4 and then IPv6, each after proper resetting").
 	okBoth := true
-	for _, fam := range []topo.Family{topo.V4, topo.V6} {
+	for _, fam := range famBoth {
 		sample, ok := m.converge(ref, fam, round, tFrac, rng)
 		sample.Round = round
 		sample.Date = date

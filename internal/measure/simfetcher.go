@@ -27,6 +27,14 @@ import (
 // change and whatever performance shift the new path implies —
 // Section 5.1's "in some of those cases, this transition was the
 // result of a path change".
+//
+// Everything derivable at construction is precomputed so Fetch — the
+// innermost call of the measurement campaign — does no route
+// computation, no path walking, and no locking on the primary-route
+// path: RIBs are built by the single-source fast path, per-path
+// netsim characteristics and per-destination change rounds are
+// tabulated up front, and only lazily-computed alternative paths take
+// a mutex.
 type SimFetcher struct {
 	VantageAS int
 	Cat       *websim.Catalog
@@ -40,20 +48,34 @@ type SimFetcher struct {
 	// Seed drives path-change scheduling.
 	Seed int64
 
-	ribs map[topo.Family]*bgp.RIB // primary routes
+	ribs [2]*bgp.RIB // primary routes, indexed by family
+
+	// Precomputed per destination, per family.
+	primPerf    [2][]netsim.PathPerf // data-plane characteristics of the primary path
+	changeAt    [2][]int32           // round the pair reroutes, -1 = never
+	vantageQual float64              // netsim vantage quality, constant per fetcher
 
 	// plan maps site addresses back to origin ASes by longest-prefix
 	// match, the way the paper attributed A/AAAA records to
 	// destination ASes using BGP data.
 	plan *ipam.Plan
 
-	mu   sync.Mutex
-	alts map[altKey][]int // lazily computed alternative paths
+	mu      sync.Mutex
+	alts    map[altKey]altRoute // lazily computed alternative paths
+	altComp *bgp.Computer       // pooled per-destination computer for alternatives
 }
 
 type altKey struct {
 	dst int
 	fam topo.Family
+}
+
+// altRoute is a cached alternative path with its precomputed
+// data-plane characteristics. A nil path means no policy-compliant
+// alternative exists.
+type altRoute struct {
+	path []int
+	perf netsim.PathPerf
 }
 
 // NewSimFetcher precomputes primary and alternate RIBs from the
@@ -80,11 +102,21 @@ func NewSimFetcher(vantageAS int, cat *websim.Catalog, model *netsim.Model, path
 		PathChangeFrac: pathChangeFrac,
 		TotalRounds:    totalRounds,
 		Seed:           seed,
-		ribs:           make(map[topo.Family]*bgp.RIB),
-		alts:           make(map[altKey][]int),
+		alts:           make(map[altKey]altRoute),
+		vantageQual:    model.VantageQuality(vantageAS),
 	}
 	for _, fam := range []topo.Family{topo.V4, topo.V6} {
 		f.ribs[fam] = bgp.BuildRIB(g, vantageAS, all, fam)
+		perf := make([]netsim.PathPerf, g.N())
+		change := make([]int32, g.N())
+		for dst := 0; dst < g.N(); dst++ {
+			change[dst] = int32(f.computeChangeRound(dst, fam))
+			if p := f.ribs[fam].Lookup(dst); p != nil {
+				perf[dst] = model.PathPerf(p, fam)
+			}
+		}
+		f.primPerf[fam] = perf
+		f.changeAt[fam] = change
 	}
 	plan, err := ipam.NewPlan(g)
 	if err != nil {
@@ -94,27 +126,32 @@ func NewSimFetcher(vantageAS int, cat *websim.Catalog, model *netsim.Model, path
 	return f, nil
 }
 
-// altPath lazily computes (and caches) the alternative path to dst.
-// nil means no policy-compliant alternative exists.
-func (f *SimFetcher) altPath(dst int, fam topo.Family) []int {
+// altPath lazily computes (and caches) the alternative path to dst
+// and its path characteristics. A nil path means no policy-compliant
+// alternative exists. The per-destination route computer is pooled
+// across calls.
+func (f *SimFetcher) altPath(dst int, fam topo.Family) altRoute {
 	k := altKey{dst, fam}
 	f.mu.Lock()
-	if p, ok := f.alts[k]; ok {
-		f.mu.Unlock()
-		return p
+	defer f.mu.Unlock()
+	if r, ok := f.alts[k]; ok {
+		return r
 	}
-	f.mu.Unlock()
-	c := bgp.NewComputer(f.Cat.Graph())
-	c.Routes(dst, fam)
-	p := c.AltPathFrom(f.VantageAS)
-	f.mu.Lock()
-	f.alts[k] = p
-	f.mu.Unlock()
-	return p
+	if f.altComp == nil {
+		f.altComp = bgp.NewComputer(f.Cat.Graph())
+	}
+	f.altComp.Routes(dst, fam)
+	var r altRoute
+	if p := f.altComp.AltPathFrom(f.VantageAS); p != nil {
+		r = altRoute{path: p, perf: f.Model.PathPerf(p, fam)}
+	}
+	f.alts[k] = r
+	return r
 }
 
-// changeRound returns the round at which (dst, fam) reroutes, or -1.
-func (f *SimFetcher) changeRound(dst int, fam topo.Family) int {
+// computeChangeRound returns the round at which (dst, fam) reroutes,
+// or -1; tabulated once at construction.
+func (f *SimFetcher) computeChangeRound(dst int, fam topo.Family) int {
 	if !det.Bool(f.PathChangeFrac, uint64(f.Seed), uint64(f.VantageAS), uint64(dst), uint64(fam), 0xC4A6) {
 		return -1
 	}
@@ -124,40 +161,74 @@ func (f *SimFetcher) changeRound(dst int, fam topo.Family) int {
 	return lo + det.IntN(span, uint64(f.Seed), uint64(f.VantageAS), uint64(dst), uint64(fam), 0x0DD)
 }
 
-// PathTo implements PathReporter.
-func (f *SimFetcher) PathTo(dst int, fam topo.Family, round int) []int {
+// route returns the path and data-plane characteristics in effect for
+// (dst, fam) at round.
+func (f *SimFetcher) route(dst int, fam topo.Family, round int) ([]int, netsim.PathPerf) {
 	primary := f.ribs[fam].Lookup(dst)
 	if primary == nil {
-		return nil
+		return nil, netsim.PathPerf{}
 	}
-	if cr := f.changeRound(dst, fam); cr >= 0 && round >= cr {
-		if alt := f.altPath(dst, fam); alt != nil {
-			return alt
+	if cr := f.changeAt[fam][dst]; cr >= 0 && round >= int(cr) {
+		if alt := f.altPath(dst, fam); alt.path != nil {
+			return alt.path, alt.perf
 		}
 	}
-	return primary
+	return primary, f.primPerf[fam][dst]
+}
+
+// PathTo implements PathReporter.
+func (f *SimFetcher) PathTo(dst int, fam topo.Family, round int) []int {
+	p, _ := f.route(dst, fam, round)
+	return p
 }
 
 // Resolve implements Fetcher: A always exists; AAAA appears at the
 // site's adoption date.
 func (f *SimFetcher) Resolve(ref SiteRef, date time.Time) (bool, bool, error) {
 	site := f.Cat.Site(ref.ID, ref.FirstRank)
-	return true, site.DualAt(date), nil
+	return true, site.DualAtUnix(date.UnixNano()), nil
 }
 
-// Origins implements OriginReporter: the site's DNS addresses are
-// mapped back to origin ASes by longest-prefix match against the
-// address plan, mirroring the paper's BGP-based attribution.
-func (f *SimFetcher) Origins(ref SiteRef, date time.Time) (int, int) {
-	site := f.Cat.Site(ref.ID, ref.FirstRank)
-	v4 := f.plan.OriginV4(f.plan.SiteV4(site.V4AS, int64(ref.ID)))
-	v6 := -1
-	if site.DualAt(date) {
-		if addr := f.plan.SiteV6(site.V6AS, int64(ref.ID)); addr != nil {
-			v6 = f.plan.OriginV6(addr)
+// origins computes (and memoizes on the site) the origin-AS
+// attribution: the site's addresses mapped back to ASes by
+// longest-prefix match against the address plan, mirroring the
+// paper's BGP-based attribution. v6Full is the post-adoption value;
+// callers gate it on dual-stack status.
+func (f *SimFetcher) origins(site *websim.Site, id int64) (v4, v6Full int) {
+	if v4, v6Full, ok := site.CachedOrigins(); ok {
+		return v4, v6Full
+	}
+	v4 = f.plan.OriginV4(f.plan.SiteV4(site.V4AS, id))
+	v6Full = -1
+	if site.V6AS >= 0 {
+		if addr := f.plan.SiteV6(site.V6AS, id); addr != nil {
+			v6Full = f.plan.OriginV6(addr)
 		}
 	}
-	return v4, v6
+	site.CacheOrigins(v4, v6Full)
+	return v4, v6Full
+}
+
+// Origins implements OriginReporter.
+func (f *SimFetcher) Origins(ref SiteRef, date time.Time) (int, int) {
+	site := f.Cat.Site(ref.ID, ref.FirstRank)
+	v4, v6Full := f.origins(site, int64(ref.ID))
+	if !site.DualAtUnix(date.UnixNano()) {
+		return v4, -1
+	}
+	return v4, v6Full
+}
+
+// ResolveOrigins implements SiteResolver: the DNS phase and origin
+// attribution in one catalogue lookup.
+func (f *SimFetcher) ResolveOrigins(ref SiteRef, date time.Time) (hasA, hasAAAA bool, v4AS, v6AS int, err error) {
+	site := f.Cat.Site(ref.ID, ref.FirstRank)
+	dual := site.DualAtUnix(date.UnixNano())
+	v4, v6Full := f.origins(site, int64(ref.ID))
+	if !dual {
+		v6Full = -1
+	}
+	return true, dual, v4, v6Full, nil
 }
 
 // Fetch implements Fetcher: one simulated page download.
@@ -172,15 +243,15 @@ func (f *SimFetcher) Fetch(ref SiteRef, fam topo.Family, round int, tFrac float6
 			return FetchResult{}, fmt.Errorf("measure: site %d has no AAAA", ref.ID)
 		}
 	}
-	path := bgp.Path(f.PathTo(dst, fam, round))
+	path, pp := f.route(dst, fam, round)
 	if path == nil {
 		return FetchResult{}, fmt.Errorf("measure: AS %d unreachable over %v", dst, fam)
 	}
-	roundSpeed := f.Model.RoundSpeed(f.VantageAS, site, path, fam, tFrac, round)
+	roundSpeed := f.Model.RoundSpeedPerf(f.vantageQual, site, pp, fam, tFrac, round)
 	speed := f.Model.SampleSpeed(roundSpeed, rng)
 	if speed <= 0 {
 		return FetchResult{}, fmt.Errorf("measure: zero speed to site %d over %v", ref.ID, fam)
 	}
-	setup := f.Model.SetupTime(f.Model.PathPerf(path, fam))
+	setup := f.Model.SetupTime(pp)
 	return FetchResult{PageBytes: page, Elapsed: netsim.DownloadTimeSetup(page, speed, setup)}, nil
 }

@@ -207,7 +207,14 @@ func (m *Model) hopFactor(hops int) float64 {
 // monitoring round. tFrac is the round's position in the study, in
 // [0,1]; round indexes the per-round noise.
 func (m *Model) RoundSpeed(vantage int, site *websim.Site, p bgp.Path, fam topo.Family, tFrac float64, round int) float64 {
-	pp := m.PathPerf(p, fam)
+	return m.RoundSpeedPerf(m.VantageQuality(vantage), site, m.PathPerf(p, fam), fam, tFrac, round)
+}
+
+// RoundSpeedPerf is RoundSpeed with the vantage quality and path
+// characteristics precomputed — the monitoring hot path evaluates the
+// same (vantage, path) pair for every download of a round, so callers
+// cache both and skip the per-call path walk.
+func (m *Model) RoundSpeedPerf(vantageQ float64, site *websim.Site, pp PathPerf, fam topo.Family, tFrac float64, round int) float64 {
 	if pp.PathFactor == 0 {
 		return 0
 	}
@@ -215,7 +222,7 @@ func (m *Model) RoundSpeed(vantage int, site *websim.Site, p bgp.Path, fam topo.
 	if fam == topo.V6 {
 		srv = site.SrvV6
 	}
-	speed := m.cfg.BaseRate * m.VantageQuality(vantage) * pp.PathFactor * srv
+	speed := m.cfg.BaseRate * vantageQ * pp.PathFactor * srv
 	speed *= site.PerfMultiplier(fam, tFrac)
 	// Round-level variation: a shared component (site load, general
 	// congestion) plus a small family-specific one.

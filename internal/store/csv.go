@@ -76,82 +76,81 @@ func (db *DB) saveSites(path string) error {
 }
 
 func (db *DB) saveDNS(path string) error {
-	db.mu.RLock()
 	var rows [][]string
-	vs := make([]Vantage, 0, len(db.dns))
-	for v := range db.dns {
-		vs = append(vs, v)
-	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	for _, v := range vs {
-		for _, r := range db.dns[v] {
+	for _, v := range db.Vantages() {
+		t := db.lookup(v)
+		t.dnsMu.Lock()
+		for _, r := range t.dns {
 			rows = append(rows, []string{
 				string(v), strconv.FormatInt(int64(r.Site), 10), strconv.Itoa(r.Round),
 				strconv.FormatBool(r.HasA), strconv.FormatBool(r.HasAAAA), strconv.FormatBool(r.Identical),
 			})
 		}
+		t.dnsMu.Unlock()
 	}
-	db.mu.RUnlock()
 	return writeCSV(path, []string{"vantage", "site", "round", "has_a", "has_aaaa", "identical"}, rows)
 }
 
 func (db *DB) saveSamples(path string) error {
-	db.mu.RLock()
-	keys := make([]sampleKey, 0, len(db.samples))
-	for k := range db.samples {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.v != b.v {
-			return a.v < b.v
-		}
-		if a.site != b.site {
-			return a.site < b.site
-		}
-		return a.fam < b.fam
-	})
 	var rows [][]string
-	for _, k := range keys {
-		for _, s := range db.samples[k] {
-			rows = append(rows, []string{
-				string(k.v), strconv.FormatInt(int64(k.site), 10), strconv.Itoa(int(k.fam)),
-				strconv.Itoa(s.Round), s.Date.UTC().Format(time.RFC3339),
-				strconv.Itoa(s.PageBytes), strconv.Itoa(s.Downloads),
-				strconv.FormatFloat(s.MeanSpeed, 'g', 17, 64), strconv.FormatBool(s.CIOK),
-			})
+	for _, v := range db.Vantages() {
+		t := db.lookup(v)
+		var keys []siteFamKey
+		for i := range t.samples {
+			sh := &t.samples[i]
+			sh.mu.Lock()
+			for k := range sh.m {
+				keys = append(keys, k)
+			}
+			sh.mu.Unlock()
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.site != b.site {
+				return a.site < b.site
+			}
+			return a.fam < b.fam
+		})
+		for _, k := range keys {
+			for _, s := range db.Samples(v, k.site, k.fam) {
+				rows = append(rows, []string{
+					string(v), strconv.FormatInt(int64(k.site), 10), strconv.Itoa(int(k.fam)),
+					strconv.Itoa(s.Round), s.Date.UTC().Format(time.RFC3339),
+					strconv.Itoa(s.PageBytes), strconv.Itoa(s.Downloads),
+					strconv.FormatFloat(s.MeanSpeed, 'g', 17, 64), strconv.FormatBool(s.CIOK),
+				})
+			}
 		}
 	}
-	db.mu.RUnlock()
 	return writeCSV(path, []string{"vantage", "site", "family", "round", "date", "page_bytes", "downloads", "mean_speed", "ci_ok"}, rows)
 }
 
 func (db *DB) savePaths(path string) error {
-	db.mu.RLock()
-	keys := make([]pathKey, 0, len(db.paths))
-	for k := range db.paths {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.v != b.v {
-			return a.v < b.v
-		}
-		if a.fam != b.fam {
-			return a.fam < b.fam
-		}
-		return a.dst < b.dst
-	})
 	var rows [][]string
-	for _, k := range keys {
-		for _, snap := range db.paths[k] {
-			rows = append(rows, []string{
-				string(k.v), strconv.Itoa(int(k.fam)), strconv.Itoa(k.dst),
-				strconv.Itoa(snap.Round), joinInts(snap.Path),
-			})
+	for _, v := range db.Vantages() {
+		t := db.lookup(v)
+		t.pathMu.Lock()
+		keys := make([]famDstKey, 0, len(t.paths))
+		for k := range t.paths {
+			keys = append(keys, k)
 		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.fam != b.fam {
+				return a.fam < b.fam
+			}
+			return a.dst < b.dst
+		})
+		for _, k := range keys {
+			for _, snap := range t.paths[k] {
+				rows = append(rows, []string{
+					string(v), strconv.Itoa(int(k.fam)), strconv.Itoa(k.dst),
+					strconv.Itoa(snap.Round), joinInts(snap.Path),
+				})
+			}
+		}
+		t.pathMu.Unlock()
 	}
-	db.mu.RUnlock()
 	return writeCSV(path, []string{"vantage", "family", "dst", "round", "path"}, rows)
 }
 

@@ -3,6 +3,12 @@
 // per-round download samples, AS-path snapshots, and site metadata,
 // with query helpers the analysis pipeline scans and CSV persistence
 // for the common repository ("aggregated at Penn") role.
+//
+// Writes are the monitoring hot path: 25 workers per vantage append
+// samples and DNS rows concurrently for every site of every round.
+// The database therefore shards its locks — site rows by id, sample
+// series by site within a per-vantage table — instead of funneling
+// every worker through one RWMutex.
 package store
 
 import (
@@ -53,59 +59,157 @@ type PathSnapshot struct {
 	Path  []int // dense AS indices, vantage first
 }
 
-type sampleKey struct {
-	v    Vantage
+// shards is the lock-striping factor; a power of two.
+const shards = 16
+
+type siteFamKey struct {
 	site alexa.SiteID
 	fam  topo.Family
 }
 
-type pathKey struct {
-	v   Vantage
+type famDstKey struct {
 	fam topo.Family
 	dst int
 }
 
+// sampleShard is one stripe of a vantage's sample table.
+type sampleShard struct {
+	mu sync.Mutex
+	m  map[siteFamKey][]Sample
+}
+
+// vantageTable holds one vantage's measurement tables. DNS rows are a
+// single append-only log (one short critical section per site per
+// round); samples are striped by site id; paths are written by the
+// post-round snapshot loop.
+type vantageTable struct {
+	dnsMu sync.Mutex
+	dns   []DNSRow
+
+	samples [shards]sampleShard
+
+	pathMu sync.Mutex
+	paths  map[famDstKey][]PathSnapshot
+}
+
+func newVantageTable() *vantageTable {
+	t := &vantageTable{paths: make(map[famDstKey][]PathSnapshot)}
+	for i := range t.samples {
+		t.samples[i].m = make(map[siteFamKey][]Sample)
+	}
+	return t
+}
+
+// siteShard is one stripe of the site-row table.
+type siteShard struct {
+	mu sync.Mutex
+	m  map[alexa.SiteID]SiteRow
+}
+
 // DB is an in-memory measurement database safe for concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	sites   map[alexa.SiteID]SiteRow
-	dns     map[Vantage][]DNSRow
-	samples map[sampleKey][]Sample
-	paths   map[pathKey][]PathSnapshot
+	sites [shards]siteShard
+
+	vmu      sync.RWMutex
+	vantages map[Vantage]*vantageTable
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{
-		sites:   make(map[alexa.SiteID]SiteRow),
-		dns:     make(map[Vantage][]DNSRow),
-		samples: make(map[sampleKey][]Sample),
-		paths:   make(map[pathKey][]PathSnapshot),
+	db := &DB{vantages: make(map[Vantage]*vantageTable)}
+	for i := range db.sites {
+		db.sites[i].m = make(map[alexa.SiteID]SiteRow)
 	}
+	return db
+}
+
+func (db *DB) siteShard(id alexa.SiteID) *siteShard {
+	return &db.sites[uint64(id)&(shards-1)]
+}
+
+// table returns v's table, creating it on first use.
+func (db *DB) table(v Vantage) *vantageTable {
+	db.vmu.RLock()
+	t := db.vantages[v]
+	db.vmu.RUnlock()
+	if t != nil {
+		return t
+	}
+	db.vmu.Lock()
+	defer db.vmu.Unlock()
+	if t = db.vantages[v]; t == nil {
+		t = newVantageTable()
+		db.vantages[v] = t
+	}
+	return t
+}
+
+// lookup returns v's table without creating it.
+func (db *DB) lookup(v Vantage) *vantageTable {
+	db.vmu.RLock()
+	defer db.vmu.RUnlock()
+	return db.vantages[v]
+}
+
+// tables returns a snapshot of all vantage tables.
+func (db *DB) tables() map[Vantage]*vantageTable {
+	db.vmu.RLock()
+	defer db.vmu.RUnlock()
+	out := make(map[Vantage]*vantageTable, len(db.vantages))
+	for v, t := range db.vantages {
+		out[v] = t
+	}
+	return out
 }
 
 // PutSite inserts or updates a site row.
 func (db *DB) PutSite(row SiteRow) {
-	db.mu.Lock()
-	db.sites[row.Site] = row
-	db.mu.Unlock()
+	sh := db.siteShard(row.Site)
+	sh.mu.Lock()
+	sh.m[row.Site] = row
+	sh.mu.Unlock()
+}
+
+// EnsureSite records the monitor's current view of a site, writing
+// only when it differs from the stored row. host supplies the Host
+// column lazily so the hot path skips building the string for the
+// (overwhelmingly common) unchanged case. The resulting table is
+// identical to calling PutSite every round: last write wins and
+// writes carry the same values.
+func (db *DB) EnsureSite(id alexa.SiteID, firstRank, v4AS, v6AS int, host func(alexa.SiteID) string) {
+	sh := db.siteShard(id)
+	sh.mu.Lock()
+	prev, ok := sh.m[id]
+	if ok && prev.FirstRank == firstRank && prev.V4AS == v4AS && prev.V6AS == v6AS {
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	row := SiteRow{Site: id, Host: host(id), FirstRank: firstRank, V4AS: v4AS, V6AS: v6AS}
+	sh.mu.Lock()
+	sh.m[id] = row
+	sh.mu.Unlock()
 }
 
 // Site returns a site row.
 func (db *DB) Site(id alexa.SiteID) (SiteRow, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, ok := db.sites[id]
+	sh := db.siteShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.m[id]
 	return r, ok
 }
 
 // Sites returns all site rows sorted by id.
 func (db *DB) Sites() []SiteRow {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]SiteRow, 0, len(db.sites))
-	for _, r := range db.sites {
-		out = append(out, r)
+	var out []SiteRow
+	for i := range db.sites {
+		sh := &db.sites[i]
+		sh.mu.Lock()
+		for _, r := range sh.m {
+			out = append(out, r)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
 	return out
@@ -113,33 +217,64 @@ func (db *DB) Sites() []SiteRow {
 
 // AddDNS appends a DNS phase result.
 func (db *DB) AddDNS(v Vantage, row DNSRow) {
-	db.mu.Lock()
-	db.dns[v] = append(db.dns[v], row)
-	db.mu.Unlock()
+	t := db.table(v)
+	t.dnsMu.Lock()
+	t.dns = append(t.dns, row)
+	t.dnsMu.Unlock()
+}
+
+// AddDNSBatch appends a worker's buffered DNS rows in one critical
+// section. Row order across concurrent batches is unspecified, as it
+// already was for concurrent AddDNS calls.
+func (db *DB) AddDNSBatch(v Vantage, rows []DNSRow) {
+	if len(rows) == 0 {
+		return
+	}
+	t := db.table(v)
+	t.dnsMu.Lock()
+	t.dns = append(t.dns, rows...)
+	t.dnsMu.Unlock()
 }
 
 // DNS returns all DNS rows for a vantage in insertion order.
 func (db *DB) DNS(v Vantage) []DNSRow {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return append([]DNSRow(nil), db.dns[v]...)
+	t := db.lookup(v)
+	if t == nil {
+		return nil
+	}
+	t.dnsMu.Lock()
+	defer t.dnsMu.Unlock()
+	return append([]DNSRow(nil), t.dns...)
 }
 
 // AddSample appends a download sample.
 func (db *DB) AddSample(v Vantage, site alexa.SiteID, fam topo.Family, s Sample) {
-	k := sampleKey{v, site, fam}
-	db.mu.Lock()
-	db.samples[k] = append(db.samples[k], s)
-	db.mu.Unlock()
+	t := db.table(v)
+	sh := &t.samples[uint64(site)&(shards-1)]
+	k := siteFamKey{site, fam}
+	sh.mu.Lock()
+	series, ok := sh.m[k]
+	if !ok {
+		// A site's series grows one sample per monitored round;
+		// preallocate a study's worth to avoid repeated regrowth.
+		series = make([]Sample, 0, 40)
+	}
+	sh.m[k] = append(series, s)
+	sh.mu.Unlock()
 }
 
 // Samples returns the round-ordered samples for (vantage, site,
 // family).
 func (db *DB) Samples(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
-	k := sampleKey{v, site, fam}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := append([]Sample(nil), db.samples[k]...)
+	t := db.lookup(v)
+	if t == nil {
+		return nil
+	}
+	sh := &t.samples[uint64(site)&(shards-1)]
+	k := siteFamKey{site, fam}
+	sh.mu.Lock()
+	out := append([]Sample(nil), sh.m[k]...)
+	sh.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
 	return out
 }
@@ -147,14 +282,19 @@ func (db *DB) Samples(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
 // SampledSites returns the distinct site ids with samples at vantage
 // v, sorted.
 func (db *DB) SampledSites(v Vantage) []alexa.SiteID {
-	db.mu.RLock()
+	t := db.lookup(v)
+	if t == nil {
+		return nil
+	}
 	seen := make(map[alexa.SiteID]bool)
-	for k := range db.samples {
-		if k.v == v {
+	for i := range t.samples {
+		sh := &t.samples[i]
+		sh.mu.Lock()
+		for k := range sh.m {
 			seen[k.site] = true
 		}
+		sh.mu.Unlock()
 	}
-	db.mu.RUnlock()
 	out := make([]alexa.SiteID, 0, len(seen))
 	for id := range seen {
 		out = append(out, id)
@@ -166,14 +306,15 @@ func (db *DB) SampledSites(v Vantage) []alexa.SiteID {
 // AddPath records the AS path to dst observed after a round. Only
 // changes are stored: identical consecutive snapshots collapse.
 func (db *DB) AddPath(v Vantage, fam topo.Family, dst, round int, path []int) {
-	k := pathKey{v, fam, dst}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	snaps := db.paths[k]
+	t := db.table(v)
+	k := famDstKey{fam, dst}
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	snaps := t.paths[k]
 	if n := len(snaps); n > 0 && equalPath(snaps[n-1].Path, path) {
 		return
 	}
-	db.paths[k] = append(snaps, PathSnapshot{Round: round, Path: append([]int(nil), path...)})
+	t.paths[k] = append(snaps, PathSnapshot{Round: round, Path: append([]int(nil), path...)})
 }
 
 func equalPath(a, b []int) bool {
@@ -190,12 +331,15 @@ func equalPath(a, b []int) bool {
 
 // PathAt returns the AS path to dst in effect at round, or nil.
 func (db *DB) PathAt(v Vantage, fam topo.Family, dst, round int) []int {
-	k := pathKey{v, fam, dst}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	snaps := db.paths[k]
+	t := db.lookup(v)
+	if t == nil {
+		return nil
+	}
+	k := famDstKey{fam, dst}
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
 	var cur []int
-	for _, s := range snaps {
+	for _, s := range t.paths[k] {
 		if s.Round > round {
 			break
 		}
@@ -206,10 +350,14 @@ func (db *DB) PathAt(v Vantage, fam topo.Family, dst, round int) []int {
 
 // LatestPath returns the most recent path to dst, or nil.
 func (db *DB) LatestPath(v Vantage, fam topo.Family, dst int) []int {
-	k := pathKey{v, fam, dst}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	snaps := db.paths[k]
+	t := db.lookup(v)
+	if t == nil {
+		return nil
+	}
+	k := famDstKey{fam, dst}
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	snaps := t.paths[k]
 	if len(snaps) == 0 {
 		return nil
 	}
@@ -219,23 +367,30 @@ func (db *DB) LatestPath(v Vantage, fam topo.Family, dst int) []int {
 // PathChanged reports whether the path to dst changed during the
 // study (more than one stored snapshot).
 func (db *DB) PathChanged(v Vantage, fam topo.Family, dst int) bool {
-	k := pathKey{v, fam, dst}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.paths[k]) > 1
+	t := db.lookup(v)
+	if t == nil {
+		return false
+	}
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	return len(t.paths[famDstKey{fam, dst}]) > 1
 }
 
 // PathDestinations returns all destination ASes with a stored path for
 // (vantage, family), sorted.
 func (db *DB) PathDestinations(v Vantage, fam topo.Family) []int {
-	db.mu.RLock()
+	t := db.lookup(v)
+	if t == nil {
+		return nil
+	}
 	var out []int
-	for k := range db.paths {
-		if k.v == v && k.fam == fam {
+	t.pathMu.Lock()
+	for k := range t.paths {
+		if k.fam == fam {
 			out = append(out, k.dst)
 		}
 	}
-	db.mu.RUnlock()
+	t.pathMu.Unlock()
 	sort.Ints(out)
 	return out
 }
@@ -243,11 +398,15 @@ func (db *DB) PathDestinations(v Vantage, fam topo.Family) []int {
 // ASesCrossed returns the distinct ASes appearing on any stored path
 // for (vantage, family) — Table 2's "ASes crossed".
 func (db *DB) ASesCrossed(v Vantage, fam topo.Family) map[int]bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	out := make(map[int]bool)
-	for k, snaps := range db.paths {
-		if k.v != v || k.fam != fam {
+	t := db.lookup(v)
+	if t == nil {
+		return out
+	}
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	for k, snaps := range t.paths {
+		if k.fam != fam {
 			continue
 		}
 		for _, s := range snaps {
@@ -261,22 +420,12 @@ func (db *DB) ASesCrossed(v Vantage, fam topo.Family) map[int]bool {
 
 // Vantages returns every vantage with any stored data, sorted.
 func (db *DB) Vantages() []Vantage {
-	db.mu.RLock()
-	seen := make(map[Vantage]bool)
-	for v := range db.dns {
-		seen[v] = true
-	}
-	for k := range db.samples {
-		seen[k.v] = true
-	}
-	for k := range db.paths {
-		seen[k.v] = true
-	}
-	db.mu.RUnlock()
-	out := make([]Vantage, 0, len(seen))
-	for v := range seen {
+	db.vmu.RLock()
+	out := make([]Vantage, 0, len(db.vantages))
+	for v := range db.vantages {
 		out = append(out, v)
 	}
+	db.vmu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -290,41 +439,65 @@ func (db *DB) Merge(other *DB) {
 	if db == other || other == nil {
 		return
 	}
-	other.mu.RLock()
-	defer other.mu.RUnlock()
-	for _, row := range other.sites {
-		db.PutSite(row)
+	for i := range other.sites {
+		sh := &other.sites[i]
+		sh.mu.Lock()
+		for _, row := range sh.m {
+			db.PutSite(row)
+		}
+		sh.mu.Unlock()
 	}
-	for v, rows := range other.dns {
-		for _, r := range rows {
+	for v, t := range other.tables() {
+		t.dnsMu.Lock()
+		for _, r := range t.dns {
 			db.AddDNS(v, r)
 		}
-	}
-	for k, ss := range other.samples {
-		for _, s := range ss {
-			db.AddSample(k.v, k.site, k.fam, s)
+		t.dnsMu.Unlock()
+		for i := range t.samples {
+			sh := &t.samples[i]
+			sh.mu.Lock()
+			for k, ss := range sh.m {
+				for _, s := range ss {
+					db.AddSample(v, k.site, k.fam, s)
+				}
+			}
+			sh.mu.Unlock()
 		}
-	}
-	for k, snaps := range other.paths {
-		for _, snap := range snaps {
-			db.AddPath(k.v, k.fam, k.dst, snap.Round, snap.Path)
+		t.pathMu.Lock()
+		for k, snaps := range t.paths {
+			for _, snap := range snaps {
+				db.AddPath(v, k.fam, k.dst, snap.Round, snap.Path)
+			}
 		}
+		t.pathMu.Unlock()
 	}
 }
 
 // Counts summarizes table sizes, for logging and sanity checks.
 func (db *DB) Counts() (sites, dnsRows, sampleRows, pathSnaps int) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	sites = len(db.sites)
-	for _, rows := range db.dns {
-		dnsRows += len(rows)
+	for i := range db.sites {
+		sh := &db.sites[i]
+		sh.mu.Lock()
+		sites += len(sh.m)
+		sh.mu.Unlock()
 	}
-	for _, ss := range db.samples {
-		sampleRows += len(ss)
-	}
-	for _, ps := range db.paths {
-		pathSnaps += len(ps)
+	for _, t := range db.tables() {
+		t.dnsMu.Lock()
+		dnsRows += len(t.dns)
+		t.dnsMu.Unlock()
+		for i := range t.samples {
+			sh := &t.samples[i]
+			sh.mu.Lock()
+			for _, ss := range sh.m {
+				sampleRows += len(ss)
+			}
+			sh.mu.Unlock()
+		}
+		t.pathMu.Lock()
+		for _, ps := range t.paths {
+			pathSnaps += len(ps)
+		}
+		t.pathMu.Unlock()
 	}
 	return
 }

@@ -347,5 +347,6 @@ func Generate(cfg GenConfig) (*Graph, error) {
 		repair(i)
 	}
 
+	g.finalize()
 	return g, nil
 }

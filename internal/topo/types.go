@@ -123,6 +123,11 @@ type Graph struct {
 	ases  []AS
 	adj   [][]Neighbor
 	byASN map[ASN]int
+
+	// Per-family adjacency, precomputed once by finalize so the
+	// routing and data-plane hot paths never re-filter (or allocate)
+	// adjacency lists per call.
+	famAdj [2][][]Neighbor
 }
 
 // N returns the number of ASes.
@@ -141,35 +146,48 @@ func (g *Graph) IndexOf(a ASN) int {
 
 // Neighbors returns the adjacency list of AS i usable by family fam:
 // for V4 all native edges; for V6 only v6-enabled edges and tunnels.
-// The returned slice must not be modified.
+// The returned slice must not be modified. Panics on a graph that
+// was not built by Generate (which finalizes the per-family views);
+// lazily finalizing here would race with concurrent readers.
 func (g *Graph) Neighbors(i int, fam Family) []Neighbor {
+	return g.famAdj[fam][i]
+}
+
+// finalize precomputes the per-family adjacency views. Generate calls
+// it once construction is complete; edges must not change afterwards.
+func (g *Graph) finalize() {
+	for _, fam := range []Family{V4, V6} {
+		out := make([][]Neighbor, len(g.adj))
+		for i, all := range g.adj {
+			kept := 0
+			for _, n := range all {
+				if famEdge(n, fam) {
+					kept++
+				}
+			}
+			if kept == 0 {
+				continue
+			}
+			fa := make([]Neighbor, 0, kept)
+			for _, n := range all {
+				if famEdge(n, fam) {
+					fa = append(fa, n)
+				}
+			}
+			out[i] = fa
+		}
+		g.famAdj[fam] = out
+	}
+}
+
+// famEdge reports whether an edge participates in fam's topology: all
+// native (non-tunnel) edges for V4; v6-enabled edges and tunnels for
+// V6.
+func famEdge(n Neighbor, fam Family) bool {
 	if fam == V4 {
-		return g.adjV4(i)
+		return !n.Tunnel
 	}
-	return g.adjV6(i)
-}
-
-// All native (non-tunnel) edges participate in the IPv4 topology.
-func (g *Graph) adjV4(i int) []Neighbor {
-	all := g.adj[i]
-	out := make([]Neighbor, 0, len(all))
-	for _, n := range all {
-		if !n.Tunnel {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-func (g *Graph) adjV6(i int) []Neighbor {
-	all := g.adj[i]
-	out := make([]Neighbor, 0, len(all))
-	for _, n := range all {
-		if n.V6 || n.Tunnel {
-			out = append(out, n)
-		}
-	}
-	return out
+	return n.V6 || n.Tunnel
 }
 
 // RawNeighbors returns every adjacency of AS i regardless of family.

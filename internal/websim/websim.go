@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"v6web/internal/alexa"
@@ -67,6 +68,7 @@ type Site struct {
 	CDN  bool
 
 	AdoptTime time.Time // when the AAAA record appears (if V6AS >= 0)
+	AdoptUnix int64     // AdoptTime in Unix nanoseconds — the hot-path cutoff
 
 	PageV4 int // main page size over IPv4, bytes
 	PageV6 int // main page size over IPv6, bytes
@@ -78,6 +80,27 @@ type Site struct {
 	V6DayParticipant bool
 
 	Events []PerfEvent
+
+	// origins memoizes the measurement layer's origin-AS attribution
+	// (CacheOrigins/CachedOrigins): the attribution is a pure function
+	// of the site, and the site table is its natural dense store.
+	// Packed as (v4+2)<<32 | (v6+2); zero means unset.
+	origins atomic.Uint64
+}
+
+// CachedOrigins returns the memoized origin-AS attribution, if any.
+func (s *Site) CachedOrigins() (v4AS, v6AS int, ok bool) {
+	packed := s.origins.Load()
+	if packed == 0 {
+		return 0, 0, false
+	}
+	return int(int32(packed>>32)) - 2, int(int32(uint32(packed))) - 2, true
+}
+
+// CacheOrigins memoizes an origin-AS attribution. Values must be
+// >= -1, as origin ASes are (-1 meaning none).
+func (s *Site) CacheOrigins(v4AS, v6AS int) {
+	s.origins.Store(uint64(uint32(v4AS+2))<<32 | uint64(uint32(v6AS+2)))
 }
 
 // DL reports whether the site's IPv4 and IPv6 presences are in
@@ -87,7 +110,14 @@ func (s *Site) DL() bool { return s.V6AS >= 0 && s.V6AS != s.V4AS }
 // DualAt reports whether the site is reachable over both families at
 // time t.
 func (s *Site) DualAt(t time.Time) bool {
-	return s.V6AS >= 0 && !t.Before(s.AdoptTime)
+	return s.DualAtUnix(t.UnixNano())
+}
+
+// DualAtUnix is DualAt against a precomputed Unix-nanosecond
+// timestamp: a pair of integer comparisons on the per-site hot path
+// instead of a time.Time comparison per call.
+func (s *Site) DualAtUnix(ns int64) bool {
+	return s.V6AS >= 0 && ns >= s.AdoptUnix
 }
 
 // SameContent reports whether the IPv4 and IPv6 page sizes agree
@@ -194,6 +224,13 @@ func (c Config) Validate() error {
 }
 
 // Catalog lazily materializes Sites. Safe for concurrent use.
+//
+// Site ids are dense (the ranked list mints them sequentially; the
+// extended population is a second dense range at a fixed base), so
+// the cache is a pair of index-addressed atomic pointer tables:
+// Site is a lock-free load on the hot path, with a compare-and-swap
+// on first materialization. Ids outside the reserved ranges fall back
+// to a mutex-guarded overflow map.
 type Catalog struct {
 	cfg   Config
 	g     *topo.Graph
@@ -208,8 +245,15 @@ type Catalog struct {
 	stubCum   []float64
 	v6stubCum []float64
 
-	mu    sync.Mutex
-	cache map[alexa.SiteID]*Site
+	// Index-addressed tables; see Reserve.
+	dense   []atomic.Pointer[Site] // ids [0, len(dense))
+	extBase alexa.SiteID           // base of the extended-id range
+	ext     []atomic.Pointer[Site] // ids [extBase, extBase+len(ext))
+
+	count atomic.Int64 // materialized sites across all tables
+
+	mu       sync.Mutex
+	overflow map[alexa.SiteID]*Site // ids outside the reserved ranges
 }
 
 // NewCatalog builds a catalogue over graph g with adoption model ad.
@@ -217,7 +261,7 @@ func NewCatalog(g *topo.Graph, ad *alexa.Adoption, cfg Config) (*Catalog, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Catalog{cfg: cfg, g: g, adopt: ad, cache: make(map[alexa.SiteID]*Site)}
+	c := &Catalog{cfg: cfg, g: g, adopt: ad, overflow: make(map[alexa.SiteID]*Site)}
 	for i := 0; i < g.N(); i++ {
 		a := g.AS(i)
 		if a.Tier != topo.Stub {
@@ -274,23 +318,76 @@ func pick(cum []float64, u float64) int {
 	return lo
 }
 
+// Reserve sizes the index-addressed site tables: ids in [0, mainIDs)
+// and [extBase, extBase+extIDs) become lock-free. Growing preserves
+// already-materialized sites. Reserve must not run concurrently with
+// Site — call it between rounds (the orchestrator does) or before
+// monitoring starts.
+func (c *Catalog) Reserve(mainIDs int, extBase alexa.SiteID, extIDs int) {
+	if mainIDs > len(c.dense) {
+		grown := make([]atomic.Pointer[Site], max(mainIDs, 2*len(c.dense)))
+		for i := range c.dense {
+			grown[i].Store(c.dense[i].Load())
+		}
+		c.dense = grown
+	}
+	if extIDs > 0 && (c.ext == nil || extBase != c.extBase || extIDs > len(c.ext)) {
+		if c.ext != nil && extBase != c.extBase {
+			// Rebasing would orphan materialized sites and break the
+			// one-shared-pointer-per-id invariant.
+			panic("websim: Reserve with a different extended base")
+		}
+		grown := make([]atomic.Pointer[Site], extIDs)
+		for i := range c.ext {
+			grown[i].Store(c.ext[i].Load())
+		}
+		c.ext = grown
+		c.extBase = extBase
+	}
+}
+
+// slot returns the table entry for id, or nil when id is outside the
+// reserved ranges.
+func (c *Catalog) slot(id alexa.SiteID) *atomic.Pointer[Site] {
+	if id >= 0 && id < alexa.SiteID(len(c.dense)) {
+		return &c.dense[id]
+	}
+	if c.ext != nil && id >= c.extBase && id < c.extBase+alexa.SiteID(len(c.ext)) {
+		return &c.ext[id-c.extBase]
+	}
+	return nil
+}
+
 // Site materializes (or returns the cached) description of a site.
 // firstRank is the site's rank at first appearance in the list.
 func (c *Catalog) Site(id alexa.SiteID, firstRank int) *Site {
+	if slot := c.slot(id); slot != nil {
+		if s := slot.Load(); s != nil {
+			return s
+		}
+		s := c.build(id, firstRank)
+		// Keep the first stored instance so all callers share one
+		// pointer; the build is a pure function of (seed, id, rank),
+		// so a lost race only wastes the duplicate.
+		if slot.CompareAndSwap(nil, s) {
+			c.count.Add(1)
+			return s
+		}
+		return slot.Load()
+	}
 	c.mu.Lock()
-	if s, ok := c.cache[id]; ok {
+	if s, ok := c.overflow[id]; ok {
 		c.mu.Unlock()
 		return s
 	}
 	c.mu.Unlock()
 	s := c.build(id, firstRank)
 	c.mu.Lock()
-	// Double-checked: keep the first stored instance so all callers
-	// share one pointer.
-	if prev, ok := c.cache[id]; ok {
+	if prev, ok := c.overflow[id]; ok {
 		s = prev
 	} else {
-		c.cache[id] = s
+		c.overflow[id] = s
+		c.count.Add(1)
 	}
 	c.mu.Unlock()
 	return s
@@ -337,6 +434,7 @@ func (c *Catalog) build(id alexa.SiteID, firstRank int) *Site {
 	}
 	if adopts {
 		s.AdoptTime = adoptTime
+		s.AdoptUnix = adoptTime.UnixNano()
 	}
 
 	// Pages.
@@ -414,9 +512,7 @@ func (c *Catalog) build(id alexa.SiteID, firstRank int) *Site {
 
 // CachedCount returns how many sites have been materialized.
 func (c *Catalog) CachedCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.cache)
+	return int(c.count.Load())
 }
 
 // Graph returns the topology the catalogue hosts sites on.
