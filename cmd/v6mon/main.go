@@ -1,29 +1,50 @@
-// Command v6mon runs the full monitoring study — topology, ranked
-// list, six vantage points, weekly rounds, World IPv6 Day — and saves
-// the measurement database as CSV for later analysis with v6report.
+// Command v6mon runs the full monitoring campaign — topology, ranked
+// list, six vantage points, weekly rounds, World IPv6 Day — through
+// the resumable campaign runner, and saves the measurement databases
+// as CSV for later analysis with v6report.
+//
+// The campaign checkpoints its completed rounds (crash-safe,
+// append-only directories under <out>/checkpoints) every
+// -checkpoint-every rounds and on SIGINT/SIGTERM, so a graceful
+// interrupt loses at most the round in flight and a hard kill at
+// most the cadence. Restarting with -resume picks up from the last
+// checkpoint and produces byte-identical final CSVs to a
+// never-interrupted run.
 //
 // Usage:
 //
 //	v6mon -out data/ [-seed 42] [-ases 1500] [-sites 20000] [-rounds 35]
+//	      [-checkpoint-every 5] [-q]
+//	v6mon -out data/ -resume          # continue a killed campaign (same flags)
+//	v6mon -out data/ -stop-after 10   # checkpoint and exit after round 10
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"v6web/internal/core"
+	"v6web/internal/store"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "v6web-data", "output directory for the measurement CSVs")
-		seed   = flag.Int64("seed", 42, "deterministic scenario seed")
-		ases   = flag.Int("ases", 1500, "number of ASes in the synthetic topology")
-		sites  = flag.Int("sites", 20000, "ranked-list size (stand-in for the top 1M)")
-		rounds = flag.Int("rounds", 35, "weekly monitoring rounds")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		out       = flag.String("out", "v6web-data", "output directory for the measurement CSVs and checkpoints")
+		seed      = flag.Int64("seed", 42, "deterministic scenario seed")
+		ases      = flag.Int("ases", 1500, "number of ASes in the synthetic topology")
+		sites     = flag.Int("sites", 20000, "ranked-list size (stand-in for the top 1M)")
+		rounds    = flag.Int("rounds", 35, "weekly monitoring rounds")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		resume    = flag.Bool("resume", false, "resume the campaign from the last checkpoint under -out")
+		every     = flag.Int("checkpoint-every", 5, "checkpoint after this many completed rounds (0 disables checkpointing; SIGINT checkpoints regardless)")
+		stopAfter = flag.Int("stop-after", 0, "checkpoint and exit after this round completes (0 runs to the end)")
 	)
 	flag.Parse()
 
@@ -33,33 +54,120 @@ func main() {
 	cfg.Rounds = *rounds
 	cfg.Vantages = core.ScaledVantages(*rounds)
 
-	s, err := core.NewScenario(cfg)
-	if err != nil {
-		fatal(err)
+	if *stopAfter > 0 && *every <= 0 {
+		fatal(fmt.Errorf("-stop-after needs -checkpoint-every > 0, or the stopped campaign cannot be resumed"))
 	}
+
+	// SIGINT/SIGTERM cancel the campaign at the next round boundary;
+	// the runner checkpoints the completed rounds before returning.
+	// Unregister the handler as soon as the first signal lands so a
+	// second Ctrl-C terminates immediately instead of being swallowed
+	// while the shutdown checkpoint writes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	ckpt := store.NewCheckpointBackend(*out)
+
+	var s *core.Scenario
+	var err error
+	if *resume {
+		s, err = core.Resume(cfg, ckpt)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("resuming from checkpoint: round %d/%d\n", s.RoundsDone(), cfg.Rounds)
+		}
+	} else {
+		s, err = core.NewScenario(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("topology: %d ASes (%d v6-capable), list: %d sites, rounds: %d\n",
+				s.Graph.N(), s.Graph.CountV6(), cfg.ListSize, cfg.Rounds)
+		}
+	}
+
+	opts := []core.RunOption{}
 	if !*quiet {
-		fmt.Printf("topology: %d ASes (%d v6-capable), list: %d sites, rounds: %d\n",
-			s.Graph.N(), s.Graph.CountV6(), cfg.ListSize, cfg.Rounds)
+		opts = append(opts, core.WithObserver(func(ev core.RoundEvent) {
+			fmt.Printf("round %2d/%d  %-14s  %6d sites  %5d dual  %5d measured  (%v)\n",
+				ev.Round+1, cfg.Rounds, ev.Vantage, ev.Stats.Sites, ev.Stats.Dual,
+				ev.Stats.Measured, ev.Elapsed.Round(time.Millisecond))
+		}))
 	}
-	if err := s.Run(); err != nil {
+	if *every > 0 {
+		opts = append(opts, core.WithBackend(ckpt), core.WithCheckpoint(*every))
+	}
+	if *stopAfter > 0 {
+		opts = append(opts, core.WithRounds(0, *stopAfter))
+	}
+
+	if err := s.RunContext(ctx, opts...); err != nil {
+		if errors.Is(err, context.Canceled) {
+			interrupted(s, cfg, *every)
+		}
 		fatal(err)
 	}
-	if err := s.RunWorldV6Day(); err != nil {
+	if s.RoundsDone() < cfg.Rounds {
+		if !*quiet {
+			fmt.Printf("stopped after round %d/%d; checkpoint saved — rerun with -resume to continue\n",
+				s.RoundsDone(), cfg.Rounds)
+		}
+		return
+	}
+
+	if err := s.RunWorldV6DayContext(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The main study is checkpointed; the short side experiment
+			// simply reruns on resume.
+			interrupted(s, cfg, *every)
+		}
 		fatal(err)
 	}
+
 	if !*quiet {
 		fmt.Printf("main study: %v\n", s.DB)
 		fmt.Printf("world ipv6 day: %v\n", s.V6DayDB)
 	}
-	if err := s.DB.Save(filepath.Join(*out, "main")); err != nil {
+	final := &store.CSVBackend{Dir: *out}
+	if err := final.SaveSnapshot(store.SnapMain, s.DB); err != nil {
 		fatal(err)
 	}
-	if err := s.V6DayDB.Save(filepath.Join(*out, "v6day")); err != nil {
+	if err := final.SaveSnapshot(store.SnapV6Day, s.V6DayDB); err != nil {
 		fatal(err)
+	}
+	err = final.SaveMeta(store.Meta{
+		NextRound: cfg.Rounds, Rounds: cfg.Rounds,
+		ConfigHash: cfg.Fingerprint(), Complete: true, SavedAt: time.Now().UTC(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// The final CSVs are the product; the checkpoint log (up to Keep
+	// full database copies) is scratch once the campaign completed.
+	if *every > 0 {
+		if err := os.RemoveAll(filepath.Join(*out, "checkpoints")); err != nil && !*quiet {
+			fmt.Fprintf(os.Stderr, "v6mon: could not remove checkpoints: %v\n", err)
+		}
 	}
 	if !*quiet {
 		fmt.Printf("saved to %s\n", *out)
 	}
+}
+
+// interrupted reports a graceful shutdown and exits.
+func interrupted(s *core.Scenario, cfg core.Config, every int) {
+	if every > 0 {
+		fmt.Fprintf(os.Stderr, "v6mon: interrupted at round %d/%d; checkpoint saved — rerun with -resume to continue\n",
+			s.RoundsDone(), cfg.Rounds)
+	} else {
+		fmt.Fprintf(os.Stderr, "v6mon: interrupted at round %d/%d; checkpointing disabled, progress lost\n",
+			s.RoundsDone(), cfg.Rounds)
+	}
+	os.Exit(1)
 }
 
 func fatal(err error) {

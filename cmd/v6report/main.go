@@ -1,15 +1,19 @@
 // Command v6report regenerates every table and figure of the paper's
-// evaluation. With -db it analyzes a database previously saved by
-// v6mon; without it, it runs a fresh deterministic scenario end to
-// end and reports on that.
+// evaluation. With -db it analyzes the databases previously saved by
+// v6mon (including a campaign finished via checkpoints and -resume);
+// without it, it runs a fresh deterministic campaign end to end and
+// reports on that. Both paths render the measurement tables through
+// the same report.RenderStudy pipeline, so saved and fresh campaigns
+// always produce the same exhibits.
 //
 // Usage:
 //
-//	v6report                     # fresh scenario, full report
+//	v6report                     # fresh campaign, full report
 //	v6report -db v6web-data      # report over saved measurements
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +48,7 @@ func main() {
 		return
 	}
 
-	main1, err := store.Load(filepath.Join(*dbDir, "main"))
+	main1, err := store.Load(filepath.Join(*dbDir, store.SnapMain))
 	if err != nil {
 		fatal(err)
 	}
@@ -54,29 +58,27 @@ func main() {
 		vas = append(vas, analysis.Analyze(main1, v, th))
 	}
 	study := analysis.NewStudy(vas...)
-	rows2, all2 := study.Table2()
-	report.Table2(os.Stdout, rows2, all2)
-	report.Table3(os.Stdout, study.Table3())
-	report.Table4(os.Stdout, study.Table4())
-	report.Table5(os.Stdout, study.Table5())
-	report.Table6(os.Stdout, study.Table6())
-	report.HopTable(os.Stdout, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
-	report.Table8(os.Stdout, study.Table8())
-	report.HopTable(os.Stdout, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
-	report.Table11(os.Stdout, study.Table11())
-	report.Table13(os.Stdout, study.Table13())
 
-	if v6dayDB, err := store.Load(filepath.Join(*dbDir, "v6day")); err == nil {
+	// The World IPv6 Day database is optional (older saves may predate
+	// it), but a partially written one is a real error — surface it
+	// instead of silently dropping Tables 10 and 12.
+	var v6day *analysis.Study
+	switch v6dayDB, err := store.Load(filepath.Join(*dbDir, store.SnapV6Day)); {
+	case err == nil:
 		th6 := analysis.DefaultThresholds()
 		th6.CI.MinN = 6
 		var v6vas []*analysis.VantageAnalysis
 		for _, v := range v6dayDB.Vantages() {
 			v6vas = append(v6vas, analysis.Analyze(v6dayDB, v, th6))
 		}
-		v6day := analysis.NewStudy(v6vas...)
-		report.Table10(os.Stdout, v6day.Table8())
-		report.Table12(os.Stdout, v6day.Table11())
+		v6day = analysis.NewStudy(v6vas...)
+	case errors.Is(err, store.ErrNoDatabase):
+		fmt.Fprintln(os.Stderr, "v6report: no World IPv6 Day database; skipping Tables 10 and 12")
+	default:
+		fatal(err)
 	}
+
+	report.RenderStudy(os.Stdout, study, v6day)
 }
 
 func fatal(err error) {

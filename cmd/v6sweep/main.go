@@ -1,8 +1,10 @@
 // Command v6sweep re-runs the full study across a parameter sweep and
 // tabulates how the paper's findings move — the what-if companion to
-// v6report. Built-in sweeps target the design dimensions DESIGN.md
-// calls out: IPv6 peering parity, tunnel prevalence, and the
-// deficient-server mix.
+// v6report. Sweep points are independent campaigns and run
+// concurrently on a bounded worker pool (-parallel); Ctrl-C stops the
+// in-flight campaigns at their next round boundary. Built-in sweeps
+// target the design dimensions DESIGN.md calls out: IPv6 peering
+// parity, tunnel prevalence, and the deficient-server mix.
 //
 // Usage:
 //
@@ -12,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"v6web/internal/core"
 	"v6web/internal/sweep"
@@ -24,10 +29,11 @@ import (
 
 func main() {
 	var (
-		which = flag.String("sweep", "parity", "which sweep: parity, tunnels, servers")
-		seed  = flag.Int64("seed", 42, "scenario seed")
-		ases  = flag.Int("ases", 900, "topology size")
-		sites = flag.Int("sites", 9000, "list size")
+		which    = flag.String("sweep", "parity", "which sweep: parity, tunnels, servers")
+		seed     = flag.Int64("seed", 42, "scenario seed")
+		ases     = flag.Int("ases", 900, "topology size")
+		sites    = flag.Int("sites", 9000, "list size")
+		parallel = flag.Int("parallel", 0, "concurrent sweep points (0: one per CPU)")
 	)
 	flag.Parse()
 
@@ -99,7 +105,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := sweep.Run(base, points, metrics)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, err := sweep.RunContext(ctx, base, points, metrics, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "v6sweep:", err)
 		os.Exit(1)

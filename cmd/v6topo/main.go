@@ -1,7 +1,11 @@
 // Command v6topo generates a synthetic AS-level topology and prints
 // its vital statistics: tier sizes, IPv6 capability, edge counts per
-// family, tunnels, and a reachability check — useful for inspecting
-// the substrate the study runs on.
+// family, tunnels, and a reachability check. It is the substrate
+// inspector for the campaign tools — the same generator seed given
+// here is what v6mon's campaign runner builds its RIBs from, so
+// v6topo is the quick way to sanity-check a topology before
+// committing it to a multi-round (and possibly checkpointed,
+// resumable) monitoring campaign.
 //
 // Usage:
 //

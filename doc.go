@@ -18,10 +18,29 @@
 // plane (internal/netsim), site and server models (internal/websim,
 // internal/alexa), DNS and HTTP substrates that also run over real
 // loopback sockets (internal/dnswire, internal/dnssim,
-// internal/httpsim), the paper's monitoring tool (internal/measure),
-// a result store (internal/store), and the full Section 4/5 analysis
-// pipeline (internal/analysis). internal/core ties it together;
-// bench_test.go regenerates every table and figure.
+// internal/httpsim), and the paper's monitoring tool
+// (internal/measure) feeding the full Section 4/5 analysis pipeline
+// (internal/analysis, internal/report).
+//
+// internal/core ties it together as a long-lived measurement
+// *campaign*, the shape the paper's 22-month Penn deployment actually
+// had: Scenario.RunContext drives a resumable round cursor
+// (NextRound/RoundsDone) under a context, streams typed RoundEvents
+// to observers (core.WithObserver), and checkpoints completed rounds
+// (core.WithCheckpoint) to a pluggable storage backend
+// (store.Backend — plain CSV directories or the crash-safe,
+// append-only store.CheckpointBackend). A campaign killed at any
+// round resumes via core.Resume with final results byte-identical to
+// a never-interrupted run. internal/sweep fans independent campaigns
+// out across a bounded worker pool for parameter studies.
+//
+// The cmd tools expose the same machinery: v6mon runs (and with
+// -resume, continues) a checkpointed campaign with SIGINT-graceful
+// shutdown, v6report regenerates every table and figure from a saved
+// or fresh campaign, v6sweep runs what-if parameter sweeps
+// concurrently, and v6topo inspects the synthetic substrate.
+// examples/resume demonstrates the checkpoint → crash → resume cycle
+// end to end; bench_test.go regenerates every exhibit.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -2,10 +2,12 @@
 // "Promoting IPv6 and IPv4 peering parity is probably the single most
 // effective step towards equal IPv6 and IPv4 performance."
 //
-// This example runs the same study over two synthetic Internets —
-// one with 2011-like sparse IPv6 peering, one with full parity (every
-// IPv4 adjacency between v6-capable ASes also carries IPv6, and no
-// tunnels) — and shows how the SP/DP split and the IPv6 deficit move.
+// This example runs the same study over three synthetic Internets —
+// 2011-like sparse IPv6 peering, improved parity, and full parity
+// (every IPv4 adjacency between v6-capable ASes also carries IPv6,
+// and no tunnels) — and shows how the SP/DP split and the IPv6
+// deficit move. The three worlds are independent campaigns, so they
+// run concurrently through the sweep worker pool.
 //
 //	go run ./examples/peeringparity
 package main
@@ -15,56 +17,48 @@ import (
 	"log"
 
 	"v6web/internal/core"
+	"v6web/internal/sweep"
 	"v6web/internal/topo"
 )
 
-func run(parity float64, dropTunnels bool) (spShare, dpComparable float64) {
-	cfg := core.DefaultConfig(11)
-	cfg.NASes = 900
-	cfg.ListSize = 9000
-	cfg.Extended = 0
-	tc := topo.DefaultGenConfig(cfg.NASes, cfg.Seed)
-	tc.V6EdgeParity = parity
-	if dropTunnels {
-		tc.TunnelFrac = 0
-	}
-	cfg.TopoOverride = &tc
-
-	s, err := core.NewScenario(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := s.Run(); err != nil {
-		log.Fatal(err)
-	}
-	study := s.Study()
+// spShare is the share of kept same-location sites reached over the
+// same AS path in both families.
+func spShare(s *core.Scenario) float64 {
 	var sp, dp int
-	for _, r := range study.Table4() {
+	for _, r := range s.Study().Table4() {
 		sp += r.SP
 		dp += r.DP
 	}
-	if sp+dp > 0 {
-		spShare = float64(sp) / float64(sp+dp)
+	if sp+dp == 0 {
+		return 0
 	}
-	var compSum float64
+	return float64(sp) / float64(sp+dp)
+}
+
+// dpComparable is the mean comparable+zero-mode fraction across
+// vantages for different-path ASes.
+func dpComparable(s *core.Scenario) float64 {
+	var sum float64
 	var n int
-	for _, r := range study.Table11() {
+	for _, r := range s.Study().Table11() {
 		if r.NASes > 0 {
-			compSum += r.FracComparable + r.FracZeroMode
+			sum += r.FracComparable + r.FracZeroMode
 			n++
 		}
 	}
-	if n > 0 {
-		dpComparable = compSum / float64(n)
+	if n == 0 {
+		return 0
 	}
-	return spShare, dpComparable
+	return sum / float64(n)
 }
 
 func main() {
-	fmt.Println("What does IPv6/IPv4 peering parity buy? (same study, two Internets)")
-	fmt.Println()
-	fmt.Printf("%-28s  %18s  %22s\n", "world", "SP share of sites", "DP ASes IPv6~IPv4")
-	for _, w := range []struct {
+	base := core.DefaultConfig(11)
+	base.NASes = 900
+	base.ListSize = 9000
+	base.Extended = 0
+
+	worlds := []struct {
 		name   string
 		parity float64
 		noTun  bool
@@ -72,9 +66,34 @@ func main() {
 		{"2011 (sparse v6 peering)", 0.55, false},
 		{"improved parity", 0.85, false},
 		{"full parity, no tunnels", 1.00, true},
-	} {
-		sp, dpc := run(w.parity, w.noTun)
-		fmt.Printf("%-28s  %17.1f%%  %21.1f%%\n", w.name, 100*sp, 100*dpc)
+	}
+	var points []sweep.Point
+	for _, w := range worlds {
+		w := w
+		points = append(points, sweep.Point{
+			Label: w.name,
+			Mutate: func(c *core.Config) {
+				tc := topo.DefaultGenConfig(c.NASes, c.Seed)
+				tc.V6EdgeParity = w.parity
+				if w.noTun {
+					tc.TunnelFrac = 0
+				}
+				c.TopoOverride = &tc
+			},
+		})
+	}
+	results, err := sweep.Run(base, points, map[string]sweep.Metric{
+		"sp": spShare, "dp": dpComparable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What does IPv6/IPv4 peering parity buy? (same study, three Internets)")
+	fmt.Println()
+	fmt.Printf("%-28s  %18s  %22s\n", "world", "SP share of sites", "DP ASes IPv6~IPv4")
+	for _, r := range results {
+		fmt.Printf("%-28s  %17.1f%%  %21.1f%%\n", r.Label, 100*r.Values["sp"], 100*r.Values["dp"])
 	}
 	fmt.Println()
 	fmt.Println("With parity, sites migrate from DP (different, longer IPv6 paths) to SP,")

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	// The campaign runner streams per-round events; watch the
+	// always-on Penn vantage to see the study progress.
+	err = s.RunContext(context.Background(), core.WithObserver(func(ev core.RoundEvent) {
+		if ev.Vantage == "Penn" {
+			fmt.Printf("\rmonitoring: round %d/%d", ev.Round+1, cfg.Rounds)
+		}
+	}))
+	fmt.Println()
+	if err != nil {
 		log.Fatal(err)
 	}
 

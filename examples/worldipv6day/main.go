@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,13 +26,22 @@ func main() {
 		log.Fatal(err)
 	}
 	// The main study supplies the AS paths and classification
-	// context; the V6Day experiment runs its own dense rounds.
-	if err := s.Run(); err != nil {
+	// context; the V6Day experiment runs its own dense rounds, which
+	// the runner's event stream makes visible as they happen.
+	ctx := context.Background()
+	if err := s.RunContext(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if err := s.RunWorldV6Day(); err != nil {
+	err = s.RunWorldV6DayContext(ctx, core.WithObserver(func(ev core.RoundEvent) {
+		if ev.Vantage == "Penn" {
+			fmt.Printf("June 8, %s  %-5s  %d participants monitored\n",
+				ev.Date.Format("15:04"), ev.Vantage, ev.Stats.Sites)
+		}
+	}))
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println()
 
 	parts := s.V6DayParticipants()
 	fmt.Printf("World IPv6 Day participants among monitored sites: %d\n", len(parts))

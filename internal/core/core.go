@@ -154,7 +154,9 @@ type Scenario struct {
 	tracked     []measure.SiteRef
 	trackedSeen map[alexa.SiteID]bool
 
-	ran    bool
+	// next is the campaign's round cursor: the first main-study round
+	// not yet executed (or fast-forwarded past). See runner.go.
+	next   int
 	ranV6D bool
 }
 
@@ -346,76 +348,9 @@ func (s *Scenario) tFrac(date time.Time) float64 {
 	return f
 }
 
-// Run executes every monitoring round at every vantage, advancing the
-// ranked list between rounds. It is idempotent: repeated calls are
-// no-ops.
-func (s *Scenario) Run() error {
-	if s.ran {
-		return nil
-	}
-	if s.trackedSeen == nil {
-		s.trackedSeen = make(map[alexa.SiteID]bool, s.Cfg.ListSize*2)
-	}
-	for r := 0; r < s.Cfg.Rounds; r++ {
-		date := s.dates[r]
-		tf := s.tFrac(date)
-		// Fold this round's list into the cumulative tracked set:
-		// once seen, a site is monitored from then on even if churn
-		// drops it from the ranking.
-		for _, id := range s.List.Ranked() {
-			if !s.trackedSeen[id] {
-				s.trackedSeen[id] = true
-				s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
-			}
-		}
-		// Keep the catalog's lock-free table covering every minted id;
-		// no monitor is running here, so growing is safe.
-		s.Catalog.Reserve(s.List.TotalSeen(), 0, 0)
-		for _, vp := range s.Cfg.Vantages {
-			if r < vp.StartRound {
-				continue
-			}
-			mon := s.monitors[vp.Name]
-			mon.RunRound(r, date, tf, s.tracked)
-			if vp.Extended {
-				mon.RunRound(r, date, tf, s.extRefs)
-			}
-		}
-		s.List.Advance()
-	}
-	s.ran = true
-	return nil
-}
-
 // TrackedSites returns how many distinct sites have entered the
 // monitored set so far.
 func (s *Scenario) TrackedSites() int { return len(s.tracked) }
-
-// RunWorldV6Day executes the side experiment: the World IPv6 Day
-// participants, monitored every 30 minutes on the day itself, from
-// the vantages for which the paper had data.
-func (s *Scenario) RunWorldV6Day() error {
-	if s.ranV6D {
-		return nil
-	}
-	refs := s.V6DayParticipants()
-	tf := s.tFrac(s.Timeline.V6Day)
-	for _, vp := range s.Cfg.Vantages {
-		if !vp.V6Day {
-			continue
-		}
-		mon, err := measure.NewMonitor(measure.DefaultConfig(vp.Name, s.Cfg.Seed+1), s.fetchers[vp.Name], s.V6DayDB)
-		if err != nil {
-			return err
-		}
-		for r := 0; r < s.Cfg.V6DayRounds; r++ {
-			date := s.Timeline.V6Day.Add(time.Duration(r) * 30 * time.Minute)
-			mon.RunRound(r, date, tf, refs)
-		}
-	}
-	s.ranV6D = true
-	return nil
-}
 
 // V6DayParticipants returns the monitored sites that advertised
 // participation in World IPv6 Day.
@@ -521,22 +456,7 @@ func (s *Scenario) ReportAll(w io.Writer) error {
 	report.Fig3b(w, "Penn", t1m, ext)
 	report.Table1(w, s.Table1())
 
-	study := s.Study()
-	rows2, all2 := study.Table2()
-	report.Table2(w, rows2, all2)
-	report.Table3(w, study.Table3())
-	report.Table4(w, study.Table4())
-	report.Table5(w, study.Table5())
-	report.Table6(w, study.Table6())
-	report.HopTable(w, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
-	report.Table8(w, study.Table8())
-	report.HopTable(w, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
-
-	v6day := s.V6DayStudy()
-	report.Table10(w, v6day.Table8())
-	report.Table11(w, study.Table11())
-	report.Table12(w, v6day.Table11())
-	report.Table13(w, study.Table13())
+	report.RenderStudy(w, s.Study(), s.V6DayStudy())
 
 	// Section 5.5's trait search and extensions beyond the paper's
 	// exhibits.

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/measure"
+	"v6web/internal/store"
+)
+
+// This file is the campaign runner: the paper's study is a long-lived
+// measurement campaign (six vantages, weekly rounds, nine months), so
+// execution is modeled as a resumable round cursor rather than one
+// blocking batch call. RunContext drives the cursor under a context,
+// streams RoundEvents to observers, and checkpoints completed rounds
+// to a store.Backend so a killed campaign resumes — round for round
+// bit-identical to an uninterrupted run — via Resume.
+
+// RoundEvent is one entry of the campaign's event stream: a vantage
+// finished monitoring its site population for a round.
+type RoundEvent struct {
+	Round   int
+	Date    time.Time
+	Vantage store.Vantage
+	Stats   measure.RoundStats
+	Elapsed time.Duration
+}
+
+// Observer receives round events as they happen. Observers run
+// synchronously on the campaign goroutine between rounds; slow
+// observers slow the campaign, not corrupt it.
+type Observer func(RoundEvent)
+
+type runOptions struct {
+	observers []Observer
+	backend   store.Backend
+	every     int
+	from, to  int
+}
+
+// RunOption configures one RunContext / RunWorldV6DayContext call.
+type RunOption func(*runOptions)
+
+// WithObserver streams round events to fn. May be given repeatedly;
+// observers are invoked in registration order.
+func WithObserver(fn Observer) RunOption {
+	return func(o *runOptions) { o.observers = append(o.observers, fn) }
+}
+
+// WithBackend attaches the storage backend that receives checkpoints.
+func WithBackend(b store.Backend) RunOption {
+	return func(o *runOptions) { o.backend = b }
+}
+
+// WithCheckpoint checkpoints the campaign to the attached backend
+// after every `every` completed rounds (and at the end of the run, or
+// on cancellation). Requires WithBackend.
+func WithCheckpoint(every int) RunOption {
+	return func(o *runOptions) { o.every = every }
+}
+
+// WithRounds restricts execution to the round window [from, to). A
+// window starting past the cursor fast-forwards the ranked list
+// without monitoring; to is clamped to the configured round count.
+func WithRounds(from, to int) RunOption {
+	return func(o *runOptions) { o.from, o.to = from, to }
+}
+
+func emit(observers []Observer, ev RoundEvent) {
+	for _, fn := range observers {
+		fn(ev)
+	}
+}
+
+// Run executes every remaining monitoring round. It is a thin compat
+// wrapper over RunContext and is idempotent: once all rounds have
+// executed, further calls are no-ops.
+func (s *Scenario) Run() error { return s.RunContext(context.Background()) }
+
+// RunContext executes monitoring rounds from the current cursor under
+// ctx. Cancellation is honored between rounds — a round is the atomic
+// unit of progress — and when checkpointing is enabled the completed
+// rounds are checkpointed before the context error is returned, so an
+// interrupted campaign loses at most the round in flight.
+func (s *Scenario) RunContext(ctx context.Context, opts ...RunOption) error {
+	o := runOptions{from: 0, to: s.Cfg.Rounds}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.to > s.Cfg.Rounds {
+		o.to = s.Cfg.Rounds
+	}
+	if o.from < 0 || o.from > o.to {
+		return fmt.Errorf("core: round window [%d,%d) invalid", o.from, o.to)
+	}
+	if o.every > 0 && o.backend == nil {
+		return fmt.Errorf("core: WithCheckpoint requires WithBackend")
+	}
+	if s.next < o.from {
+		s.fastForward(o.from)
+	}
+	// Cursor of the last checkpoint known to be on disk, so the
+	// shutdown path never rewrites a byte-identical checkpoint — e.g.
+	// a resumed campaign interrupted again before its first round.
+	checkpointed := -1
+	if o.every > 0 {
+		if meta, ok, err := o.backend.LoadMeta(); err == nil && ok &&
+			meta.NextRound == s.next && meta.ConfigHash == s.Cfg.Fingerprint() {
+			checkpointed = s.next
+		}
+	}
+	for s.next < o.to {
+		if err := ctx.Err(); err != nil {
+			if o.every > 0 && checkpointed != s.next {
+				if cerr := s.Checkpoint(o.backend); cerr != nil {
+					// A failed shutdown checkpoint outranks the
+					// cancellation: callers must not conclude (via
+					// errors.Is Canceled) that progress was saved.
+					return fmt.Errorf("core: shutdown checkpoint at round %d failed (campaign interrupted: %v): %w", s.next, err, cerr)
+				}
+			}
+			return err
+		}
+		if err := s.NextRound(o.observers...); err != nil {
+			return err
+		}
+		if o.every > 0 && (s.next%o.every == 0 || s.next == o.to) {
+			if err := s.Checkpoint(o.backend); err != nil {
+				return err
+			}
+			checkpointed = s.next
+		}
+	}
+	return nil
+}
+
+// NextRound executes the next monitoring round at every active
+// vantage and advances the cursor: the round's list is folded into
+// the tracked set, each started vantage monitors its population (plus
+// the extended population at extended vantages), and the ranked list
+// churns forward. Events stream to the given observers.
+func (s *Scenario) NextRound(observers ...Observer) error {
+	if s.next >= s.Cfg.Rounds {
+		return fmt.Errorf("core: all %d rounds already executed", s.Cfg.Rounds)
+	}
+	r := s.next
+	date := s.dates[r]
+	tf := s.tFrac(date)
+	s.absorbRanked()
+	for _, vp := range s.Cfg.Vantages {
+		if r < vp.StartRound {
+			continue
+		}
+		start := time.Now()
+		mon := s.monitors[vp.Name]
+		st := mon.RunRound(r, date, tf, s.tracked)
+		if vp.Extended {
+			ext := mon.RunRound(r, date, tf, s.extRefs)
+			st.Sites += ext.Sites
+			st.Dual += ext.Dual
+			st.Identical += ext.Identical
+			st.Measured += ext.Measured
+			st.FetchFails += ext.FetchFails
+		}
+		emit(observers, RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: time.Since(start)})
+	}
+	s.List.Advance()
+	s.next++
+	return nil
+}
+
+// RoundsDone returns the cursor position: how many main-study rounds
+// have executed (or been fast-forwarded past).
+func (s *Scenario) RoundsDone() int { return s.next }
+
+// absorbRanked folds the current round's ranked list into the
+// cumulative tracked set — "new sites ... are added to the monitoring
+// list and tracked from this point onward" (Section 3) — and keeps
+// the catalog's lock-free table covering every minted id (no monitor
+// is running here, so growing is safe).
+func (s *Scenario) absorbRanked() {
+	if s.trackedSeen == nil {
+		s.trackedSeen = make(map[alexa.SiteID]bool, s.Cfg.ListSize*2)
+	}
+	for _, id := range s.List.Ranked() {
+		if !s.trackedSeen[id] {
+			s.trackedSeen[id] = true
+			s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
+		}
+	}
+	s.Catalog.Reserve(s.List.TotalSeen(), 0, 0)
+}
+
+// fastForward advances the cursor to round `to` without monitoring:
+// the ranked list churns and the tracked set accumulates exactly as
+// during a monitored run, reproducing the list state a campaign had
+// at that round. Resume uses it to rebuild the in-memory side of a
+// checkpointed campaign.
+func (s *Scenario) fastForward(to int) {
+	for s.next < to && s.next < s.Cfg.Rounds {
+		s.absorbRanked()
+		s.List.Advance()
+		s.next++
+	}
+}
+
+// Checkpoint persists the campaign's completed rounds to b: the main
+// measurement database plus round-cursor metadata. SaveMeta commits.
+func (s *Scenario) Checkpoint(b store.Backend) error {
+	if err := b.SaveSnapshot(store.SnapMain, s.DB); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	err := b.SaveMeta(store.Meta{
+		NextRound:  s.next,
+		Rounds:     s.Cfg.Rounds,
+		ConfigHash: s.Cfg.Fingerprint(),
+		Complete:   s.next >= s.Cfg.Rounds,
+		SavedAt:    time.Now().UTC(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Fingerprint returns a stable hash of every configuration field that
+// shapes the campaign's deterministic output. Resume refuses a
+// checkpoint whose fingerprint differs from the offered config, since
+// mixing states of two different campaigns would corrupt both.
+func (c Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d n=%d list=%d rounds=%d ext=%d v6d=%d pcf=%g",
+		c.Seed, c.NASes, c.ListSize, c.Rounds, c.Extended, c.V6DayRounds, c.PathChangeFrac)
+	vps := c.Vantages
+	if vps == nil {
+		vps = DefaultVantages()
+	}
+	for _, vp := range vps {
+		fmt.Fprintf(h, "|vp=%+v", vp)
+	}
+	// The override structs are flat value types, so %+v is stable.
+	if c.TopoOverride != nil {
+		fmt.Fprintf(h, "|topo=%+v", *c.TopoOverride)
+	}
+	if c.Net != nil {
+		fmt.Fprintf(h, "|net=%+v", *c.Net)
+	}
+	if c.Web != nil {
+		fmt.Fprintf(h, "|web=%+v", *c.Web)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Resume rebuilds a checkpointed campaign from b: a fresh scenario is
+// wired from cfg (which must fingerprint-match the checkpoint), the
+// saved measurement database is loaded, and the ranked list is
+// fast-forwarded to the checkpointed round. Continuing the returned
+// scenario with RunContext produces output round-for-round identical
+// to a never-interrupted campaign.
+func Resume(cfg Config, b store.Backend) (*Scenario, error) {
+	if cfg.Vantages == nil {
+		cfg.Vantages = DefaultVantages()
+	}
+	meta, ok, err := b.LoadMeta()
+	if err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: resume: no checkpoint found")
+	}
+	if got, want := cfg.Fingerprint(), meta.ConfigHash; got != want {
+		return nil, fmt.Errorf("core: resume: config fingerprint %s does not match checkpoint's %s — same flags/seed required", got, want)
+	}
+	if meta.NextRound < 0 || meta.NextRound > cfg.Rounds {
+		return nil, fmt.Errorf("core: resume: checkpoint round %d outside [0,%d]", meta.NextRound, cfg.Rounds)
+	}
+	s, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db, err := b.LoadSnapshot(store.SnapMain)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	s.DB.Merge(db)
+	s.fastForward(meta.NextRound)
+	return s, nil
+}
+
+// RunWorldV6Day executes the side experiment; compat wrapper over
+// RunWorldV6DayContext. Idempotent.
+func (s *Scenario) RunWorldV6Day() error {
+	return s.RunWorldV6DayContext(context.Background())
+}
+
+// RunWorldV6DayContext executes the World IPv6 Day side experiment:
+// the participants, monitored every 30 minutes on the day itself,
+// from the vantages for which the paper had data. Only observers are
+// honored among the options — the experiment is short and is not
+// checkpointed; it runs into a staging database that is folded into
+// V6DayDB only on completion, so a cancelled run leaves V6DayDB
+// untouched and can simply be re-run.
+func (s *Scenario) RunWorldV6DayContext(ctx context.Context, opts ...RunOption) error {
+	if s.ranV6D {
+		return nil
+	}
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	refs := s.V6DayParticipants()
+	tf := s.tFrac(s.Timeline.V6Day)
+	staging := store.NewDB()
+	for _, vp := range s.Cfg.Vantages {
+		if !vp.V6Day {
+			continue
+		}
+		mon, err := measure.NewMonitor(measure.DefaultConfig(vp.Name, s.Cfg.Seed+1), s.fetchers[vp.Name], staging)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < s.Cfg.V6DayRounds; r++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			date := s.Timeline.V6Day.Add(time.Duration(r) * 30 * time.Minute)
+			start := time.Now()
+			st := mon.RunRound(r, date, tf, refs)
+			emit(o.observers, RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: time.Since(start)})
+		}
+	}
+	s.V6DayDB.Merge(staging)
+	s.ranV6D = true
+	return nil
+}

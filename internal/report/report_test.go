@@ -202,3 +202,29 @@ func TestTableAlignment(t *testing.T) {
 		t.Fatalf("separator not widened:\n%s", out)
 	}
 }
+
+func TestRenderStudy(t *testing.T) {
+	// An empty study still renders every main-study table; the World
+	// IPv6 Day tables appear only when that study is supplied.
+	study := analysis.NewStudy()
+	out := render(func(b *bytes.Buffer) { RenderStudy(b, study, nil) })
+	for _, want := range []string{
+		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+		"Table 7", "Table 8", "Table 9", "Table 11", "Table 13",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderStudy missing %q:\n%s", want, out)
+		}
+	}
+	for _, absent := range []string{"Table 10", "Table 12"} {
+		if strings.Contains(out, absent) {
+			t.Fatalf("RenderStudy rendered %q without a v6day study:\n%s", absent, out)
+		}
+	}
+	out = render(func(b *bytes.Buffer) { RenderStudy(b, study, analysis.NewStudy()) })
+	for _, want := range []string{"Table 10", "Table 12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderStudy with v6day missing %q:\n%s", want, out)
+		}
+	}
+}

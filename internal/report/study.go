@@ -1,0 +1,33 @@
+package report
+
+import (
+	"io"
+
+	"v6web/internal/analysis"
+)
+
+// RenderStudy renders the paper's measurement tables (2–13) for a
+// completed study in exhibit order. v6day carries the World IPv6 Day
+// side experiment (Tables 10 and 12); pass nil when it was not run or
+// not saved, and those two tables are skipped. Both Scenario.ReportAll
+// and `v6report -db` render through this one path, so the two always
+// agree on table selection and captions.
+func RenderStudy(w io.Writer, study *analysis.Study, v6day *analysis.Study) {
+	rows2, all2 := study.Table2()
+	Table2(w, rows2, all2)
+	Table3(w, study.Table3())
+	Table4(w, study.Table4())
+	Table5(w, study.Table5())
+	Table6(w, study.Table6())
+	HopTable(w, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
+	Table8(w, study.Table8())
+	HopTable(w, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
+	if v6day != nil {
+		Table10(w, v6day.Table8())
+	}
+	Table11(w, study.Table11())
+	if v6day != nil {
+		Table12(w, v6day.Table11())
+	}
+	Table13(w, study.Table13())
+}

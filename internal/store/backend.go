@@ -1,0 +1,270 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Snapshot names used by the campaign runner: the main weekly study
+// and the World IPv6 Day side experiment.
+const (
+	SnapMain  = "main"
+	SnapV6Day = "v6day"
+)
+
+// Meta is the round-cursor metadata persisted next to snapshots. It
+// is what lets a killed campaign resume: NextRound is the first round
+// NOT yet reflected in the saved snapshots, and ConfigHash guards
+// against resuming under a different configuration.
+type Meta struct {
+	NextRound  int       `json:"next_round"`
+	Rounds     int       `json:"rounds"`
+	ConfigHash string    `json:"config_hash"`
+	Complete   bool      `json:"complete"`
+	SavedAt    time.Time `json:"saved_at"`
+}
+
+// Backend abstracts where campaign snapshots and their round-cursor
+// metadata live. The campaign runner writes a checkpoint as one or
+// more SaveSnapshot calls followed by exactly one SaveMeta call;
+// SaveMeta is the commit point, and backends may stage snapshots
+// until it lands. LoadMeta reports ok=false when the backend holds no
+// committed checkpoint at all.
+type Backend interface {
+	SaveSnapshot(name string, db *DB) error
+	LoadSnapshot(name string) (*DB, error)
+	SaveMeta(m Meta) error
+	LoadMeta() (Meta, bool, error)
+}
+
+const metaFile = "meta.json"
+
+func writeMetaFile(path string, m Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readMetaFile(path string) (Meta, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Meta{}, false, nil
+	}
+	if err != nil {
+		return Meta{}, false, err
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, false, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return m, true, nil
+}
+
+// CSVBackend is the plain directory layout v6mon has always written:
+// one CSV database per snapshot name under Dir, plus Dir/meta.json.
+// Snapshots are rewritten in place, so a hard kill mid-write can
+// leave a partial database — use CheckpointBackend when checkpoints
+// must survive crashes at arbitrary points.
+type CSVBackend struct {
+	Dir string
+}
+
+// SaveSnapshot writes db as CSV under Dir/name.
+func (b *CSVBackend) SaveSnapshot(name string, db *DB) error {
+	return db.Save(filepath.Join(b.Dir, name))
+}
+
+// LoadSnapshot reads the CSV database under Dir/name.
+func (b *CSVBackend) LoadSnapshot(name string) (*DB, error) {
+	return Load(filepath.Join(b.Dir, name))
+}
+
+// SaveMeta atomically replaces Dir/meta.json.
+func (b *CSVBackend) SaveMeta(m Meta) error {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return err
+	}
+	return writeMetaFile(filepath.Join(b.Dir, metaFile), m)
+}
+
+// LoadMeta reads Dir/meta.json; ok=false when it does not exist.
+func (b *CSVBackend) LoadMeta() (Meta, bool, error) {
+	return readMetaFile(filepath.Join(b.Dir, metaFile))
+}
+
+// CheckpointBackend stores each committed checkpoint as its own
+// immutable directory under Dir/checkpoints — an append-only log of
+// campaign states. A checkpoint is staged in a hidden directory and
+// atomically renamed into place when SaveMeta commits it, so a crash
+// at any point (including mid-checkpoint) never corrupts the last
+// committed state. LoadMeta/LoadSnapshot always serve the newest
+// committed checkpoint.
+type CheckpointBackend struct {
+	Dir  string // campaign root; checkpoints live under Dir/checkpoints
+	Keep int    // committed checkpoints to retain after a commit; <=0 keeps all
+
+	mu      sync.Mutex
+	pending string // staging directory of the in-progress checkpoint
+	scanned bool
+	nextSeq int
+}
+
+// NewCheckpointBackend returns a backend rooted at dir, retaining the
+// three newest checkpoints.
+func NewCheckpointBackend(dir string) *CheckpointBackend {
+	return &CheckpointBackend{Dir: dir, Keep: 3}
+}
+
+func (b *CheckpointBackend) root() string { return filepath.Join(b.Dir, "checkpoints") }
+
+const stagingName = ".staging"
+
+// committed returns the sequence-sorted names of committed
+// checkpoints (directories named ck-NNNNNN holding a meta.json).
+func (b *CheckpointBackend) committed() ([]string, error) {
+	entries, err := os.ReadDir(b.root())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		var seq int
+		if !e.IsDir() || len(e.Name()) != 9 {
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "ck-%06d", &seq); err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(b.root(), e.Name(), metaFile)); err != nil {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// stage returns the staging directory, creating it (and discarding
+// any leftovers from a crashed checkpoint) at the start of a cycle.
+func (b *CheckpointBackend) stage() (string, error) {
+	if b.pending != "" {
+		return b.pending, nil
+	}
+	dir := filepath.Join(b.root(), stagingName)
+	if err := os.RemoveAll(dir); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b.pending = dir
+	return dir, nil
+}
+
+// SaveSnapshot stages db under the in-progress checkpoint.
+func (b *CheckpointBackend) SaveSnapshot(name string, db *DB) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dir, err := b.stage()
+	if err != nil {
+		return err
+	}
+	return db.Save(filepath.Join(dir, name))
+}
+
+// SaveMeta commits the staged checkpoint: the metadata is written
+// into the staging directory, which is then atomically renamed to its
+// sequence-numbered final name. Older checkpoints beyond Keep are
+// pruned afterwards.
+func (b *CheckpointBackend) SaveMeta(m Meta) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dir, err := b.stage()
+	if err != nil {
+		return err
+	}
+	if err := writeMetaFile(filepath.Join(dir, metaFile), m); err != nil {
+		return err
+	}
+	if !b.scanned {
+		names, err := b.committed()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			var seq int
+			fmt.Sscanf(n, "ck-%06d", &seq)
+			if seq >= b.nextSeq {
+				b.nextSeq = seq + 1
+			}
+		}
+		b.scanned = true
+	}
+	final := filepath.Join(b.root(), fmt.Sprintf("ck-%06d", b.nextSeq))
+	if err := os.Rename(dir, final); err != nil {
+		return err
+	}
+	b.nextSeq++
+	b.pending = ""
+	if b.Keep > 0 {
+		names, err := b.committed()
+		if err != nil {
+			return err
+		}
+		for len(names) > b.Keep {
+			if err := os.RemoveAll(filepath.Join(b.root(), names[0])); err != nil {
+				return err
+			}
+			names = names[1:]
+		}
+	}
+	return nil
+}
+
+// latest returns the newest committed checkpoint directory, or "".
+func (b *CheckpointBackend) latest() (string, error) {
+	names, err := b.committed()
+	if err != nil || len(names) == 0 {
+		return "", err
+	}
+	return filepath.Join(b.root(), names[len(names)-1]), nil
+}
+
+// LoadMeta reads the newest committed checkpoint's metadata.
+func (b *CheckpointBackend) LoadMeta() (Meta, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dir, err := b.latest()
+	if err != nil || dir == "" {
+		return Meta{}, false, err
+	}
+	return readMetaFile(filepath.Join(dir, metaFile))
+}
+
+// LoadSnapshot reads a snapshot from the newest committed checkpoint.
+func (b *CheckpointBackend) LoadSnapshot(name string) (*DB, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dir, err := b.latest()
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("store: %w: no committed checkpoint under %s", ErrNoDatabase, b.root())
+	}
+	return Load(filepath.Join(dir, name))
+}

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"v6web/internal/topo"
+)
+
+func backendSampleDB() *DB {
+	db := NewDB()
+	db.PutSite(SiteRow{Site: 1, Host: "one.test", FirstRank: 3, V4AS: 9, V6AS: 12})
+	db.AddDNS("penn", DNSRow{Site: 1, Round: 0, HasA: true, HasAAAA: true, Identical: true})
+	db.AddSample("penn", 1, topo.V4, Sample{Round: 0, Date: time.Unix(0, 0).UTC(), PageBytes: 100, Downloads: 3, MeanSpeed: 55, CIOK: true})
+	db.AddPath("penn", topo.V4, 9, 0, []int{2, 5, 9})
+	return db
+}
+
+func TestCSVBackendRoundTrip(t *testing.T) {
+	b := &CSVBackend{Dir: t.TempDir()}
+	if _, ok, err := b.LoadMeta(); err != nil || ok {
+		t.Fatalf("empty backend meta: ok=%v err=%v", ok, err)
+	}
+	db := backendSampleDB()
+	if err := b.SaveSnapshot(SnapMain, db); err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{NextRound: 7, Rounds: 35, ConfigHash: "cafe", SavedAt: time.Now().UTC()}
+	if err := b.SaveMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := b.LoadMeta()
+	if err != nil || !ok {
+		t.Fatalf("LoadMeta: ok=%v err=%v", ok, err)
+	}
+	if got.NextRound != 7 || got.ConfigHash != "cafe" || got.Complete {
+		t.Fatalf("meta round-trip: %+v", got)
+	}
+	loaded, err := b.LoadSnapshot(SnapMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, d1, sa1, p1 := db.Counts()
+	s2, d2, sa2, p2 := loaded.Counts()
+	if s1 != s2 || d1 != d2 || sa1 != sa2 || p1 != p2 {
+		t.Fatalf("snapshot counts: (%d %d %d %d) vs (%d %d %d %d)", s1, d1, sa1, p1, s2, d2, sa2, p2)
+	}
+}
+
+func TestCheckpointBackendCommitAndLatest(t *testing.T) {
+	b := NewCheckpointBackend(t.TempDir())
+	if _, ok, err := b.LoadMeta(); err != nil || ok {
+		t.Fatalf("empty backend meta: ok=%v err=%v", ok, err)
+	}
+	if _, err := b.LoadSnapshot(SnapMain); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("LoadSnapshot on empty backend: %v", err)
+	}
+
+	db := backendSampleDB()
+	for round := 1; round <= 3; round++ {
+		if round == 3 {
+			db.AddDNS("penn", DNSRow{Site: 2, Round: 2, HasA: true})
+		}
+		if err := b.SaveSnapshot(SnapMain, db); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SaveMeta(Meta{NextRound: round, Rounds: 3, ConfigHash: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, ok, err := b.LoadMeta()
+	if err != nil || !ok || meta.NextRound != 3 {
+		t.Fatalf("latest meta: %+v ok=%v err=%v", meta, ok, err)
+	}
+	loaded, err := b.LoadSnapshot(SnapMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, d, _, _ := loaded.Counts(); d != 2 {
+		t.Fatalf("latest snapshot dns rows: %d", d)
+	}
+}
+
+func TestCheckpointBackendIgnoresCrashedStaging(t *testing.T) {
+	dir := t.TempDir()
+	b := NewCheckpointBackend(dir)
+	if err := b.SaveSnapshot(SnapMain, backendSampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveMeta(Meta{NextRound: 1, Rounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-checkpoint: a fresh backend (new process)
+	// finds a half-written staging directory and an uncommitted-looking
+	// directory without meta.json. Both must be invisible to loads.
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints", ".staging", SnapMain), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints", "ck-000099"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewCheckpointBackend(dir)
+	meta, ok, err := b2.LoadMeta()
+	if err != nil || !ok || meta.NextRound != 1 {
+		t.Fatalf("recovered meta: %+v ok=%v err=%v", meta, ok, err)
+	}
+	if _, err := b2.LoadSnapshot(SnapMain); err != nil {
+		t.Fatalf("recovered snapshot: %v", err)
+	}
+	// The next commit must not collide with the junk ck-000099 name.
+	if err := b2.SaveSnapshot(SnapMain, backendSampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.SaveMeta(Meta{NextRound: 2, Rounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if meta, _, _ := b2.LoadMeta(); meta.NextRound != 2 {
+		t.Fatalf("post-recovery commit not latest: %+v", meta)
+	}
+}
+
+func TestCheckpointBackendPrunes(t *testing.T) {
+	b := NewCheckpointBackend(t.TempDir())
+	b.Keep = 2
+	db := backendSampleDB()
+	for round := 1; round <= 5; round++ {
+		if err := b.SaveSnapshot(SnapMain, db); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SaveMeta(Meta{NextRound: round, Rounds: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := b.committed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("pruning kept %d checkpoints: %v", len(names), names)
+	}
+	if meta, _, _ := b.LoadMeta(); meta.NextRound != 5 {
+		t.Fatalf("pruning lost the newest checkpoint: %+v", meta)
+	}
+}
+
+func TestLoadPartialDirNamesMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := backendSampleDB().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, samplesFile)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir)
+	if err == nil {
+		t.Fatal("partial directory loaded without error")
+	}
+	if !strings.Contains(err.Error(), samplesFile) {
+		t.Fatalf("error does not name the missing file: %v", err)
+	}
+	if errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("partial directory misreported as no database: %v", err)
+	}
+}
+
+func TestLoadEmptyDirIsErrNoDatabase(t *testing.T) {
+	if _, err := Load(t.TempDir()); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "nonexistent")); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+func TestSaveDNSCanonicalOrder(t *testing.T) {
+	// Two databases with the same rows inserted in different orders
+	// (concurrent workers interleave arbitrarily) must serialize to
+	// byte-identical files.
+	rows := []DNSRow{
+		{Site: 9, Round: 1, HasA: true},
+		{Site: 2, Round: 0, HasA: true, HasAAAA: true},
+		{Site: 2, Round: 1, HasA: true},
+		{Site: 5, Round: 0, HasA: true},
+	}
+	mk := func(order []int) string {
+		db := NewDB()
+		for _, i := range order {
+			db.AddDNS("penn", rows[i])
+		}
+		dir := t.TempDir()
+		if err := db.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, dnsFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a := mk([]int{0, 1, 2, 3})
+	b := mk([]int{3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("dns.csv not canonical:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -2,7 +2,9 @@ package store
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -80,41 +82,62 @@ func (db *DB) saveDNS(path string) error {
 	for _, v := range db.Vantages() {
 		t := db.lookup(v)
 		t.dnsMu.Lock()
-		for _, r := range t.dns {
+		dns := append([]DNSRow(nil), t.dns...)
+		t.dnsMu.Unlock()
+		// Canonical (site, round) order: workers append concurrently,
+		// so insertion order varies run to run, but equal databases
+		// must serialize to byte-identical files — checkpoint/resume
+		// correctness is verified by comparing saved CSVs.
+		sort.Slice(dns, func(i, j int) bool {
+			if dns[i].Site != dns[j].Site {
+				return dns[i].Site < dns[j].Site
+			}
+			return dns[i].Round < dns[j].Round
+		})
+		for _, r := range dns {
 			rows = append(rows, []string{
 				string(v), strconv.FormatInt(int64(r.Site), 10), strconv.Itoa(r.Round),
 				strconv.FormatBool(r.HasA), strconv.FormatBool(r.HasAAAA), strconv.FormatBool(r.Identical),
 			})
 		}
-		t.dnsMu.Unlock()
 	}
 	return writeCSV(path, []string{"vantage", "site", "round", "has_a", "has_aaaa", "identical"}, rows)
 }
 
 func (db *DB) saveSamples(path string) error {
+	type series struct {
+		k  siteFamKey
+		ss []Sample
+	}
 	var rows [][]string
 	for _, v := range db.Vantages() {
 		t := db.lookup(v)
-		var keys []siteFamKey
+		// One locked pass per shard: Save runs after every round when
+		// checkpointing, so avoid re-locking and re-copying each of
+		// the tens of thousands of series through db.Samples.
+		var all []series
 		for i := range t.samples {
 			sh := &t.samples[i]
 			sh.mu.Lock()
-			for k := range sh.m {
-				keys = append(keys, k)
+			for k, ss := range sh.m {
+				all = append(all, series{k, append([]Sample(nil), ss...)})
 			}
 			sh.mu.Unlock()
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			a, b := keys[i], keys[j]
+		sort.Slice(all, func(i, j int) bool {
+			a, b := all[i].k, all[j].k
 			if a.site != b.site {
 				return a.site < b.site
 			}
 			return a.fam < b.fam
 		})
-		for _, k := range keys {
-			for _, s := range db.Samples(v, k.site, k.fam) {
+		for _, e := range all {
+			// Monitors append in round order; sort anyway for DBs
+			// populated through the public API in arbitrary order.
+			sort.Slice(e.ss, func(i, j int) bool { return e.ss[i].Round < e.ss[j].Round })
+			for _, s := range e.ss {
 				rows = append(rows, []string{
-					string(v), strconv.FormatInt(int64(k.site), 10), strconv.Itoa(int(k.fam)),
+					string(v), strconv.FormatInt(int64(e.k.site), 10), strconv.Itoa(int(e.k.fam)),
 					strconv.Itoa(s.Round), s.Date.UTC().Format(time.RFC3339),
 					strconv.Itoa(s.PageBytes), strconv.Itoa(s.Downloads),
 					strconv.FormatFloat(s.MeanSpeed, 'g', 17, 64), strconv.FormatBool(s.CIOK),
@@ -178,8 +201,36 @@ func splitInts(s string) ([]int, error) {
 	return out, nil
 }
 
-// Load reads a database previously written by Save.
+// ErrNoDatabase reports that a directory holds no saved database at
+// all, as opposed to a partial one. Callers that treat an absent
+// database as optional (e.g. the World IPv6 Day side experiment) can
+// test for it with errors.Is.
+var ErrNoDatabase = errors.New("no saved database")
+
+// Load reads a database previously written by Save. A directory with
+// none of the database files returns ErrNoDatabase; a partially
+// written directory (some files missing, e.g. after an interrupted
+// Save) returns an error naming the missing files rather than
+// silently yielding an incomplete database.
 func Load(dir string) (*DB, error) {
+	files := []string{sitesFile, dnsFile, samplesFile, pathsFile}
+	var missing []string
+	for _, name := range files {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			// Only genuine absence counts as missing; a present but
+			// unreadable database is an I/O error, not "no database".
+			if !errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("store: load %s: %w", dir, err)
+			}
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == len(files) {
+		return nil, fmt.Errorf("store: %w in %s", ErrNoDatabase, dir)
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("store: %s is missing %s — partial or interrupted save", dir, strings.Join(missing, ", "))
+	}
 	db := NewDB()
 	if err := loadCSV(filepath.Join(dir, sitesFile), 5, func(rec []string) error {
 		site, err := strconv.ParseInt(rec[0], 10, 64)

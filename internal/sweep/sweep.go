@@ -6,10 +6,15 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"v6web/internal/analysis"
 	"v6web/internal/core"
@@ -32,27 +37,100 @@ type Result struct {
 
 // Run executes the sweep: for each point, clone the base config,
 // apply the mutation, run the full study, and evaluate every metric.
+// Points are independent scenarios and run concurrently on a bounded
+// worker pool; results keep point order and each point's values are
+// identical to a serial run (every scenario is seeded from its own
+// config and shares no state).
 func Run(base core.Config, points []Point, metrics map[string]Metric) ([]Result, error) {
-	var out []Result
-	for _, pt := range points {
-		cfg := base
-		if pt.Mutate != nil {
-			pt.Mutate(&cfg)
-		}
-		s, err := core.NewScenario(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep %q: %w", pt.Label, err)
-		}
-		if err := s.Run(); err != nil {
-			return nil, fmt.Errorf("sweep %q: %w", pt.Label, err)
-		}
-		res := Result{Label: pt.Label, Values: make(map[string]float64, len(metrics))}
-		for name, m := range metrics {
-			res.Values[name] = m(s)
-		}
-		out = append(out, res)
+	return RunContext(context.Background(), base, points, metrics, 0)
+}
+
+// RunContext is Run under a context with an explicit parallelism
+// bound; workers <= 0 picks min(GOMAXPROCS, 4, len(points)) — each
+// point holds a complete scenario (topology, catalog, data plane)
+// and runs its own 25-worker monitor pool, so the default stays
+// conservative on memory and pass a larger workers to scale up. The
+// pool
+// shares one derived context that the first failing point cancels,
+// so a failure (or a cancelled parent context) stops the in-flight
+// campaigns at their next round boundary instead of letting them run
+// to the end.
+func RunContext(ctx context.Context, base core.Config, points []Point, metrics map[string]Metric, workers int) ([]Result, error) {
+	if len(points) == 0 {
+		return nil, nil
 	}
-	return out, nil
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(points))
+	errs := make([]error, len(points))
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(points) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = runPoint(ctx, base, points[i], metrics, &results[i])
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Prefer the real failure over cancellations it induced in
+	// sibling points, and report the lowest-index one for stability.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runPoint executes one sweep point into *out.
+func runPoint(ctx context.Context, base core.Config, pt Point, metrics map[string]Metric, out *Result) error {
+	cfg := base
+	if pt.Mutate != nil {
+		pt.Mutate(&cfg)
+	}
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		return fmt.Errorf("sweep %q: %w", pt.Label, err)
+	}
+	if err := s.RunContext(ctx); err != nil {
+		return fmt.Errorf("sweep %q: %w", pt.Label, err)
+	}
+	res := Result{Label: pt.Label, Values: make(map[string]float64, len(metrics))}
+	for name, m := range metrics {
+		res.Values[name] = m(s)
+	}
+	*out = res
+	return nil
 }
 
 // Write renders sweep results as an aligned table, metrics sorted by

@@ -2,6 +2,9 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -46,6 +49,61 @@ func TestSweepParityMovesSPShare(t *testing.T) {
 	if results[1].Values["sp"] <= results[0].Values["sp"] {
 		t.Fatalf("parity did not raise SP share: %v vs %v",
 			results[0].Values["sp"], results[1].Values["sp"])
+	}
+}
+
+func TestParallelMatchesSerialOrderAndValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	base := smallBase(5)
+	base.NASes = 300
+	base.ListSize = 1000
+	base.Rounds = 8
+	base.Vantages = core.ScaledVantages(base.Rounds)
+	var points []Point
+	for _, p := range []float64{0.5, 0.65, 0.8, 1.0} {
+		parity := p
+		points = append(points, Point{
+			Label: fmt.Sprintf("parity=%.2f", parity),
+			Mutate: func(c *core.Config) {
+				tc := topo.DefaultGenConfig(c.NASes, c.Seed)
+				tc.V6EdgeParity = parity
+				c.TopoOverride = &tc
+			},
+		})
+	}
+	metrics := map[string]Metric{"sp": SPShare, "kept": KeptFraction}
+	serial, err := RunContext(context.Background(), base, points, metrics, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunContext(context.Background(), base, points, metrics, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(points) || len(parallel) != len(points) {
+		t.Fatalf("result lengths: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range points {
+		if serial[i].Label != points[i].Label || parallel[i].Label != points[i].Label {
+			t.Fatalf("result %d out of order: serial %q parallel %q want %q",
+				i, serial[i].Label, parallel[i].Label, points[i].Label)
+		}
+		for name, want := range serial[i].Values {
+			if got := parallel[i].Values[name]; got != want {
+				t.Fatalf("point %q metric %s: parallel %v != serial %v", points[i].Label, name, got, want)
+			}
+		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	points := []Point{{Label: "a"}, {Label: "b"}}
+	if _, err := RunContext(ctx, smallBase(1), points, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v", err)
 	}
 }
 
