@@ -11,10 +11,17 @@
 // checkpoint and produces byte-identical final CSVs to a
 // never-interrupted run.
 //
+// The campaign's world can come from a declarative scenario pack
+// (-scenario, internal/scenario) instead of the shape flags: a
+// built-in pack name or a pack file, with -set applying dotted-path
+// overrides on top. `v6mon -scenario list` prints the catalog.
+//
 // Usage:
 //
 //	v6mon -out data/ [-seed 42] [-ases 1500] [-sites 20000] [-rounds 35]
 //	      [-checkpoint-every 5] [-q]
+//	v6mon -out data/ -scenario world-ipv6-day              # a built-in pack
+//	v6mon -out data/ -scenario my.json -set topo.ases=500  # a pack file, scaled
 //	v6mon -out data/ -resume          # continue a killed campaign (same flags)
 //	v6mon -out data/ -stop-after 10   # checkpoint and exit after round 10
 package main
@@ -27,10 +34,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"v6web/internal/cli"
 	"v6web/internal/core"
+	"v6web/internal/scenario"
 	"v6web/internal/store"
 )
 
@@ -41,18 +51,31 @@ func main() {
 		ases      = flag.Int("ases", 1500, "number of ASes in the synthetic topology")
 		sites     = flag.Int("sites", 20000, "ranked-list size (stand-in for the top 1M)")
 		rounds    = flag.Int("rounds", 35, "weekly monitoring rounds")
+		pack      = flag.String("scenario", "", "scenario pack: a built-in name, a pack file, or \"list\" to print the catalog (replaces -seed/-ases/-sites/-rounds; combining them is an error)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		resume    = flag.Bool("resume", false, "resume the campaign from the last checkpoint under -out")
 		every     = flag.Int("checkpoint-every", 5, "checkpoint after this many completed rounds (0 disables checkpointing; SIGINT checkpoints regardless)")
 		stopAfter = flag.Int("stop-after", 0, "checkpoint and exit after this round completes (0 runs to the end)")
 	)
+	var sets scenario.Overrides
+	flag.Var(&sets, "set", "spec override as a dotted path, e.g. -set topo.ases=500 (repeatable; needs -scenario)")
 	flag.Parse()
 
-	cfg := core.DefaultConfig(*seed)
-	cfg.NASes = *ases
-	cfg.ListSize = *sites
-	cfg.Rounds = *rounds
-	cfg.Vantages = core.ScaledVantages(*rounds)
+	if *pack == "list" {
+		if err := scenario.Describe(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *pack != "" {
+		if bad := cli.ExplicitFlags("seed", "ases", "sites", "rounds"); len(bad) > 0 {
+			fatal(fmt.Errorf("-%s applies only without -scenario; use -set spec overrides instead (e.g. -set topo.ases=500)", strings.Join(bad, ", -")))
+		}
+	}
+	cfg, cfgErr := resolveConfig(*pack, sets, *seed, *ases, *sites, *rounds, *quiet)
+	if cfgErr != nil {
+		fatal(cfgErr)
+	}
 
 	if *stopAfter > 0 && *every <= 0 {
 		fatal(fmt.Errorf("-stop-after needs -checkpoint-every > 0, or the stopped campaign cannot be resumed"))
@@ -158,6 +181,30 @@ func main() {
 	}
 }
 
+// resolveConfig builds the campaign config from a scenario pack (when
+// -scenario is given) or from the classic shape flags.
+func resolveConfig(pack string, sets scenario.Overrides, seed int64, ases, sites, rounds int, quiet bool) (core.Config, error) {
+	if pack == "" {
+		if len(sets) > 0 {
+			return core.Config{}, fmt.Errorf("-set overrides a scenario spec; it needs -scenario")
+		}
+		cfg := core.DefaultConfig(seed)
+		cfg.NASes = ases
+		cfg.ListSize = sites
+		cfg.Rounds = rounds
+		cfg.Vantages = core.ScaledVantages(rounds)
+		return cfg, nil
+	}
+	comp, err := scenario.LoadCompiled(pack, sets)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if !quiet && comp.Name != "" {
+		fmt.Printf("scenario: %s — %s\n", comp.Name, comp.Doc)
+	}
+	return comp.Config, nil
+}
+
 // interrupted reports a graceful shutdown and exits.
 func interrupted(s *core.Scenario, cfg core.Config, every int) {
 	if every > 0 {
@@ -170,7 +217,4 @@ func interrupted(s *core.Scenario, cfg core.Config, every int) {
 	os.Exit(1)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "v6mon:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("v6mon", err) }

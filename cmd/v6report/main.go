@@ -6,10 +6,16 @@
 // the same report.RenderStudy pipeline, so saved and fresh campaigns
 // always produce the same exhibits.
 //
+// With -scenario, the fresh campaign comes from a declarative
+// scenario pack (built-in name or pack file; -set applies dotted-path
+// overrides), and the pack's report.exhibits selection — when it has
+// one — picks which exhibits are rendered.
+//
 // Usage:
 //
 //	v6report                     # fresh campaign, full report
 //	v6report -db v6web-data      # report over saved measurements
+//	v6report -scenario world-ipv6-day -set topo.ases=500
 package main
 
 import (
@@ -18,10 +24,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"v6web/internal/analysis"
+	"v6web/internal/cli"
 	"v6web/internal/core"
 	"v6web/internal/report"
+	"v6web/internal/scenario"
 	"v6web/internal/store"
 )
 
@@ -31,8 +40,44 @@ func main() {
 		seed  = flag.Int64("seed", 42, "scenario seed when running fresh")
 		ases  = flag.Int("ases", 1500, "topology size when running fresh")
 		sites = flag.Int("sites", 20000, "list size when running fresh")
+		pack  = flag.String("scenario", "", "scenario pack for the fresh campaign: built-in name, pack file, or \"list\" (replaces -seed/-ases/-sites; combining them is an error)")
 	)
+	var sets scenario.Overrides
+	flag.Var(&sets, "set", "spec override as a dotted path, e.g. -set list.size=5000 (repeatable; needs -scenario)")
 	flag.Parse()
+
+	if *pack == "list" {
+		if err := scenario.Describe(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *pack != "" && *dbDir != "" {
+		fatal(errors.New("-scenario runs a fresh campaign; it cannot be combined with -db"))
+	}
+	if *pack == "" && len(sets) > 0 {
+		fatal(errors.New("-set overrides a scenario spec; it needs -scenario"))
+	}
+	if *pack != "" {
+		if bad := cli.ExplicitFlags("seed", "ases", "sites"); len(bad) > 0 {
+			fatal(fmt.Errorf("-%s applies only without -scenario; use -set spec overrides instead (e.g. -set topo.ases=500)", strings.Join(bad, ", -")))
+		}
+	}
+
+	if *pack != "" {
+		comp, err := scenario.LoadCompiled(*pack, sets)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := core.NewScenario(comp.Config)
+		if err != nil {
+			fatal(err)
+		}
+		if err := scenario.Render(os.Stdout, s, comp.Exhibits); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *dbDir == "" {
 		cfg := core.DefaultConfig(*seed)
@@ -81,7 +126,4 @@ func main() {
 	report.RenderStudy(os.Stdout, study, v6day)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "v6report:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("v6report", err) }

@@ -7,17 +7,26 @@
 // committing it to a multi-round (and possibly checkpointed,
 // resumable) monitoring campaign.
 //
+// With -scenario, the topology is the one a scenario pack's campaign
+// would build (its TopoOverride, or the default generator at the
+// pack's size and seed), so a pack's world can be inspected before
+// running it.
+//
 // Usage:
 //
 //	v6topo [-ases 1500] [-seed 42] [-parity 0.7]
+//	v6topo -scenario broken-tunnels [-set topo.ases=500]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"v6web/internal/bgp"
+	"v6web/internal/cli"
+	"v6web/internal/scenario"
 	"v6web/internal/topo"
 )
 
@@ -26,10 +35,30 @@ func main() {
 		ases   = flag.Int("ases", 1500, "number of ASes")
 		seed   = flag.Int64("seed", 42, "generation seed")
 		parity = flag.Float64("parity", -1, "IPv6 peering parity override (0..1, negative keeps default)")
+		pack   = flag.String("scenario", "", "inspect a scenario pack's topology: built-in name, pack file, or \"list\" (replaces -ases/-seed; combining them is an error)")
 	)
+	var sets scenario.Overrides
+	flag.Var(&sets, "set", "spec override as a dotted path, e.g. -set topo.ases=500 (repeatable; needs -scenario)")
 	flag.Parse()
 
-	cfg := topo.DefaultGenConfig(*ases, *seed)
+	if *pack == "list" {
+		if err := scenario.Describe(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *pack != "" {
+		// -parity is guarded too: silently stacking it on a pack's
+		// topology would print statistics for a world the pack's
+		// campaign never builds.
+		if bad := cli.ExplicitFlags("ases", "seed", "parity"); len(bad) > 0 {
+			fatal(fmt.Errorf("-%s applies only without -scenario; use -set spec overrides instead (e.g. -set topo.v6_edge_parity=0.5)", strings.Join(bad, ", -")))
+		}
+	}
+	cfg, err := genConfig(*pack, sets, *ases, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	if *parity >= 0 {
 		cfg.V6EdgeParity = *parity
 	}
@@ -98,7 +127,26 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "v6topo:", err)
-	os.Exit(1)
+// genConfig resolves the generator configuration from a scenario pack
+// or the classic flags.
+func genConfig(pack string, sets scenario.Overrides, ases int, seed int64) (topo.GenConfig, error) {
+	if pack == "" {
+		if len(sets) > 0 {
+			return topo.GenConfig{}, fmt.Errorf("-set overrides a scenario spec; it needs -scenario")
+		}
+		return topo.DefaultGenConfig(ases, seed), nil
+	}
+	comp, err := scenario.LoadCompiled(pack, sets)
+	if err != nil {
+		return topo.GenConfig{}, err
+	}
+	if comp.Name != "" {
+		fmt.Printf("scenario: %s\n", comp.Name)
+	}
+	if comp.Config.TopoOverride != nil {
+		return *comp.Config.TopoOverride, nil
+	}
+	return topo.DefaultGenConfig(comp.Config.NASes, comp.Config.Seed), nil
 }
+
+func fatal(err error) { cli.Fatal("v6topo", err) }

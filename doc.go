@@ -34,13 +34,27 @@
 // a never-interrupted run. internal/sweep fans independent campaigns
 // out across a bounded worker pool for parameter studies.
 //
+// Worlds are declared, not hard-coded: internal/scenario defines
+// versioned scenario packs — small JSON specs covering topology
+// shape, adoption and peering curves, client behavior (Happy-Eyeballs
+// variants, the tool's retry policy), campaign schedule, and report
+// selection — that compile to the exact core.Config a campaign runs.
+// A built-in registry ships the paper's catalog of worlds
+// (baseline-2011, world-ipv6-day, peering-parity, broken-tunnels,
+// cdn-rollout, happy-eyeballs-off, impatient-client), each
+// golden-tested byte-identical to the hard-coded construction it
+// replaced, and any spec field takes dotted-path overrides
+// ("topo.ases=2000") from the CLIs.
+//
 // The cmd tools expose the same machinery: v6mon runs (and with
 // -resume, continues) a checkpointed campaign with SIGINT-graceful
 // shutdown, v6report regenerates every table and figure from a saved
 // or fresh campaign, v6sweep runs what-if parameter sweeps
-// concurrently, and v6topo inspects the synthetic substrate.
-// examples/resume demonstrates the checkpoint → crash → resume cycle
-// end to end; bench_test.go regenerates every exhibit.
+// concurrently (including -over sweeps across any scenario-spec
+// field), and v6topo inspects the synthetic substrate. All four
+// accept -scenario <name|file>. examples/resume demonstrates the
+// checkpoint → crash → resume cycle end to end; bench_test.go
+// regenerates every exhibit.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -19,6 +19,7 @@ import (
 	"v6web/internal/dnssim"
 	"v6web/internal/httpsim"
 	"v6web/internal/measure"
+	"v6web/internal/scenario"
 	"v6web/internal/store"
 	"v6web/internal/topo"
 )
@@ -119,8 +120,31 @@ func main() {
 	}
 
 	// Happy Eyeballs: what a 2011 browser could do about broken v6.
-	fmt.Println("\nHappy Eyeballs (RFC 6555) dial race against the dual-stack server:")
-	he := httpsim.NewHappyEyeballs()
+	// The connection strategy is the scenario layer's client policy:
+	// the happy-eyeballs-off pack prescribes the paper's per-family
+	// isolation (no dialer), and flipping the spec's client knob — the
+	// "Happy-Eyeballs variant" dimension of a pack — yields the
+	// RFC 6555 racing dialer used below.
+	sp, err := scenario.Load("happy-eyeballs-off")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := sp.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if comp.Client.Dialer() != nil {
+		log.Fatal("happy-eyeballs-off should prescribe per-family isolation")
+	}
+	fmt.Println("\npack happy-eyeballs-off: families measured in isolation (the paper's tool) — done above")
+	if err := sp.SetKV("client.happy_eyeballs=racing"); err != nil {
+		log.Fatal(err)
+	}
+	if comp, err = sp.Compile(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("client.happy_eyeballs=racing: RFC 6555 dial race against the dual-stack server:")
+	he := comp.Client.Dialer()
 	var v6Race net.IP
 	if !v6Fallback {
 		v6Race = net.ParseIP("::1")

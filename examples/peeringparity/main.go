@@ -17,8 +17,8 @@ import (
 	"log"
 
 	"v6web/internal/core"
+	"v6web/internal/scenario"
 	"v6web/internal/sweep"
-	"v6web/internal/topo"
 )
 
 // spShare is the share of kept same-location sites reached over the
@@ -53,36 +53,46 @@ func dpComparable(s *core.Scenario) float64 {
 }
 
 func main() {
-	base := core.DefaultConfig(11)
-	base.NASes = 900
-	base.ListSize = 9000
-	base.Extended = 0
+	// The built-in peering-parity pack IS the remedied world (full
+	// parity, no tunnels); the other two worlds are the same pack with
+	// the parity knobs dialed back via dotted-path overrides — exactly
+	// what `v6sweep -scenario peering-parity -over ...` does.
+	pack, err := scenario.Load("peering-parity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := pack.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	worlds := []struct {
-		name   string
-		parity float64
-		noTun  bool
+		name string
+		sets []string
 	}{
-		{"2011 (sparse v6 peering)", 0.55, false},
-		{"improved parity", 0.85, false},
-		{"full parity, no tunnels", 1.00, true},
+		{"2011 (sparse v6 peering)", []string{"topo.v6_edge_parity=0.55", "topo.tunnel_frac=0.30"}},
+		{"improved parity", []string{"topo.v6_edge_parity=0.85", "topo.tunnel_frac=0.30"}},
+		{"full parity, no tunnels", nil},
 	}
 	var points []sweep.Point
 	for _, w := range worlds {
-		w := w
+		sp := pack.Clone()
+		for _, kv := range w.sets {
+			if err := sp.SetKV(kv); err != nil {
+				log.Fatal(err)
+			}
+		}
+		comp, err := sp.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := comp.Config
 		points = append(points, sweep.Point{
-			Label: w.name,
-			Mutate: func(c *core.Config) {
-				tc := topo.DefaultGenConfig(c.NASes, c.Seed)
-				tc.V6EdgeParity = w.parity
-				if w.noTun {
-					tc.TunnelFrac = 0
-				}
-				c.TopoOverride = &tc
-			},
+			Label:  w.name,
+			Mutate: func(c *core.Config) { *c = cfg },
 		})
 	}
-	results, err := sweep.Run(base, points, map[string]sweep.Metric{
+	results, err := sweep.Run(base.Config, points, map[string]sweep.Metric{
 		"sp": spShare, "dp": dpComparable,
 	})
 	if err != nil {

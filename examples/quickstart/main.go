@@ -15,13 +15,31 @@ import (
 	"log"
 
 	"v6web/internal/core"
+	"v6web/internal/scenario"
 )
 
 func main() {
-	cfg := core.DefaultConfig(42)
-	cfg.NASes = 800     // synthetic Internet size
-	cfg.ListSize = 8000 // stands in for Alexa's top 1M
-	cfg.Extended = 0
+	// The world comes from the baseline-2011 scenario pack, scaled
+	// down for a quick run with dotted-path overrides — the same
+	// mechanism as `v6mon -scenario baseline-2011 -set ...`.
+	pack, err := scenario.Load("baseline-2011")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range []string{
+		"topo.ases=800",  // synthetic Internet size
+		"list.size=8000", // stands in for Alexa's top 1M
+		"list.extended=0",
+	} {
+		if err := pack.SetKV(kv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	comp, err := pack.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := comp.Config
 	s, err := core.NewScenario(cfg)
 	if err != nil {
 		log.Fatal(err)

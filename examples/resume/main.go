@@ -20,17 +20,29 @@ import (
 	"path/filepath"
 
 	"v6web/internal/core"
+	"v6web/internal/scenario"
 	"v6web/internal/store"
 )
 
 func config() core.Config {
-	cfg := core.DefaultConfig(21)
-	cfg.NASes = 300
-	cfg.ListSize = 2000
-	cfg.Extended = 0
-	cfg.Rounds = 10
-	cfg.Vantages = core.ScaledVantages(cfg.Rounds)
-	return cfg
+	// A scaled-down baseline world from the scenario-pack layer, as
+	// `v6mon -scenario baseline-2011 -set ...` would build it.
+	sp, err := scenario.Load("baseline-2011")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range []string{
+		"seed=21", "topo.ases=300", "list.size=2000", "list.extended=0", "schedule.rounds=10",
+	} {
+		if err := sp.SetKV(kv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	comp, err := sp.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return comp.Config
 }
 
 func save(s *core.Scenario, dir string) error {

@@ -14,13 +14,20 @@ import (
 
 	"v6web/internal/core"
 	"v6web/internal/report"
+	"v6web/internal/scenario"
 )
 
 func main() {
-	cfg := core.DefaultConfig(7)
-	cfg.NASes = 1000
-	cfg.ListSize = 12000
-	cfg.Extended = 0
+	// The event's world is the built-in world-ipv6-day scenario pack.
+	sp, err := scenario.Load("world-ipv6-day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := sp.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := comp.Config
 	s, err := core.NewScenario(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,31 @@
+// Package cli holds the few helpers the cmd tools share, so flag
+// conventions cannot drift between them: detection of explicitly set
+// flags (behind every tool's "-scenario replaces the shape flags"
+// conflict errors) and uniform fatal exits.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// ExplicitFlags returns which of the named flags the user set on the
+// command line (as opposed to leaving at their defaults).
+func ExplicitFlags(names ...string) []string {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var out []string
+	for _, n := range names {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Fatal prints "tool: err" to stderr and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintln(os.Stderr, tool+":", err)
+	os.Exit(1)
+}

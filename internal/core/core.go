@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"v6web/internal/alexa"
@@ -87,6 +88,12 @@ type Config struct {
 	TopoOverride *topo.GenConfig // optional full topology override
 	Net          *netsim.Config  // optional data-plane override
 	Web          *websim.Config  // optional catalogue override
+
+	// Measure optionally overrides the monitoring tool's client
+	// behavior (worker pool, page-identity threshold, CI stop rule,
+	// download budget) at every vantage. Vantage and Seed are filled
+	// per vantage by NewScenario and ignored here.
+	Measure *measure.Config
 }
 
 // DefaultConfig returns a laptop-scale scenario preserving the
@@ -124,7 +131,26 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: vantage %s start round %d outside [0,%d)", v.Name, v.StartRound, c.Rounds)
 		}
 	}
+	if c.Measure != nil {
+		m := c.monitorConfig("validate", c.Seed)
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// monitorConfig resolves the monitor configuration for one vantage:
+// the paper's tool parameters, or the campaign-wide Measure override
+// with the per-vantage identity filled in.
+func (c Config) monitorConfig(v store.Vantage, seed int64) measure.Config {
+	if c.Measure == nil {
+		return measure.DefaultConfig(v, seed)
+	}
+	m := *c.Measure
+	m.Vantage = v
+	m.Seed = seed
+	return m
 }
 
 // Scenario is a fully wired study.
@@ -240,7 +266,7 @@ func NewScenario(cfg Config) (*Scenario, error) {
 			return nil, err
 		}
 		s.fetchers[vp.Name] = fetch
-		mon, err := measure.NewMonitor(measure.DefaultConfig(vp.Name, cfg.Seed), fetch, s.DB)
+		mon, err := measure.NewMonitor(cfg.monitorConfig(vp.Name, cfg.Seed), fetch, s.DB)
 		if err != nil {
 			return nil, err
 		}
@@ -449,22 +475,65 @@ func (s *Scenario) ReportAll(w io.Writer) error {
 	if err := s.RunWorldV6Day(); err != nil {
 		return err
 	}
-	dates, series := s.Fig1()
-	report.Fig1(w, dates, series)
-	report.Fig3a(w, s.Fig3a())
-	t1m, ext := s.Fig3b("Penn")
-	report.Fig3b(w, "Penn", t1m, ext)
-	report.Table1(w, s.Table1())
+	s.RenderExhibits(w, s.V6DayStudy(), nil)
+	return nil
+}
 
-	report.RenderStudy(w, s.Study(), s.V6DayStudy())
-
+// RenderExhibits renders the exhibits named in selected ("fig1",
+// "fig3a", "fig3b", "table1" … "table13", "betterv6", "tunnels",
+// "coverage", "traceroute") in the paper's order; a nil selection
+// renders everything. It is the single exhibit-sequence for both the
+// full report (ReportAll) and pack-selected rendering
+// (scenario.Render), so ordering and captions cannot drift between
+// them. The campaign must have run; v6day carries the World IPv6 Day
+// study or nil to skip Tables 10 and 12.
+func (s *Scenario) RenderExhibits(w io.Writer, v6day *analysis.Study, selected map[string]bool) {
+	want := func(name string) bool { return selected == nil || selected[name] }
+	if want("fig1") {
+		dates, series := s.Fig1()
+		report.Fig1(w, dates, series)
+	}
+	if want("fig3a") {
+		report.Fig3a(w, s.Fig3a())
+	}
+	if want("fig3b") {
+		t1m, ext := s.Fig3b("Penn")
+		report.Fig3b(w, "Penn", t1m, ext)
+	}
+	if want("table1") {
+		report.Table1(w, s.Table1())
+	}
+	if anyStudyTable(selected) {
+		report.RenderStudySelected(w, s.Study(), v6day, selected)
+	}
 	// Section 5.5's trait search and extensions beyond the paper's
 	// exhibits.
-	WriteBetterV6(w, s.BetterV6Profiles())
-	WriteTunnelReport(w, s.TunnelReport())
-	WriteCoverageGrowth(w, s)
-	if tc, err := s.RunTracerouteCheck("Penn"); err == nil {
-		WriteTracerouteCheck(w, tc)
+	if want("betterv6") {
+		WriteBetterV6(w, s.BetterV6Profiles())
 	}
-	return nil
+	if want("tunnels") {
+		WriteTunnelReport(w, s.TunnelReport())
+	}
+	if want("coverage") {
+		WriteCoverageGrowth(w, s)
+	}
+	if want("traceroute") {
+		if tc, err := s.RunTracerouteCheck("Penn"); err == nil {
+			WriteTracerouteCheck(w, tc)
+		}
+	}
+}
+
+// anyStudyTable reports whether the selection includes one of the
+// measurement tables (2–13) that need the analyzed study.
+func anyStudyTable(selected map[string]bool) bool {
+	if selected == nil {
+		return true
+	}
+	for name := range selected {
+		if strings.HasPrefix(name, "table") && name != "table1" {
+			return true
+		}
+	}
+	return false
 }

@@ -122,9 +122,14 @@ func NewLiveStudy(s *Scenario, vantage store.Vantage, ids []alexa.SiteID) (*Live
 
 	fetch := measure.NewLiveFetcher(ls.dns.Addr().String(), ls.web4.Addr().Port, ls.web6.Addr().Port, s.Cfg.Seed)
 	fetch.V6Fallback = ls.fallback
-	mcfg := measure.DefaultConfig(vantage, s.Cfg.Seed)
-	mcfg.Workers = 8
-	mcfg.MaxDownloads = 6
+	// The campaign-wide client override applies to live studies too;
+	// without one, the defaults are retuned for real sockets (fewer
+	// workers and downloads — loopback rounds are slow, not noisy).
+	mcfg := s.Cfg.monitorConfig(vantage, s.Cfg.Seed)
+	if s.Cfg.Measure == nil {
+		mcfg.Workers = 8
+		mcfg.MaxDownloads = 6
+	}
 	ls.mon, err = measure.NewMonitor(mcfg, fetch, ls.DB)
 	if err != nil {
 		ls.Close()

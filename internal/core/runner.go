@@ -251,6 +251,9 @@ func (c Config) Fingerprint() string {
 	if c.Web != nil {
 		fmt.Fprintf(h, "|web=%+v", *c.Web)
 	}
+	if c.Measure != nil {
+		fmt.Fprintf(h, "|meas=%+v", *c.Measure)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -318,7 +321,7 @@ func (s *Scenario) RunWorldV6DayContext(ctx context.Context, opts ...RunOption) 
 		if !vp.V6Day {
 			continue
 		}
-		mon, err := measure.NewMonitor(measure.DefaultConfig(vp.Name, s.Cfg.Seed+1), s.fetchers[vp.Name], staging)
+		mon, err := measure.NewMonitor(s.Cfg.monitorConfig(vp.Name, s.Cfg.Seed+1), s.fetchers[vp.Name], staging)
 		if err != nil {
 			return err
 		}

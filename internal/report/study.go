@@ -9,25 +9,55 @@ import (
 // RenderStudy renders the paper's measurement tables (2–13) for a
 // completed study in exhibit order. v6day carries the World IPv6 Day
 // side experiment (Tables 10 and 12); pass nil when it was not run or
-// not saved, and those two tables are skipped. Both Scenario.ReportAll
-// and `v6report -db` render through this one path, so the two always
-// agree on table selection and captions.
+// not saved, and those two tables are skipped. Scenario.ReportAll,
+// `v6report -db`, and the scenario layer's pack-selected rendering
+// all go through this one path (RenderStudySelected), so every
+// surface agrees on table selection and captions.
 func RenderStudy(w io.Writer, study *analysis.Study, v6day *analysis.Study) {
-	rows2, all2 := study.Table2()
-	Table2(w, rows2, all2)
-	Table3(w, study.Table3())
-	Table4(w, study.Table4())
-	Table5(w, study.Table5())
-	Table6(w, study.Table6())
-	HopTable(w, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
-	Table8(w, study.Table8())
-	HopTable(w, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
-	if v6day != nil {
+	RenderStudySelected(w, study, v6day, nil)
+}
+
+// RenderStudySelected renders the subset of the measurement tables
+// named in selected ("table2" … "table13"), in exhibit order; a nil
+// selection renders them all. Tables 10 and 12 additionally require
+// v6day and are skipped when it is nil.
+func RenderStudySelected(w io.Writer, study *analysis.Study, v6day *analysis.Study, selected map[string]bool) {
+	want := func(name string) bool { return selected == nil || selected[name] }
+	if want("table2") {
+		rows2, all2 := study.Table2()
+		Table2(w, rows2, all2)
+	}
+	if want("table3") {
+		Table3(w, study.Table3())
+	}
+	if want("table4") {
+		Table4(w, study.Table4())
+	}
+	if want("table5") {
+		Table5(w, study.Table5())
+	}
+	if want("table6") {
+		Table6(w, study.Table6())
+	}
+	if want("table7") {
+		HopTable(w, "Table 7: DL+DP sites — performance (kbytes/sec) by hop count", study.Table7())
+	}
+	if want("table8") {
+		Table8(w, study.Table8())
+	}
+	if want("table9") {
+		HopTable(w, "Table 9: destination ASes in SP — performance (kbytes/sec) by hop count", study.Table9())
+	}
+	if v6day != nil && want("table10") {
 		Table10(w, v6day.Table8())
 	}
-	Table11(w, study.Table11())
-	if v6day != nil {
+	if want("table11") {
+		Table11(w, study.Table11())
+	}
+	if v6day != nil && want("table12") {
 		Table12(w, v6day.Table11())
 	}
-	Table13(w, study.Table13())
+	if want("table13") {
+		Table13(w, study.Table13())
+	}
 }

@@ -1,0 +1,31 @@
+package scenario_test
+
+import (
+	"fmt"
+	"log"
+
+	"v6web/internal/scenario"
+)
+
+// A built-in pack compiles to the exact core.Config its world needs;
+// dotted-path overrides rescale it without editing the pack.
+func ExampleLoad() {
+	sp, err := scenario.Load("world-ipv6-day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sp.SetKV("topo.ases=500"); err != nil {
+		log.Fatal(err)
+	}
+	comp, err := sp.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(comp.Name)
+	fmt.Println(comp.Config.Seed, comp.Config.NASes, comp.Config.ListSize)
+	fmt.Println(comp.Exhibits)
+	// Output:
+	// world-ipv6-day
+	// 7 500 12000
+	// [table8 table10 table11 table12]
+}

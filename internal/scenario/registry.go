@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+)
+
+// The built-in packs ship as real JSON files so they double as
+// copy-and-edit templates for user packs; see packs/.
+//
+//go:embed packs/*.json
+var packFS embed.FS
+
+// Names returns the built-in pack names, sorted.
+func Names() []string {
+	entries, err := packFS.ReadDir("packs")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: embedded packs: %v", err)) // build-time invariant
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(path.Base(e.Name()), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// builtin returns the raw bytes of a built-in pack.
+func builtin(name string) ([]byte, bool) {
+	data, err := packFS.ReadFile("packs/" + name + ".json")
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Describe writes the built-in pack catalog — one name plus its doc
+// line per pack — to w. The CLIs print it for -scenario list.
+func Describe(w io.Writer) error {
+	fmt.Fprintln(w, "built-in scenario packs:")
+	for _, name := range Names() {
+		sp, err := Load(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-20s %s\n", name, sp.Doc)
+	}
+	return nil
+}

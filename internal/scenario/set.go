@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Set applies one dotted-path override to the spec: "topo.ases" and
+// "list.size" name spec fields by their JSON tag or (case-insensitive)
+// Go field name, so "topo.nases" and "topo.v6_edge_parity" both work.
+// List-valued leaves (report.exhibits) take comma-separated values.
+// This is the mechanism behind the CLIs' -set flag and v6sweep's
+// spec-field sweeps.
+func (sp *Spec) Set(path, value string) error {
+	segs := strings.Split(path, ".")
+	v := reflect.ValueOf(sp).Elem()
+	for i, seg := range segs {
+		if v.Kind() != reflect.Struct {
+			return fmt.Errorf("scenario: set %q: %q is not a section", path, strings.Join(segs[:i], "."))
+		}
+		f, ok := fieldByName(v, seg)
+		if !ok {
+			return fmt.Errorf("scenario: set %q: no field %q in %s", path, seg, sectionName(v.Type()))
+		}
+		v = f
+	}
+	return assign(v, path, value)
+}
+
+// SetKV applies a "path=value" override.
+func (sp *Spec) SetKV(kv string) error {
+	path, value, ok := strings.Cut(kv, "=")
+	if !ok || path == "" {
+		return fmt.Errorf("scenario: override %q is not path=value", kv)
+	}
+	return sp.Set(strings.TrimSpace(path), strings.TrimSpace(value))
+}
+
+// fieldByName finds a struct field by JSON tag or case-insensitive Go
+// name.
+func fieldByName(v reflect.Value, name string) (reflect.Value, bool) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if strings.EqualFold(tag, name) || strings.EqualFold(f.Name, name) {
+			return v.Field(i), true
+		}
+	}
+	return reflect.Value{}, false
+}
+
+func sectionName(t reflect.Type) string {
+	if t == reflect.TypeOf(Spec{}) {
+		return "the spec (sections: topo, list, schedule, routing, web, net, client, report; plus seed, name, doc)"
+	}
+	return strings.ToLower(strings.TrimSuffix(t.Name(), "Spec"))
+}
+
+// assign parses value into the leaf field, which is a pointer to a
+// scalar, a plain scalar, or a string slice.
+func assign(v reflect.Value, path, value string) error {
+	if v.Kind() == reflect.Pointer {
+		p := reflect.New(v.Type().Elem())
+		if err := assign(p.Elem(), path, value); err != nil {
+			return err
+		}
+		v.Set(p)
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: set %q: %q is not an integer", path, value)
+		}
+		v.SetInt(n)
+	case reflect.Float64:
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: set %q: %q is not a number", path, value)
+		}
+		v.SetFloat(f)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("scenario: set %q: %q is not a bool", path, value)
+		}
+		v.SetBool(b)
+	case reflect.String:
+		v.SetString(value)
+	case reflect.Slice:
+		if v.Type().Elem().Kind() != reflect.String {
+			return fmt.Errorf("scenario: set %q: unsupported field type %s", path, v.Type())
+		}
+		var parts []string
+		for _, p := range strings.Split(value, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				parts = append(parts, p)
+			}
+		}
+		v.Set(reflect.ValueOf(parts))
+	case reflect.Struct:
+		return fmt.Errorf("scenario: set %q: %q is a section, not a field", path, path)
+	default:
+		return fmt.Errorf("scenario: set %q: unsupported field type %s", path, v.Type())
+	}
+	return nil
+}
+
+// Overrides collects repeated -set flags ("path=value") for the CLIs;
+// it implements flag.Value.
+type Overrides []string
+
+// String implements flag.Value.
+func (o *Overrides) String() string { return strings.Join(*o, " ") }
+
+// Set implements flag.Value, accumulating one override per flag use.
+func (o *Overrides) Set(s string) error {
+	*o = append(*o, s)
+	return nil
+}
+
+// Apply applies every collected override to the spec, in order.
+func (o Overrides) Apply(sp *Spec) error {
+	for _, kv := range o {
+		if err := sp.SetKV(kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

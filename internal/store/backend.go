@@ -220,14 +220,22 @@ func (b *CheckpointBackend) SaveMeta(m Meta) error {
 	}
 	b.nextSeq++
 	b.pending = ""
+	// The rename above was the commit point: the checkpoint is durable
+	// regardless of what follows. Pruning obsolete checkpoints is
+	// housekeeping — a failure here (a held-open file, a permission
+	// oddity on an old directory) must not abort the campaign, so it
+	// is reported on stderr and otherwise ignored; the stale directory
+	// is retried on the next checkpoint.
 	if b.Keep > 0 {
 		names, err := b.committed()
 		if err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "store: checkpoint prune: %v\n", err)
+			return nil
 		}
 		for len(names) > b.Keep {
 			if err := os.RemoveAll(filepath.Join(b.root(), names[0])); err != nil {
-				return err
+				fmt.Fprintf(os.Stderr, "store: checkpoint prune: %v\n", err)
+				break
 			}
 			names = names[1:]
 		}
