@@ -311,6 +311,34 @@ func BenchmarkScenarioRun(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyAnalysis isolates the analysis pass at the shared
+// bench scale: one un-memoized full study — store snapshot, per-
+// vantage single-pass aggregation — plus every Section 5 table
+// rendered from it. This is the number the single-pass pipeline and
+// memoized partitions target; the per-exhibit benchmarks above go
+// through the scenario's memoized study instead.
+func BenchmarkStudyAnalysis(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	var study *analysis.Study
+	for i := 0; i < b.N; i++ {
+		study = s.ComputeStudy()
+		study.Table2()
+		study.Table3()
+		study.Table4()
+		study.Table5()
+		study.Table6()
+		study.Table7()
+		study.Table8()
+		study.Table9()
+		study.Table11()
+		study.Table13()
+	}
+	rows, _ := study.Table2()
+	b.ReportMetric(float64(rows[0].SitesKept), "sites-kept-v0")
+	b.ReportMetric(float64(len(study.Vantages)), "vantages")
+}
+
 // BenchmarkFullStudy measures the end-to-end pipeline (topology,
 // routing, all rounds, analysis) at reduced scale — the repo's
 // heaviest macro-benchmark.
@@ -580,7 +608,13 @@ func BenchmarkAblationBGPPreference(b *testing.B) {
 // BenchmarkMonitorScaling addresses Section 6's worry about "the
 // ability of the monitoring tool and its underlying database to
 // handle growth in IPv6 accessible sites": one full monitoring round
-// at increasing list sizes.
+// at increasing list sizes, then the full six-vantage roster with the
+// round's units of work executed serially vs on the round worker
+// pool. Comparing the 6vp-serial and 6vp-parallel timings on a
+// multi-core host gives the campaign's wall-clock speedup; their
+// shape metrics (sample/DNS row counts) must match exactly — the
+// parallel path is byte-identical, which TestParallelSerial-
+// CampaignsByteIdentical enforces on the CSVs.
 func BenchmarkMonitorScaling(b *testing.B) {
 	for _, size := range []int{2000, 8000, 32000} {
 		size := size
@@ -611,6 +645,34 @@ func BenchmarkMonitorScaling(b *testing.B) {
 				}
 				_ = s
 			}
+		})
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"6vp-serial", 1}, {"6vp-parallel", 0}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultConfig(11)
+			cfg.NASes = 800
+			cfg.ListSize = 6000
+			cfg.Extended = 1500
+			cfg.Rounds = 8
+			cfg.Vantages = core.ScaledVantages(cfg.Rounds)
+			cfg.RoundWorkers = mode.workers
+			var samples, dnsRows int
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewScenario(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				_, dnsRows, samples, _ = s.DB.Counts()
+			}
+			b.ReportMetric(float64(samples), "sample-rows")
+			b.ReportMetric(float64(dnsRows), "dns-rows")
 		})
 	}
 }

@@ -1,0 +1,146 @@
+// Command benchjson condenses `go test -bench` output into a JSON
+// perf-trajectory point: a map from benchmark name to its ns/op and
+// every shape metric attached via b.ReportMetric.
+//
+// It reads either `go test -json` event streams or plain benchmark
+// output on stdin, so both work:
+//
+//	go test -run '^$' -bench . -benchtime 1x -json . | benchjson -o BENCH_PR4.json
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson
+//
+// CI commits the result per PR, so the repo carries a comparable
+// series of benchmark shapes and timings across its history.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema we need.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// gomaxprocsSuffix strips the -N parallelism suffix go's bench runner
+// appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkName-8    5    12419054 ns/op    207.0 sites-kept-v0
+//
+// returning the bare name and its metrics, or ok=false for any other
+// output line.
+func parseBenchLine(line string) (name string, metrics map[string]float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	iters, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", nil, false
+	}
+	metrics = map[string]float64{"iterations": iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	name = gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	return name, metrics, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	// A bench line reaches the -json stream as several Output events
+	// (the runner prints the name first and the measurements once the
+	// benchmark finishes), so reassemble the raw output stream before
+	// splitting it into lines.
+	var raw strings.Builder
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue // interleaved non-event output
+			}
+			if ev.Action == "output" {
+				raw.WriteString(ev.Output)
+			}
+			continue
+		}
+		raw.WriteString(line)
+		raw.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	results := make(map[string]map[string]float64)
+	for _, line := range strings.Split(raw.String(), "\n") {
+		if name, metrics, ok := parseBenchLine(strings.TrimSpace(line)); ok {
+			results[name] = metrics
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	// encoding/json sorts map keys, but build an explicit ordered
+	// document anyway so the committed file diffs stably.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	for i, n := range names {
+		keys := make([]string, 0, len(results[n]))
+		for k := range results[n] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&buf, "  %q: {", n)
+		for j, k := range keys {
+			if j > 0 {
+				buf.WriteString(", ")
+			}
+			fmt.Fprintf(&buf, "%q: %s", k, strconv.FormatFloat(results[n][k], 'g', -1, 64))
+		}
+		buf.WriteString("}")
+		if i+1 < len(names) {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+
+	if *out == "" {
+		fmt.Print(buf.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -98,9 +98,10 @@ func main() {
 		fatal(err)
 	}
 	th := analysis.DefaultThresholds()
+	snap := main1.Freeze()
 	var vas []*analysis.VantageAnalysis
 	for _, v := range main1.Vantages() {
-		vas = append(vas, analysis.Analyze(main1, v, th))
+		vas = append(vas, analysis.AnalyzeSnapshot(snap, v, th))
 	}
 	study := analysis.NewStudy(vas...)
 
@@ -112,9 +113,10 @@ func main() {
 	case err == nil:
 		th6 := analysis.DefaultThresholds()
 		th6.CI.MinN = 6
+		snap6 := v6dayDB.Freeze()
 		var v6vas []*analysis.VantageAnalysis
 		for _, v := range v6dayDB.Vantages() {
-			v6vas = append(v6vas, analysis.Analyze(v6dayDB, v, th6))
+			v6vas = append(v6vas, analysis.AnalyzeSnapshot(snap6, v, th6))
 		}
 		v6day = analysis.NewStudy(v6vas...)
 	case errors.Is(err, store.ErrNoDatabase):

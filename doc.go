@@ -31,8 +31,14 @@
 // (store.Backend — plain CSV directories or the crash-safe,
 // append-only store.CheckpointBackend). A campaign killed at any
 // round resumes via core.Resume with final results byte-identical to
-// a never-interrupted run. internal/sweep fans independent campaigns
-// out across a bounded worker pool for parameter studies.
+// a never-interrupted run. The round is also the parallel unit:
+// every started vantage (and the extended site population) monitors
+// concurrently on a bounded pool (core.Config.RoundWorkers), with
+// events, checkpoints, and CSVs byte-identical to the serial path —
+// analysis then runs as a single pass over a frozen store snapshot
+// (store.DB.Freeze), memoized per campaign. internal/sweep fans
+// independent campaigns out across a bounded worker pool for
+// parameter studies.
 //
 // Worlds are declared, not hard-coded: internal/scenario defines
 // versioned scenario packs — small JSON specs covering topology

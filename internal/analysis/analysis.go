@@ -151,59 +151,109 @@ type VantageAnalysis struct {
 	// TotalDual counts sites ever observed dual-stack via DNS.
 	TotalDual int
 
-	db *store.DB
+	snap *store.Snapshot
+
+	// Partitions of Sites, built once at analysis time so the tables
+	// (which consult them repeatedly) stop re-filtering Sites per
+	// call. The slices keep Sites order; keptByClass is indexed by
+	// Class. All are returned capacity-clamped so callers may append.
+	kept        []SiteAgg
+	removed     []SiteAgg
+	keptByClass [4][]SiteAgg
+
+	// spCats memoizes the Table 8 per-AS categorization, shared by
+	// Table 10 and the good-AS coverage analysis.
+	spCats map[int]ASCategory
 }
 
-// Analyze aggregates one vantage's measurements.
+// Analyze aggregates one vantage's measurements. It freezes its own
+// store snapshot; a study analyzing several vantages of one database
+// should Freeze once and call AnalyzeSnapshot per vantage instead.
 func Analyze(db *store.DB, v store.Vantage, th Thresholds) *VantageAnalysis {
-	va := &VantageAnalysis{Vantage: v, Th: th, db: db}
+	return AnalyzeSnapshot(db.Freeze(), v, th)
+}
+
+// AnalyzeSnapshot aggregates one vantage's measurements in a single
+// pass over a frozen read view: per-site round pairing is a linear
+// merge of the two round-sorted series (no per-site map), site rows
+// and AS paths are resolved through the snapshot without copies, and
+// the kept/removed/class partitions the tables consume are built once
+// at the end.
+func AnalyzeSnapshot(snap *store.Snapshot, v store.Vantage, th Thresholds) *VantageAnalysis {
+	va := &VantageAnalysis{Vantage: v, Th: th, snap: snap}
 
 	dualSeen := make(map[alexa.SiteID]bool)
-	for _, row := range db.DNS(v) {
+	snap.ForEachDNS(v, func(row store.DNSRow) {
 		if row.HasA && row.HasAAAA {
 			dualSeen[row.Site] = true
 		}
-	}
+	})
 	va.TotalDual = len(dualSeen)
 
-	for _, id := range db.SampledSites(v) {
-		s4 := db.Samples(v, id, topo.V4)
-		s6 := db.Samples(v, id, topo.V6)
+	sampled := snap.SampledSites(v)
+	va.Sites = make([]SiteAgg, 0, len(sampled))
+	var v4s, v6s []float64 // per-site scratch, reused across sites
+	for _, id := range sampled {
+		s4 := snap.Series(v, id, topo.V4)
+		s6 := snap.Series(v, id, topo.V6)
 		if len(s4) == 0 || len(s6) == 0 {
 			continue
 		}
-		agg := va.aggregate(id, s4, s6)
-		va.Sites = append(va.Sites, agg)
+		v4s, v6s = pairRounds(s4, s6, v4s[:0], v6s[:0])
+		va.Sites = append(va.Sites, va.aggregate(id, v4s, v6s))
 	}
+	va.partition()
 	return va
 }
 
-// pairRounds aligns two sample sets on shared round numbers, keeping
-// only rounds whose within-round CI converged in both families.
-func pairRounds(s4, s6 []store.Sample) (v4, v6 []float64) {
-	byRound := make(map[int]store.Sample, len(s6))
-	for _, s := range s6 {
-		byRound[s.Round] = s
-	}
-	for _, a := range s4 {
-		b, ok := byRound[a.Round]
-		if !ok || !a.CIOK || !b.CIOK || a.MeanSpeed <= 0 || b.MeanSpeed <= 0 {
-			continue
+// pairRounds aligns two round-sorted sample series on shared round
+// numbers, keeping only rounds whose within-round CI converged in
+// both families. It appends onto the passed scratch slices — a linear
+// merge, replacing the per-site map the old pipeline rebuilt for
+// every site of every exhibit.
+func pairRounds(s4, s6 []store.Sample, v4, v6 []float64) ([]float64, []float64) {
+	i, j := 0, 0
+	for i < len(s4) && j < len(s6) {
+		a, b := s4[i], s6[j]
+		switch {
+		case a.Round < b.Round:
+			i++
+		case b.Round < a.Round:
+			j++
+		default:
+			if a.CIOK && b.CIOK && a.MeanSpeed > 0 && b.MeanSpeed > 0 {
+				v4 = append(v4, a.MeanSpeed)
+				v6 = append(v6, b.MeanSpeed)
+			}
+			i++
+			j++
 		}
-		v4 = append(v4, a.MeanSpeed)
-		v6 = append(v6, b.MeanSpeed)
 	}
 	return v4, v6
 }
 
-func (va *VantageAnalysis) aggregate(id alexa.SiteID, s4, s6 []store.Sample) SiteAgg {
+// partition splits Sites into the kept/removed/per-class views the
+// tables consume.
+func (va *VantageAnalysis) partition() {
+	for _, s := range va.Sites {
+		if !s.Kept {
+			va.removed = append(va.removed, s)
+			continue
+		}
+		va.kept = append(va.kept, s)
+		if c := int(s.Class); c >= 0 && c < len(va.keptByClass) {
+			va.keptByClass[c] = append(va.keptByClass[c], s)
+		}
+	}
+}
+
+func (va *VantageAnalysis) aggregate(id alexa.SiteID, v4s, v6s []float64) SiteAgg {
 	agg := SiteAgg{ID: id, V4AS: -1, V6AS: -1, HopsV4: -1, HopsV6: -1}
-	if row, ok := va.db.Site(id); ok {
+	if row, ok := va.snap.Site(id); ok {
 		agg.FirstRank = row.FirstRank
 		agg.V4AS = row.V4AS
 		agg.V6AS = row.V6AS
 	}
-	v4s, v6s := pairRounds(s4, s6)
 	agg.Rounds = len(v4s)
 	var w4, w6 stats.Welford
 	w4.AddAll(v4s)
@@ -224,12 +274,12 @@ func (va *VantageAnalysis) aggregate(id alexa.SiteID, s4, s6 []store.Sample) Sit
 	// Path-derived attributes.
 	agg.Class = va.classify(&agg)
 	if agg.V4AS >= 0 {
-		if p := va.db.LatestPath(va.Vantage, topo.V4, agg.V4AS); p != nil {
+		if p := va.snap.LatestPath(va.Vantage, topo.V4, agg.V4AS); p != nil {
 			agg.HopsV4 = len(p) - 1
 		}
 	}
 	if agg.V6AS >= 0 {
-		if p := va.db.LatestPath(va.Vantage, topo.V6, agg.V6AS); p != nil {
+		if p := va.snap.LatestPath(va.Vantage, topo.V6, agg.V6AS); p != nil {
 			agg.HopsV6 = len(p) - 1
 		}
 	}
@@ -256,7 +306,7 @@ func (va *VantageAnalysis) classifyFailure(agg *SiteAgg, v4s, v6s []float64) Cau
 			if fams[i] == topo.V6 {
 				dst = agg.V6AS
 			}
-			if dst >= 0 && va.db.PathChanged(va.Vantage, fams[i], dst) {
+			if dst >= 0 && va.snap.PathChanged(va.Vantage, fams[i], dst) {
 				agg.PathChange = true
 			}
 		}
@@ -306,8 +356,8 @@ func (va *VantageAnalysis) classify(agg *SiteAgg) Class {
 	if agg.V4AS != agg.V6AS {
 		return DL
 	}
-	p4 := va.db.LatestPath(va.Vantage, topo.V4, agg.V4AS)
-	p6 := va.db.LatestPath(va.Vantage, topo.V6, agg.V6AS)
+	p4 := va.snap.LatestPath(va.Vantage, topo.V4, agg.V4AS)
+	p6 := va.snap.LatestPath(va.Vantage, topo.V6, agg.V6AS)
 	if p4 == nil || p6 == nil {
 		return ClassUnknown
 	}
@@ -326,37 +376,44 @@ func (va *VantageAnalysis) classify(agg *SiteAgg) Class {
 	return DP
 }
 
-// KeptSites returns the kept sites, optionally filtered by class.
-func (va *VantageAnalysis) KeptSites(classes ...Class) []SiteAgg {
-	var want map[Class]bool
-	if len(classes) > 0 {
-		want = make(map[Class]bool)
-		for _, c := range classes {
-			want[c] = true
-		}
-	}
-	var out []SiteAgg
-	for _, s := range va.Sites {
-		if !s.Kept {
-			continue
-		}
-		if want != nil && !want[s.Class] {
-			continue
-		}
-		out = append(out, s)
-	}
-	return out
-}
+// clampCap re-slices s to its own length so a caller appending to the
+// result allocates instead of scribbling over a memoized partition.
+func clampCap(s []SiteAgg) []SiteAgg { return s[:len(s):len(s)] }
 
-// RemovedSites returns the sites failing the confidence target.
-func (va *VantageAnalysis) RemovedSites() []SiteAgg {
-	var out []SiteAgg
-	for _, s := range va.Sites {
-		if !s.Kept {
+// KeptSites returns the kept sites, optionally filtered by class, in
+// Sites order. The common calls (no filter, one class) return the
+// partition memoized at analysis time.
+func (va *VantageAnalysis) KeptSites(classes ...Class) []SiteAgg {
+	switch {
+	case len(classes) == 0:
+		return clampCap(va.kept)
+	case len(classes) == 1:
+		if c := int(classes[0]); c >= 0 && c < len(va.keptByClass) {
+			return clampCap(va.keptByClass[c])
+		}
+		return nil
+	}
+	var want [len(va.keptByClass)]bool
+	n := 0
+	for _, c := range classes {
+		if int(c) >= 0 && int(c) < len(want) {
+			want[c] = true
+			n += len(va.keptByClass[c])
+		}
+	}
+	out := make([]SiteAgg, 0, n)
+	for _, s := range va.kept {
+		if want[s.Class] {
 			out = append(out, s)
 		}
 	}
 	return out
+}
+
+// RemovedSites returns the sites failing the confidence target, in
+// Sites order.
+func (va *VantageAnalysis) RemovedSites() []SiteAgg {
+	return clampCap(va.removed)
 }
 
 // ASGroup is a destination AS with its kept sites.

@@ -65,8 +65,8 @@ func (s *Study) Table2() ([]ProfileRow, ProfileRow) {
 		}
 		row.DestV4 = len(dest4)
 		row.DestV6 = len(dest6)
-		x4 := va.db.ASesCrossed(va.Vantage, topo.V4)
-		x6 := va.db.ASesCrossed(va.Vantage, topo.V6)
+		x4 := va.snap.ASesCrossed(va.Vantage, topo.V4)
+		x6 := va.snap.ASesCrossed(va.Vantage, topo.V6)
 		row.CrossV4 = len(x4)
 		row.CrossV6 = len(x6)
 		for a := range x4 {
@@ -328,13 +328,18 @@ type SPRow struct {
 	XCheckNeg      int
 }
 
-// spCategories categorizes one vantage's SP destination ASes.
+// spCategories categorizes one vantage's SP destination ASes. The
+// result is memoized: Table 8, Table 10, and the good-AS coverage
+// analysis all consume it.
 func (va *VantageAnalysis) spCategories() map[int]ASCategory {
-	out := make(map[int]ASCategory)
-	for _, g := range va.GroupByAS(SP) {
-		out[g.AS] = Categorize(g, va.Th.CompTol, va.Th.SmallAS)
+	if va.spCats == nil {
+		out := make(map[int]ASCategory)
+		for _, g := range va.GroupByAS(SP) {
+			out[g.AS] = Categorize(g, va.Th.CompTol, va.Th.SmallAS)
+		}
+		va.spCats = out
 	}
-	return out
+	return va.spCats
 }
 
 // Table8 validates H1 on SP destination ASes, including the
@@ -448,7 +453,7 @@ func (s *Study) GoodV6ASes() map[int]bool {
 			if cat != ASComparable {
 				continue
 			}
-			if p := va.db.LatestPath(va.Vantage, topo.V6, as); p != nil {
+			if p := va.snap.LatestPath(va.Vantage, topo.V6, as); p != nil {
 				for _, a := range p {
 					good[a] = true
 				}
@@ -466,7 +471,7 @@ func (s *Study) Table13() []CoverageRow {
 	for _, va := range s.Vantages {
 		var fracs []float64
 		for _, g := range va.GroupByAS(DP) {
-			p := va.db.LatestPath(va.Vantage, topo.V6, g.AS)
+			p := va.snap.LatestPath(va.Vantage, topo.V6, g.AS)
 			if len(p) == 0 {
 				continue
 			}
@@ -544,24 +549,30 @@ func (va *VantageAnalysis) BetterV6() BetterV6Profile {
 // V6FasterRoundOdds returns the fraction of per-round sample pairs
 // (over kept sites) where the IPv6 download was faster — a per-sample
 // variant of Fig. 3b backing the paper's remark that "similar
-// findings held for other metrics".
+// findings held for other metrics". The per-site series are merged
+// linearly on their shared round order, like pairRounds.
 func (va *VantageAnalysis) V6FasterRoundOdds() float64 {
 	total, faster := 0, 0
 	for _, s := range va.KeptSites() {
-		s4 := va.db.Samples(va.Vantage, s.ID, topo.V4)
-		s6 := va.db.Samples(va.Vantage, s.ID, topo.V6)
-		byRound := make(map[int]store.Sample, len(s6))
-		for _, b := range s6 {
-			byRound[b.Round] = b
-		}
-		for _, a := range s4 {
-			b, ok := byRound[a.Round]
-			if !ok || !a.CIOK || !b.CIOK {
-				continue
-			}
-			total++
-			if b.MeanSpeed > a.MeanSpeed {
-				faster++
+		s4 := va.snap.Series(va.Vantage, s.ID, topo.V4)
+		s6 := va.snap.Series(va.Vantage, s.ID, topo.V6)
+		i, j := 0, 0
+		for i < len(s4) && j < len(s6) {
+			a, b := s4[i], s6[j]
+			switch {
+			case a.Round < b.Round:
+				i++
+			case b.Round < a.Round:
+				j++
+			default:
+				if a.CIOK && b.CIOK {
+					total++
+					if b.MeanSpeed > a.MeanSpeed {
+						faster++
+					}
+				}
+				i++
+				j++
 			}
 		}
 	}
@@ -575,16 +586,15 @@ func (va *VantageAnalysis) V6FasterRoundOdds() float64 {
 // speeds instead of means.
 func (va *VantageAnalysis) V6FasterMedianOdds() float64 {
 	total, faster := 0, 0
+	var v4s, v6s []float64 // reused across sites
 	for _, s := range va.KeptSites() {
-		s4 := va.db.Samples(va.Vantage, s.ID, topo.V4)
-		s6 := va.db.Samples(va.Vantage, s.ID, topo.V6)
-		var v4s, v6s []float64
-		for _, a := range s4 {
+		v4s, v6s = v4s[:0], v6s[:0]
+		for _, a := range va.snap.Series(va.Vantage, s.ID, topo.V4) {
 			if a.CIOK {
 				v4s = append(v4s, a.MeanSpeed)
 			}
 		}
-		for _, b := range s6 {
+		for _, b := range va.snap.Series(va.Vantage, s.ID, topo.V6) {
 			if b.CIOK {
 				v6s = append(v6s, b.MeanSpeed)
 			}

@@ -94,6 +94,15 @@ type Config struct {
 	// download budget) at every vantage. Vantage and Seed are filled
 	// per vantage by NewScenario and ignored here.
 	Measure *measure.Config
+
+	// RoundWorkers bounds how many units of round work — one per
+	// started vantage, plus one for the extended population at
+	// extended vantages — monitor concurrently within a round.
+	// 0 uses GOMAXPROCS; 1 forces the serial path. Deliberately NOT
+	// part of Fingerprint: every worker count produces byte-identical
+	// campaign output (test-enforced), so a checkpoint taken at one
+	// setting resumes under any other.
+	RoundWorkers int
 }
 
 // DefaultConfig returns a laptop-scale scenario preserving the
@@ -130,6 +139,9 @@ func (c Config) Validate() error {
 		if v.StartRound < 0 || v.StartRound >= c.Rounds {
 			return fmt.Errorf("core: vantage %s start round %d outside [0,%d)", v.Name, v.StartRound, c.Rounds)
 		}
+	}
+	if c.RoundWorkers < 0 {
+		return fmt.Errorf("core: RoundWorkers %d negative", c.RoundWorkers)
 	}
 	if c.Measure != nil {
 		m := c.monitorConfig("validate", c.Seed)
@@ -176,14 +188,22 @@ type Scenario struct {
 
 	// tracked accumulates every site ever seen in the list: "new
 	// sites ... are added to the monitoring list and tracked from
-	// this point onward" (Section 3).
-	tracked     []measure.SiteRef
-	trackedSeen map[alexa.SiteID]bool
+	// this point onward" (Section 3). absorbed is the mint cursor of
+	// the last absorb: ids below it are already tracked (or were
+	// churned away unseen) — see absorbRanked.
+	tracked  []measure.SiteRef
+	absorbed int
 
 	// next is the campaign's round cursor: the first main-study round
 	// not yet executed (or fast-forwarded past). See runner.go.
 	next   int
 	ranV6D bool
+
+	// study memoizes the main analysis at its cursor position;
+	// v6dayStudy memoizes the side experiment's (immutable once run).
+	study      *analysis.Study
+	studyAt    int
+	v6dayStudy *analysis.Study
 }
 
 // NewScenario wires all substrates deterministically from cfg.
@@ -405,26 +425,58 @@ func (s *Scenario) analyzedVantages() []VantagePoint {
 }
 
 // Study analyzes the main measurement DB across AS_PATH vantages.
+// The analysis is memoized per cursor position: every exhibit of a
+// finished campaign renders from one shared study instead of
+// re-scanning the store. Callers that mutate s.DB directly (rather
+// than through monitoring rounds) should use ComputeStudy.
 func (s *Scenario) Study() *analysis.Study {
-	th := analysis.DefaultThresholds()
-	var vas []*analysis.VantageAnalysis
-	for _, vp := range s.analyzedVantages() {
-		vas = append(vas, analysis.Analyze(s.DB, vp.Name, th))
+	if s.study == nil || s.studyAt != s.next {
+		s.study = s.ComputeStudy()
+		s.studyAt = s.next
 	}
+	return s.study
+}
+
+// ComputeStudy runs the full analysis pass unconditionally: one store
+// snapshot frozen once and shared by every vantage's single-pass
+// analysis. The per-vantage analyses are independent reads of the
+// frozen view, so they run on the round worker pool; results land in
+// roster-order slots, keeping the study deterministic.
+func (s *Scenario) ComputeStudy() *analysis.Study {
+	th := analysis.DefaultThresholds()
+	snap := s.DB.Freeze()
+	vps := s.analyzedVantages()
+	vas := make([]*analysis.VantageAnalysis, len(vps))
+	runTasks(s.roundWorkers(), len(vps), func(k int) {
+		vas[k] = analysis.AnalyzeSnapshot(snap, vps[k].Name, th)
+	})
 	return analysis.NewStudy(vas...)
 }
 
-// V6DayStudy analyzes the World IPv6 Day DB.
+// V6DayStudy analyzes the World IPv6 Day DB. Memoized once the side
+// experiment has run (its database is immutable from then on).
 func (s *Scenario) V6DayStudy() *analysis.Study {
+	if s.v6dayStudy != nil && s.ranV6D {
+		return s.v6dayStudy
+	}
 	th := analysis.DefaultThresholds()
 	th.CI.MinN = 6 // fewer, denser rounds
-	var vas []*analysis.VantageAnalysis
+	snap := s.V6DayDB.Freeze()
+	var vps []VantagePoint
 	for _, vp := range s.Cfg.Vantages {
 		if vp.V6Day {
-			vas = append(vas, analysis.Analyze(s.V6DayDB, vp.Name, th))
+			vps = append(vps, vp)
 		}
 	}
-	return analysis.NewStudy(vas...)
+	vas := make([]*analysis.VantageAnalysis, len(vps))
+	runTasks(s.roundWorkers(), len(vps), func(k int) {
+		vas[k] = analysis.AnalyzeSnapshot(snap, vps[k].Name, th)
+	})
+	st := analysis.NewStudy(vas...)
+	if s.ranV6D {
+		s.v6dayStudy = st
+	}
+	return st
 }
 
 // Fig1 returns the reachability time series over the round dates.
@@ -443,9 +495,13 @@ func (s *Scenario) Fig3a() [6]float64 {
 
 // Fig3b returns, for the given vantage, the fraction of kept sites
 // with faster IPv6 in the main list and in the combined
-// main+extended population.
+// main+extended population. AS_PATH vantages reuse the memoized
+// study; others are analyzed on the spot.
 func (s *Scenario) Fig3b(v store.Vantage) (top1M, extended float64) {
-	va := analysis.Analyze(s.DB, v, analysis.DefaultThresholds())
+	va := s.Study().Vantage(v)
+	if va == nil {
+		va = analysis.Analyze(s.DB, v, analysis.DefaultThresholds())
+	}
 	top1M = va.V6FasterOdds(func(sa analysis.SiteAgg) bool { return sa.ID < ExtendedBase })
 	extended = va.V6FasterOdds(nil)
 	return top1M, extended

@@ -62,9 +62,10 @@ func (s *Scenario) pathTunnel(p []int) (tunneled bool, hidden int) {
 }
 
 // TunnelReport computes per-vantage tunnel statistics over the main
-// study. Run must have completed.
+// study. Run must have completed. The per-vantage analyses come from
+// the memoized study.
 func (s *Scenario) TunnelReport() []TunnelStats {
-	th := analysis.DefaultThresholds()
+	study := s.Study()
 	var out []TunnelStats
 	for _, vp := range s.analyzedVantages() {
 		ts := TunnelStats{Vantage: vp.Name}
@@ -86,7 +87,7 @@ func (s *Scenario) TunnelReport() []TunnelStats {
 			ts.HiddenMean = hiddenSum / tunneledPaths
 		}
 		// Impact across kept dual-stack sites.
-		va := analysis.Analyze(s.DB, vp.Name, th)
+		va := study.Vantage(vp.Name)
 		var w6t, w6n, w4t, w4n stats.Welford
 		for _, site := range va.KeptSites() {
 			if site.V6AS < 0 {
@@ -237,12 +238,11 @@ func max(a, b int) int {
 	return b
 }
 
-// BetterV6Profiles computes Section 5.5's trait search per vantage.
+// BetterV6Profiles computes Section 5.5's trait search per vantage,
+// over the memoized study.
 func (s *Scenario) BetterV6Profiles() []analysis.BetterV6Profile {
-	th := analysis.DefaultThresholds()
 	var out []analysis.BetterV6Profile
-	for _, vp := range s.analyzedVantages() {
-		va := analysis.Analyze(s.DB, vp.Name, th)
+	for _, va := range s.Study().Vantages {
 		out = append(out, va.BetterV6())
 	}
 	return out

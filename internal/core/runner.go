@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sync"
 	"time"
 
 	"v6web/internal/alexa"
@@ -69,9 +72,11 @@ func WithRounds(from, to int) RunOption {
 	return func(o *runOptions) { o.from, o.to = from, to }
 }
 
-func emit(observers []Observer, ev RoundEvent) {
-	for _, fn := range observers {
-		fn(ev)
+func emit(observers []Observer, evs ...RoundEvent) {
+	for _, ev := range evs {
+		for _, fn := range observers {
+			fn(ev)
+		}
 	}
 }
 
@@ -137,11 +142,68 @@ func (s *Scenario) RunContext(ctx context.Context, opts ...RunOption) error {
 	return nil
 }
 
+// roundTask is one unit of round work: a started vantage's main
+// population, or the extended population at an extended vantage. The
+// extended shard is its own unit so the ~5M-site Penn sweep overlaps
+// the main sweep instead of serializing behind it.
+type roundTask struct {
+	vp  int // index into Cfg.Vantages
+	ext bool
+}
+
+// roundWorkers resolves the round-level worker bound.
+func (s *Scenario) roundWorkers() int {
+	if s.Cfg.RoundWorkers > 0 {
+		return s.Cfg.RoundWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTasks executes every task, concurrently on a bounded pool when
+// workers > 1. Results land in the caller's slot for each task, so
+// completion order never matters.
+func runTasks(workers, n int, run func(k int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			run(k)
+		}
+		return
+	}
+	jobs := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				run(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // NextRound executes the next monitoring round at every active
 // vantage and advances the cursor: the round's list is folded into
 // the tracked set, each started vantage monitors its population (plus
 // the extended population at extended vantages), and the ranked list
 // churns forward. Events stream to the given observers.
+//
+// The round is the parallel unit: all units of work are dispatched
+// onto a bounded pool (Config.RoundWorkers) and their results
+// collected into per-task slots, then events are emitted in vantage
+// roster order — so observers, checkpoints, and CSVs are
+// byte-identical to the serial path. Parallelism cannot perturb
+// sampling: every random draw is derived per (seed, round, site), so
+// no RNG state is shared across units of work, and the vantage
+// tables' writes go through the store's sharded locks.
 func (s *Scenario) NextRound(observers ...Observer) error {
 	if s.next >= s.Cfg.Rounds {
 		return fmt.Errorf("core: all %d rounds already executed", s.Cfg.Rounds)
@@ -150,22 +212,47 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 	date := s.dates[r]
 	tf := s.tFrac(date)
 	s.absorbRanked()
-	for _, vp := range s.Cfg.Vantages {
+
+	var tasks []roundTask
+	for i, vp := range s.Cfg.Vantages {
 		if r < vp.StartRound {
 			continue
 		}
-		start := time.Now()
-		mon := s.monitors[vp.Name]
-		st := mon.RunRound(r, date, tf, s.tracked)
+		tasks = append(tasks, roundTask{vp: i})
 		if vp.Extended {
-			ext := mon.RunRound(r, date, tf, s.extRefs)
+			tasks = append(tasks, roundTask{vp: i, ext: true})
+		}
+	}
+	stats := make([]measure.RoundStats, len(tasks))
+	elapsed := make([]time.Duration, len(tasks))
+	runTasks(s.roundWorkers(), len(tasks), func(k int) {
+		t := tasks[k]
+		refs := s.tracked
+		if t.ext {
+			refs = s.extRefs
+		}
+		start := time.Now()
+		stats[k] = s.monitors[s.Cfg.Vantages[t.vp].Name].RunRound(r, date, tf, refs)
+		elapsed[k] = time.Since(start)
+	})
+
+	// Merge each vantage's extended shard into its main stats and
+	// emit one event per vantage, in roster order — the same stream
+	// the serial loop produced.
+	for k := 0; k < len(tasks); k++ {
+		t := tasks[k]
+		st, el := stats[k], elapsed[k]
+		if k+1 < len(tasks) && tasks[k+1].vp == t.vp && tasks[k+1].ext {
+			ext := stats[k+1]
 			st.Sites += ext.Sites
 			st.Dual += ext.Dual
 			st.Identical += ext.Identical
 			st.Measured += ext.Measured
 			st.FetchFails += ext.FetchFails
+			el += elapsed[k+1]
+			k++
 		}
-		emit(observers, RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: time.Since(start)})
+		emit(observers, RoundEvent{Round: r, Date: date, Vantage: s.Cfg.Vantages[t.vp].Name, Stats: st, Elapsed: el})
 	}
 	s.List.Advance()
 	s.next++
@@ -181,17 +268,30 @@ func (s *Scenario) RoundsDone() int { return s.next }
 // list and tracked from this point onward" (Section 3) — and keeps
 // the catalog's lock-free table covering every minted id (no monitor
 // is running here, so growing is safe).
+//
+// The model mints site ids densely as they enter the list, so after
+// an absorb every id below the mint cursor is either tracked or was
+// churned away before this vantage roster ever saw it (replaced twice
+// at one rank within a single churn round) and can never reappear.
+// That makes membership a single integer compare against the cursor —
+// no per-site set to grow and re-hash across rounds — and lets the
+// walk skip already-absorbed ranks with no allocation (the old path
+// copied the ranking and probed a map per rank, every round).
 func (s *Scenario) absorbRanked() {
-	if s.trackedSeen == nil {
-		s.trackedSeen = make(map[alexa.SiteID]bool, s.Cfg.ListSize*2)
-	}
-	for _, id := range s.List.Ranked() {
-		if !s.trackedSeen[id] {
-			s.trackedSeen[id] = true
-			s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
+	total := s.List.TotalSeen()
+	if s.absorbed < total {
+		floor := alexa.SiteID(s.absorbed)
+		if cap(s.tracked) == 0 {
+			s.tracked = make([]measure.SiteRef, 0, total+total/4)
 		}
+		s.List.ForEachRanked(func(rank int, id alexa.SiteID) {
+			if id >= floor {
+				s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
+			}
+		})
+		s.absorbed = total
 	}
-	s.Catalog.Reserve(s.List.TotalSeen(), 0, 0)
+	s.Catalog.Reserve(total, 0, 0)
 }
 
 // fastForward advances the cursor to round `to` without monitoring:
@@ -306,6 +406,11 @@ func (s *Scenario) RunWorldV6Day() error {
 // checkpointed; it runs into a staging database that is folded into
 // V6DayDB only on completion, so a cancelled run leaves V6DayDB
 // untouched and can simply be re-run.
+//
+// Each participating vantage's 30-minute round sequence is one unit
+// of work on the same bounded pool as the main rounds; events are
+// collected per vantage and emitted in roster order, identical to the
+// serial stream.
 func (s *Scenario) RunWorldV6DayContext(ctx context.Context, opts ...RunOption) error {
 	if s.ranV6D {
 		return nil
@@ -317,23 +422,57 @@ func (s *Scenario) RunWorldV6DayContext(ctx context.Context, opts ...RunOption) 
 	refs := s.V6DayParticipants()
 	tf := s.tFrac(s.Timeline.V6Day)
 	staging := store.NewDB()
+	var vps []VantagePoint
 	for _, vp := range s.Cfg.Vantages {
-		if !vp.V6Day {
-			continue
+		if vp.V6Day {
+			vps = append(vps, vp)
 		}
+	}
+	// Fail fast across units: the first error cancels the shared
+	// context so sibling vantages stop at their next round boundary
+	// instead of finishing doomed work.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events := make([][]RoundEvent, len(vps))
+	errs := make([]error, len(vps))
+	runTasks(s.roundWorkers(), len(vps), func(k int) {
+		vp := vps[k]
 		mon, err := measure.NewMonitor(s.Cfg.monitorConfig(vp.Name, s.Cfg.Seed+1), s.fetchers[vp.Name], staging)
 		if err != nil {
-			return err
+			errs[k] = err
+			cancel()
+			return
 		}
 		for r := 0; r < s.Cfg.V6DayRounds; r++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				errs[k] = err
+				return
 			}
 			date := s.Timeline.V6Day.Add(time.Duration(r) * 30 * time.Minute)
 			start := time.Now()
 			st := mon.RunRound(r, date, tf, refs)
-			emit(o.observers, RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: time.Since(start)})
+			events[k] = append(events[k], RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: time.Since(start)})
 		}
+	})
+	// Emit in roster order, stopping at the first failed vantage —
+	// the same prefix of the event stream the serial loop produced
+	// before it returned the error. A real failure outranks the
+	// context errors it induced in sibling vantages via cancel.
+	var rootCause error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			rootCause = err
+			break
+		}
+	}
+	for k := range vps {
+		if errs[k] != nil {
+			if rootCause != nil {
+				return rootCause
+			}
+			return errs[k]
+		}
+		emit(o.observers, events[k]...)
 	}
 	s.V6DayDB.Merge(staging)
 	s.ranV6D = true

@@ -280,27 +280,32 @@ func (db *DB) Samples(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
 }
 
 // SampledSites returns the distinct site ids with samples at vantage
-// v, sorted.
+// v, sorted. The ids are derived straight from the shard keys — each
+// site contributes one key per sampled family — then sorted once and
+// deduplicated in place, instead of being funneled through an
+// intermediate set that had to be rebuilt on every call.
 func (db *DB) SampledSites(v Vantage) []alexa.SiteID {
 	t := db.lookup(v)
 	if t == nil {
 		return nil
 	}
-	seen := make(map[alexa.SiteID]bool)
+	n := 0
+	for i := range t.samples {
+		sh := &t.samples[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	out := make([]alexa.SiteID, 0, n)
 	for i := range t.samples {
 		sh := &t.samples[i]
 		sh.mu.Lock()
 		for k := range sh.m {
-			seen[k.site] = true
+			out = append(out, k.site)
 		}
 		sh.mu.Unlock()
 	}
-	out := make([]alexa.SiteID, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return dedupSortedSiteIDs(out)
 }
 
 // AddPath records the AS path to dst observed after a round. Only

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"sort"
+
+	"v6web/internal/alexa"
+	"v6web/internal/topo"
+)
+
+// This file is the zero-copy read path. The copying getters (Samples,
+// DNS, LatestPath, ...) are safe at any time but pay an allocation —
+// and for Samples a sort — per call, which made every exhibit scan
+// the store quadratically. Readers that run while no writer is active
+// (analysis, report generation, CSV export) should either use the
+// ForEach iterators, which visit rows in place under the table locks,
+// or take a Snapshot once via Freeze and do all random-access reads
+// through it without locks or copies.
+
+// ForEachDNS visits every DNS row stored for a vantage, in insertion
+// order, without copying the log. fn runs under the DNS table lock:
+// it must be quick and must not write to the same database.
+func (db *DB) ForEachDNS(v Vantage, fn func(DNSRow)) {
+	t := db.lookup(v)
+	if t == nil {
+		return
+	}
+	t.dnsMu.Lock()
+	defer t.dnsMu.Unlock()
+	for _, r := range t.dns {
+		fn(r)
+	}
+}
+
+// ForEachSeries visits every (site, family) sample series stored for a
+// vantage. The series slice is the store's own backing array: fn must
+// not mutate it, and must not write to the same database (it runs
+// under the shard lock). Visit order is unspecified; series are in
+// round order whenever they were produced by a monitor, a Merge of
+// monitored databases, or Load.
+func (db *DB) ForEachSeries(v Vantage, fn func(site alexa.SiteID, fam topo.Family, series []Sample)) {
+	t := db.lookup(v)
+	if t == nil {
+		return
+	}
+	for i := range t.samples {
+		sh := &t.samples[i]
+		sh.mu.Lock()
+		for k, ss := range sh.m {
+			fn(k.site, k.fam, ss)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// SeriesLen returns how many samples are stored for (vantage, site,
+// family) without copying the series.
+func (db *DB) SeriesLen(v Vantage, site alexa.SiteID, fam topo.Family) int {
+	t := db.lookup(v)
+	if t == nil {
+		return 0
+	}
+	sh := &t.samples[uint64(site)&(shards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.m[siteFamKey{site, fam}])
+}
+
+// Snapshot is an immutable read view of a database, taken once with
+// Freeze and then queried without locks or copies. Slices returned by
+// its methods reference the store's backing arrays and must not be
+// mutated. The view reflects the rows present at Freeze time; it
+// remains valid if the database grows afterwards (appends land beyond
+// the captured lengths) but the contract callers should rely on is
+// simpler: freeze when no writer is active — for a campaign, between
+// rounds.
+type Snapshot struct {
+	sites    map[alexa.SiteID]SiteRow
+	vantages map[Vantage]*vantageView
+}
+
+type vantageView struct {
+	dns     []DNSRow
+	series  map[siteFamKey][]Sample
+	sampled []alexa.SiteID
+	paths   map[famDstKey][]PathSnapshot
+}
+
+// Freeze captures a Snapshot of the database: one short locked pass
+// per table, after which every read is lock- and allocation-free.
+// Sample series are verified round-sorted during capture (they always
+// are when produced by monitors, Merge, or Load); an out-of-order
+// series — possible only through direct AddSample use — is replaced in
+// the view by a sorted copy, so Snapshot.Series matches what
+// DB.Samples would have returned.
+func (db *DB) Freeze() *Snapshot {
+	snap := &Snapshot{
+		sites:    make(map[alexa.SiteID]SiteRow),
+		vantages: make(map[Vantage]*vantageView),
+	}
+	for i := range db.sites {
+		sh := &db.sites[i]
+		sh.mu.Lock()
+		for id, row := range sh.m {
+			snap.sites[id] = row
+		}
+		sh.mu.Unlock()
+	}
+	for v, t := range db.tables() {
+		view := &vantageView{}
+		t.dnsMu.Lock()
+		view.dns = t.dns[:len(t.dns):len(t.dns)]
+		t.dnsMu.Unlock()
+
+		n := 0
+		for i := range t.samples {
+			sh := &t.samples[i]
+			sh.mu.Lock()
+			n += len(sh.m)
+			sh.mu.Unlock()
+		}
+		view.series = make(map[siteFamKey][]Sample, n)
+		keys := make([]alexa.SiteID, 0, n)
+		for i := range t.samples {
+			sh := &t.samples[i]
+			sh.mu.Lock()
+			for k, ss := range sh.m {
+				if !roundSorted(ss) {
+					ss = append([]Sample(nil), ss...)
+					sort.Slice(ss, func(i, j int) bool { return ss[i].Round < ss[j].Round })
+				}
+				view.series[k] = ss[:len(ss):len(ss)]
+				keys = append(keys, k.site)
+			}
+			sh.mu.Unlock()
+		}
+		view.sampled = dedupSortedSiteIDs(keys)
+
+		t.pathMu.Lock()
+		view.paths = make(map[famDstKey][]PathSnapshot, len(t.paths))
+		for k, snaps := range t.paths {
+			view.paths[k] = snaps[:len(snaps):len(snaps)]
+		}
+		t.pathMu.Unlock()
+
+		snap.vantages[v] = view
+	}
+	return snap
+}
+
+func roundSorted(ss []Sample) bool {
+	for i := 1; i < len(ss); i++ {
+		if ss[i].Round < ss[i-1].Round {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupSortedSiteIDs sorts ids and removes duplicates in place.
+func dedupSortedSiteIDs(ids []alexa.SiteID) []alexa.SiteID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (s *Snapshot) view(v Vantage) *vantageView { return s.vantages[v] }
+
+// Site returns a site row.
+func (s *Snapshot) Site(id alexa.SiteID) (SiteRow, bool) {
+	r, ok := s.sites[id]
+	return r, ok
+}
+
+// SampledSites returns the distinct site ids with samples at vantage
+// v, sorted. The slice is shared by every call: read-only.
+func (s *Snapshot) SampledSites(v Vantage) []alexa.SiteID {
+	if view := s.view(v); view != nil {
+		return view.sampled
+	}
+	return nil
+}
+
+// Series returns the round-ordered samples for (vantage, site,
+// family) without copying. Read-only.
+func (s *Snapshot) Series(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
+	if view := s.view(v); view != nil {
+		return view.series[siteFamKey{site, fam}]
+	}
+	return nil
+}
+
+// SeriesLen returns the number of samples for (vantage, site, family).
+func (s *Snapshot) SeriesLen(v Vantage, site alexa.SiteID, fam topo.Family) int {
+	return len(s.Series(v, site, fam))
+}
+
+// ForEachDNS visits every DNS row for a vantage in insertion order.
+func (s *Snapshot) ForEachDNS(v Vantage, fn func(DNSRow)) {
+	if view := s.view(v); view != nil {
+		for _, r := range view.dns {
+			fn(r)
+		}
+	}
+}
+
+// ForEachSeries visits every (site, family) series for a vantage in
+// (site, family) order. The series is read-only.
+func (s *Snapshot) ForEachSeries(v Vantage, fn func(site alexa.SiteID, fam topo.Family, series []Sample)) {
+	view := s.view(v)
+	if view == nil {
+		return
+	}
+	for _, site := range view.sampled {
+		for _, fam := range []topo.Family{topo.V4, topo.V6} {
+			if ss := view.series[siteFamKey{site, fam}]; len(ss) > 0 {
+				fn(site, fam, ss)
+			}
+		}
+	}
+}
+
+// LatestPath returns the most recent AS path to dst, or nil, without
+// copying. Read-only.
+func (s *Snapshot) LatestPath(v Vantage, fam topo.Family, dst int) []int {
+	view := s.view(v)
+	if view == nil {
+		return nil
+	}
+	snaps := view.paths[famDstKey{fam, dst}]
+	if len(snaps) == 0 {
+		return nil
+	}
+	return snaps[len(snaps)-1].Path
+}
+
+// PathChanged reports whether the path to dst changed during the
+// study (more than one stored snapshot).
+func (s *Snapshot) PathChanged(v Vantage, fam topo.Family, dst int) bool {
+	view := s.view(v)
+	return view != nil && len(view.paths[famDstKey{fam, dst}]) > 1
+}
+
+// PathDestinations returns all destination ASes with a stored path for
+// (vantage, family), sorted.
+func (s *Snapshot) PathDestinations(v Vantage, fam topo.Family) []int {
+	view := s.view(v)
+	if view == nil {
+		return nil
+	}
+	out := make([]int, 0, len(view.paths))
+	for k := range view.paths {
+		if k.fam == fam {
+			out = append(out, k.dst)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ASesCrossed returns the distinct ASes appearing on any stored path
+// for (vantage, family).
+func (s *Snapshot) ASesCrossed(v Vantage, fam topo.Family) map[int]bool {
+	out := make(map[int]bool)
+	view := s.view(v)
+	if view == nil {
+		return out
+	}
+	for k, snaps := range view.paths {
+		if k.fam != fam {
+			continue
+		}
+		for _, snap := range snaps {
+			for _, a := range snap.Path {
+				out[a] = true
+			}
+		}
+	}
+	return out
+}
