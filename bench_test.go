@@ -9,6 +9,8 @@ package v6web
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -17,6 +19,7 @@ import (
 	"v6web/internal/bgp"
 	"v6web/internal/core"
 	"v6web/internal/netsim"
+	"v6web/internal/scenario"
 	"v6web/internal/stats"
 	"v6web/internal/topo"
 	"v6web/internal/websim"
@@ -59,6 +62,7 @@ func benchStudy(b *testing.B) *analysis.Study {
 // --- Figures ---------------------------------------------------------
 
 func BenchmarkFig1Reachability(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var last float64
@@ -70,6 +74,7 @@ func BenchmarkFig1Reachability(b *testing.B) {
 }
 
 func BenchmarkFig3aRankReachability(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var fr [6]float64
@@ -81,6 +86,7 @@ func BenchmarkFig3aRankReachability(b *testing.B) {
 }
 
 func BenchmarkFig3bV6FasterOdds(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var top, ext float64
@@ -94,6 +100,7 @@ func BenchmarkFig3bV6FasterOdds(b *testing.B) {
 // --- Tables ----------------------------------------------------------
 
 func BenchmarkTable2Profiles(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.ProfileRow
@@ -106,6 +113,7 @@ func BenchmarkTable2Profiles(b *testing.B) {
 }
 
 func BenchmarkTable3FailureCauses(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.FailureRow
@@ -119,6 +127,7 @@ func BenchmarkTable3FailureCauses(b *testing.B) {
 }
 
 func BenchmarkTable4Classification(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.ClassRow
@@ -137,6 +146,7 @@ func BenchmarkTable4Classification(b *testing.B) {
 }
 
 func BenchmarkTable5RemovedBias(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.RemovedBiasRow
@@ -149,6 +159,7 @@ func BenchmarkTable5RemovedBias(b *testing.B) {
 }
 
 func BenchmarkTable6DLPerf(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.DLPerfRow
@@ -161,6 +172,7 @@ func BenchmarkTable6DLPerf(b *testing.B) {
 }
 
 func BenchmarkTable7HopCountDLDP(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.HopRow
@@ -184,6 +196,7 @@ func BenchmarkTable7HopCountDLDP(b *testing.B) {
 }
 
 func BenchmarkTable8SPH1(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.SPRow
@@ -200,6 +213,7 @@ func BenchmarkTable8SPH1(b *testing.B) {
 }
 
 func BenchmarkTable9HopCountSP(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.HopRow
@@ -219,6 +233,7 @@ func BenchmarkTable9HopCountSP(b *testing.B) {
 }
 
 func BenchmarkTable10WorldV6DaySP(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var rows []analysis.SPRow
@@ -239,6 +254,7 @@ func BenchmarkTable10WorldV6DaySP(b *testing.B) {
 }
 
 func BenchmarkTable11DPH2(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.DPRow
@@ -253,6 +269,7 @@ func BenchmarkTable11DPH2(b *testing.B) {
 }
 
 func BenchmarkTable12WorldV6DayDP(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var rows []analysis.DPRow
@@ -273,6 +290,7 @@ func BenchmarkTable12WorldV6DayDP(b *testing.B) {
 }
 
 func BenchmarkTable13GoodASCoverage(b *testing.B) {
+	b.ReportAllocs()
 	study := benchStudy(b)
 	b.ResetTimer()
 	var rows []analysis.CoverageRow
@@ -293,6 +311,7 @@ func BenchmarkTable13GoodASCoverage(b *testing.B) {
 // This is the number the hot-path optimizations target; the
 // per-exhibit benchmarks above exclude it via b.ResetTimer.
 func BenchmarkScenarioRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(42)
 		cfg.NASes = 1000
@@ -318,6 +337,7 @@ func BenchmarkScenarioRun(b *testing.B) {
 // memoized partitions target; the per-exhibit benchmarks above go
 // through the scenario's memoized study instead.
 func BenchmarkStudyAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var study *analysis.Study
@@ -343,6 +363,7 @@ func BenchmarkStudyAnalysis(b *testing.B) {
 // routing, all rounds, analysis) at reduced scale — the repo's
 // heaviest macro-benchmark.
 func BenchmarkFullStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(int64(100 + i))
 		cfg.NASes = 500
@@ -358,6 +379,55 @@ func BenchmarkFullStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = s.Study().Table8()
+	}
+}
+
+// BenchmarkPaperScale measures the memory shape of a paper-scale
+// campaign on the columnar store: live heap bytes per site after the
+// campaign and DNS state transitions per site (the delta encoder
+// stores O(transitions), not O(sites*rounds)). It runs the
+// paper-scale-mini pack by default so CI tracks the trajectory;
+// set V6WEB_PAPER_SCALE=full to run the true 1M/5M campaign
+// (several minutes, needs a multi-core box — see EXPERIMENTS.md).
+func BenchmarkPaperScale(b *testing.B) {
+	b.ReportAllocs()
+	pack := "paper-scale-mini"
+	if os.Getenv("V6WEB_PAPER_SCALE") == "full" {
+		pack = "paper-scale"
+	}
+	comp, err := scenario.LoadCompiled(pack, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		s, err := core.NewScenario(comp.Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunWorldV6Day(); err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+
+		sites, dnsRows, sampleRows, _ := s.DB.Counts()
+		var runs, histSites int
+		for _, v := range s.DB.Vantages() {
+			_, r, n := s.DB.DNSStats(v)
+			runs += r
+			histSites += n
+		}
+		live := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+		b.ReportMetric(live/float64(sites), "bytes/site")
+		b.ReportMetric(float64(runs-histSites)/float64(histSites), "dns-transitions/site")
+		b.ReportMetric(float64(dnsRows)/float64(runs), "dns-rows/run")
+		b.ReportMetric(float64(sampleRows), "sample-rows")
 	}
 }
 
@@ -416,6 +486,7 @@ func spShare(st *analysis.Study) float64 {
 // BenchmarkAblationPeeringParity sweeps the v6 peering-parity knob:
 // the SP share of sites must grow with parity (the paper's remedy).
 func BenchmarkAblationPeeringParity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var shares [2]float64
 		for k, parity := range []float64{0.5, 1.0} {
@@ -438,6 +509,7 @@ func BenchmarkAblationPeeringParity(b *testing.B) {
 // BenchmarkAblationTunnelPenalty toggles tunnels: with no tunnels the
 // Table 7 low-hop IPv6 artefact disappears.
 func BenchmarkAblationTunnelPenalty(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for k, tf := range []float64{0.5, 0.0} {
 			frac := tf
@@ -477,6 +549,7 @@ func BenchmarkAblationTunnelPenalty(b *testing.B) {
 // BenchmarkAblationV6EdgePenaltyH1 breaks H1 on purpose: degrading
 // every native v6 edge must crater the SP comparable fraction.
 func BenchmarkAblationV6EdgePenaltyH1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, penalty := range []float64{1.0, 0.6} {
 			p := penalty
@@ -504,6 +577,7 @@ func BenchmarkAblationV6EdgePenaltyH1(b *testing.B) {
 // Zero-modes are counted across both SP and DP destination ASes for
 // statistical weight at bench scale.
 func BenchmarkAblationServerDeficiency(b *testing.B) {
+	b.ReportAllocs()
 	// On a shared path (SP) only servers can explain an AS-level
 	// deficit, so every non-comparable SP AS is server-attributable:
 	// zero-mode when a matching site proves it, "small #" when the
@@ -546,6 +620,7 @@ func BenchmarkAblationServerDeficiency(b *testing.B) {
 // BenchmarkAblationCIStopRule measures the cost/accuracy trade-off of
 // the 10% CI stop rule against a fixed-count rule.
 func BenchmarkAblationCIStopRule(b *testing.B) {
+	b.ReportAllocs()
 	rule := stats.CIStop{Frac: 0.10, MinN: 3}
 	rng := rand.New(rand.NewSource(3))
 	var totalDownloads, converged int
@@ -570,6 +645,7 @@ func BenchmarkAblationCIStopRule(b *testing.B) {
 // shortest-path: policy paths are at least as long, shifting the
 // hop-count mix the performance model feeds on.
 func BenchmarkAblationBGPPreference(b *testing.B) {
+	b.ReportAllocs()
 	g := mustGraph(b)
 	c := bgp.NewComputer(g)
 	var longer, pairs, extra float64
@@ -616,9 +692,11 @@ func BenchmarkAblationBGPPreference(b *testing.B) {
 // parallel path is byte-identical, which TestParallelSerial-
 // CampaignsByteIdentical enforces on the CSVs.
 func BenchmarkMonitorScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{2000, 8000, 32000} {
 		size := size
 		b.Run(byteSizeName(size), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultConfig(3)
 			cfg.NASes = 800
 			cfg.ListSize = size
@@ -653,6 +731,7 @@ func BenchmarkMonitorScaling(b *testing.B) {
 	}{{"6vp-serial", 1}, {"6vp-parallel", 0}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultConfig(11)
 			cfg.NASes = 800
 			cfg.ListSize = 6000
@@ -703,6 +782,7 @@ func itoa(n int) string {
 // BenchmarkExtensionVantageCoverage measures the coverage-growth
 // extension: marginal IPv6 AS coverage per added vantage.
 func BenchmarkExtensionVantageCoverage(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var growth []int
@@ -718,6 +798,7 @@ func BenchmarkExtensionVantageCoverage(b *testing.B) {
 // BenchmarkExtensionTunnelReport measures the tunnel-prevalence
 // extension and reports the deficit contrast.
 func BenchmarkExtensionTunnelReport(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScenario(b)
 	b.ResetTimer()
 	var rows []core.TunnelStats
@@ -760,6 +841,7 @@ func mustGraph(b *testing.B) *topo.Graph {
 
 // BenchmarkAdoptionModel exercises the Fig 1 primitive directly.
 func BenchmarkAdoptionModel(b *testing.B) {
+	b.ReportAllocs()
 	ad := alexa.NewAdoption(1, alexa.DefaultTimeline())
 	tl := ad.Timeline
 	hits := 0

@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		want map[string]float64
+		ok   bool
+	}{
+		{
+			// Plain timing line.
+			line: "BenchmarkFig1Reachability-8    5    12419054 ns/op    1.190 %final-reachability",
+			name: "BenchmarkFig1Reachability",
+			want: map[string]float64{"iterations": 5, "ns/op": 12419054, "%final-reachability": 1.190},
+			ok:   true,
+		},
+		{
+			// -benchmem / b.ReportAllocs columns: B/op and allocs/op
+			// must land in the trajectory point alongside shape metrics.
+			line: "BenchmarkPaperScale-16  1  11535915971 ns/op  327.7 bytes/site  2047043296 B/op  214039 allocs/op",
+			name: "BenchmarkPaperScale",
+			want: map[string]float64{
+				"iterations": 1, "ns/op": 11535915971,
+				"bytes/site": 327.7, "B/op": 2047043296, "allocs/op": 214039,
+			},
+			ok: true,
+		},
+		{
+			// Sub-benchmark names keep their slash.
+			line: "BenchmarkMonitorScaling/6vp-parallel-4  1  1000 ns/op  42 sample-rows",
+			name: "BenchmarkMonitorScaling/6vp-parallel",
+			want: map[string]float64{"iterations": 1, "ns/op": 1000, "sample-rows": 42},
+			ok:   true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \tv6web\t4.1s", ok: false},
+		{line: "BenchmarkBroken-8 not-a-number ns/op", ok: false},
+	}
+	for _, c := range cases {
+		name, metrics, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name {
+			t.Errorf("parseBenchLine(%q) name = %q, want %q", c.line, name, c.name)
+		}
+		if len(metrics) != len(c.want) {
+			t.Errorf("parseBenchLine(%q) metrics = %v, want %v", c.line, metrics, c.want)
+			continue
+		}
+		for k, v := range c.want {
+			if metrics[k] != v {
+				t.Errorf("parseBenchLine(%q) %s = %v, want %v", c.line, k, metrics[k], v)
+			}
+		}
+	}
+}

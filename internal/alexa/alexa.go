@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"v6web/internal/det"
@@ -19,6 +20,15 @@ import (
 
 // SiteID permanently identifies a site across rounds.
 type SiteID int64
+
+// HostName maps a site id to its canonical synthetic DNS name. It
+// lives here (rather than in the measurement layer) so the store can
+// intern site hosts against it: a site whose host is the canonical
+// derivation costs no stored string.
+func HostName(id SiteID) string {
+	// strconv instead of fmt: this runs once per site per round.
+	return "site" + strconv.FormatInt(int64(id), 10) + ".v6web.test"
+}
 
 // Config parameterizes the list model.
 type Config struct {
@@ -50,12 +60,16 @@ func (c Config) Validate() error {
 
 // Model is the evolving ranked list. It is not safe for concurrent
 // mutation.
+//
+// The model is columnar: site ids are minted densely (0, 1, 2, ...),
+// so the per-site first-appearance rank is an int32 column indexed by
+// id rather than a map — at 1M ranks the map's hashing and overhead
+// dominated both churn time and list memory.
 type Model struct {
 	cfg       Config
 	rng       *rand.Rand
 	ranked    []SiteID
-	firstRank map[SiteID]int // rank (1-based) at first appearance
-	nextID    SiteID
+	firstRank []int32 // rank (1-based) at first appearance, indexed by id
 	round     int
 }
 
@@ -68,19 +82,18 @@ func New(cfg Config) (*Model, error) {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		ranked:    make([]SiteID, cfg.Size),
-		firstRank: make(map[SiteID]int, cfg.Size*2),
+		firstRank: make([]int32, 0, cfg.Size*2),
 	}
 	for i := range m.ranked {
-		id := m.mint()
-		m.ranked[i] = id
-		m.firstRank[id] = i + 1
+		m.ranked[i] = m.mint(i + 1)
 	}
 	return m, nil
 }
 
-func (m *Model) mint() SiteID {
-	id := m.nextID
-	m.nextID++
+// mint allocates the next dense site id, recording its first rank.
+func (m *Model) mint(rank int) SiteID {
+	id := SiteID(len(m.firstRank))
+	m.firstRank = append(m.firstRank, int32(rank))
 	return id
 }
 
@@ -91,7 +104,7 @@ func (m *Model) Round() int { return m.round }
 func (m *Model) Size() int { return m.cfg.Size }
 
 // TotalSeen returns how many distinct sites have ever appeared.
-func (m *Model) TotalSeen() int { return int(m.nextID) }
+func (m *Model) TotalSeen() int { return len(m.firstRank) }
 
 // Ranked returns a copy of the current ranking, best rank first.
 func (m *Model) Ranked() []SiteID {
@@ -111,7 +124,38 @@ func (m *Model) ForEachRanked(fn func(rank int, id SiteID)) {
 
 // FirstSeenRank returns the rank a site held when it first appeared,
 // or 0 if the site is unknown.
-func (m *Model) FirstSeenRank(s SiteID) int { return m.firstRank[s] }
+func (m *Model) FirstSeenRank(s SiteID) int {
+	if s < 0 || s >= SiteID(len(m.firstRank)) {
+		return 0
+	}
+	return int(m.firstRank[s])
+}
+
+// AtRank returns the site currently holding the 1-based rank, or -1.
+func (m *Model) AtRank(rank int) SiteID {
+	if rank < 1 || rank > len(m.ranked) {
+		return -1
+	}
+	return m.ranked[rank-1]
+}
+
+// ForEachEntrant visits every site minted at or after sinceID that is
+// still on the list, in mint order — the O(new entrants) absorb walk.
+// A site minted and churned away again before it was ever observed
+// (its first-rank slot was replaced later in the same or a subsequent
+// churn round) no longer occupies its first-seen rank and is skipped,
+// exactly as a full ranked-list walk would never encounter it.
+func (m *Model) ForEachEntrant(sinceID SiteID, fn func(rank int, id SiteID)) {
+	if sinceID < 0 {
+		sinceID = 0
+	}
+	for id := sinceID; id < SiteID(len(m.firstRank)); id++ {
+		rank := int(m.firstRank[id])
+		if m.ranked[rank-1] == id {
+			fn(rank, id)
+		}
+	}
+}
 
 // Advance performs one churn round: ChurnPerRound of the slots are
 // replaced by never-before-seen sites, preferentially in the tail.
@@ -126,9 +170,7 @@ func (m *Model) Advance() {
 		} else {
 			pos = m.rng.Intn(m.cfg.Size)
 		}
-		id := m.mint()
-		m.ranked[pos] = id
-		m.firstRank[id] = pos + 1
+		m.ranked[pos] = m.mint(pos + 1)
 	}
 }
 

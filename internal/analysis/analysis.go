@@ -182,10 +182,13 @@ func Analyze(db *store.DB, v store.Vantage, th Thresholds) *VantageAnalysis {
 func AnalyzeSnapshot(snap *store.Snapshot, v store.Vantage, th Thresholds) *VantageAnalysis {
 	va := &VantageAnalysis{Vantage: v, Th: th, snap: snap}
 
+	// "Ever observed dual-stack" is a property of the delta-encoded
+	// runs, so scan those — O(state changes) — instead of expanding
+	// the history back to one row per site per round.
 	dualSeen := make(map[alexa.SiteID]bool)
-	snap.ForEachDNS(v, func(row store.DNSRow) {
-		if row.HasA && row.HasAAAA {
-			dualSeen[row.Site] = true
+	snap.ForEachDNSRuns(v, func(site alexa.SiteID, hasA, hasAAAA, _ bool, _, _ int) {
+		if hasA && hasAAAA {
+			dualSeen[site] = true
 		}
 	})
 	va.TotalDual = len(dualSeen)

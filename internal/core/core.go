@@ -251,10 +251,12 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Reserve the lock-free site tables: the main list's ids are dense
-	// from zero (grown between rounds as churn mints new sites), the
-	// extended population is dense from ExtendedBase.
+	// Reserve the index-addressed site tables — the catalogue's
+	// lock-free cache and the store's columnar tables: the main list's
+	// ids are dense from zero (grown between rounds as churn mints new
+	// sites), the extended population is dense from ExtendedBase.
 	cat.Reserve(list.TotalSeen(), ExtendedBase, cfg.Extended)
+	s.DB.Reserve(list.TotalSeen(), ExtendedBase, cfg.Extended)
 	s.Catalog = cat
 
 	nc := netsim.DefaultConfig(cfg.Seed)
@@ -399,16 +401,21 @@ func (s *Scenario) tFrac(date time.Time) float64 {
 func (s *Scenario) TrackedSites() int { return len(s.tracked) }
 
 // V6DayParticipants returns the monitored sites that advertised
-// participation in World IPv6 Day.
+// participation in World IPv6 Day. Participation is exactly "adopts
+// on the day itself" (websim marks V6DayParticipant for sites whose
+// adoption date equals the event), so the walk asks the adoption
+// model directly instead of materializing a catalogue Site per ranked
+// entry — at a million ranks that is the difference between a scan
+// and hundreds of megabytes of cached Sites.
 func (s *Scenario) V6DayParticipants() []measure.SiteRef {
 	var out []measure.SiteRef
-	for _, id := range s.List.Ranked() {
+	v6day := s.Adopt.Timeline.V6Day
+	s.List.ForEachRanked(func(_ int, id alexa.SiteID) {
 		rank := s.List.FirstSeenRank(id)
-		site := s.Catalog.Site(id, rank)
-		if site.V6DayParticipant {
+		if when, ok := s.Adopt.Adopts(id, rank); ok && when.Equal(v6day) {
 			out = append(out, measure.SiteRef{ID: id, FirstRank: rank})
 		}
-	}
+	})
 	return out
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
 
 	"v6web/internal/alexa"
@@ -97,12 +98,17 @@ func TestRoundWorkersOutsideFingerprint(t *testing.T) {
 	}
 }
 
-// TestAbsorbEquivalentToMapBasedWalk pins the invariant the mint-
-// cursor absorb in absorbRanked relies on: walking the ranking with
-// an integer floor test accumulates exactly the same tracked sequence
-// as the old reference algorithm (copy the ranking, probe a seen-set
-// per rank) — including sites churned away twice at one rank within a
-// single round, which neither algorithm may ever track.
+// TestAbsorbEquivalentToMapBasedWalk pins the invariant the entrant
+// walk in absorbRanked relies on: visiting only the sites minted
+// since the last absorb (alexa.ForEachEntrant) accumulates exactly
+// the same tracked set as the original reference algorithm (copy the
+// full ranking, probe a seen-set per rank) — including sites churned
+// away twice at one rank within a single round, which neither
+// algorithm may ever track. The entrant walk emits each round's
+// additions in mint order rather than rank order; every monitoring
+// outcome is independent of site order (each site's randomness is
+// derived per (seed, round, site)), which the campaign CSV golden
+// test pins end to end.
 func TestAbsorbEquivalentToMapBasedWalk(t *testing.T) {
 	for _, seed := range []int64{3, 11, 27} {
 		lc := alexa.DefaultConfig(900, seed)
@@ -119,17 +125,14 @@ func TestAbsorbEquivalentToMapBasedWalk(t *testing.T) {
 		absorbed := 0
 		seen := make(map[alexa.SiteID]bool)
 		for round := 0; round < 12; round++ {
-			// New algorithm: floor compare against the mint cursor.
-			if total := mNew.TotalSeen(); absorbed < total {
-				floor := alexa.SiteID(absorbed)
-				mNew.ForEachRanked(func(rank int, id alexa.SiteID) {
-					if id >= floor {
-						gotTracked = append(gotTracked, measure.SiteRef{ID: id, FirstRank: mNew.FirstSeenRank(id)})
-					}
-				})
-				absorbed = total
-			}
+			// New algorithm: walk only the entrants past the mint cursor.
+			batchStart := len(gotTracked)
+			mNew.ForEachEntrant(alexa.SiteID(absorbed), func(rank int, id alexa.SiteID) {
+				gotTracked = append(gotTracked, measure.SiteRef{ID: id, FirstRank: rank})
+			})
+			absorbed = mNew.TotalSeen()
 			// Reference algorithm (pre-PR): seen-set probe per rank.
+			wantBatchStart := len(wantTracked)
 			for _, id := range mRef.Ranked() {
 				if !seen[id] {
 					seen[id] = true
@@ -139,9 +142,15 @@ func TestAbsorbEquivalentToMapBasedWalk(t *testing.T) {
 			if len(gotTracked) != len(wantTracked) {
 				t.Fatalf("seed %d round %d: %d tracked, want %d", seed, round, len(gotTracked), len(wantTracked))
 			}
-			for i := range gotTracked {
-				if gotTracked[i] != wantTracked[i] {
-					t.Fatalf("seed %d round %d: tracked[%d] = %+v, want %+v", seed, round, i, gotTracked[i], wantTracked[i])
+			// The round's additions must be the same set; the entrant
+			// walk orders them by mint id, so compare sorted.
+			got := append([]measure.SiteRef(nil), gotTracked[batchStart:]...)
+			want := append([]measure.SiteRef(nil), wantTracked[wantBatchStart:]...)
+			sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+			sort.Slice(want, func(i, j int) bool { return want[i].ID < want[j].ID })
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d round %d: tracked[%d] = %+v, want %+v", seed, round, i, got[i], want[i])
 				}
 			}
 			mNew.Advance()

@@ -266,32 +266,29 @@ func (s *Scenario) RoundsDone() int { return s.next }
 // absorbRanked folds the current round's ranked list into the
 // cumulative tracked set — "new sites ... are added to the monitoring
 // list and tracked from this point onward" (Section 3) — and keeps
-// the catalog's lock-free table covering every minted id (no monitor
-// is running here, so growing is safe).
+// the catalog's and the store's index-addressed tables covering every
+// minted id (no monitor is running here, so growing is safe).
 //
 // The model mints site ids densely as they enter the list, so after
 // an absorb every id below the mint cursor is either tracked or was
 // churned away before this vantage roster ever saw it (replaced twice
 // at one rank within a single churn round) and can never reappear.
-// That makes membership a single integer compare against the cursor —
-// no per-site set to grow and re-hash across rounds — and lets the
-// walk skip already-absorbed ranks with no allocation (the old path
-// copied the ranking and probed a map per rank, every round).
+// The walk is therefore over the new entrants alone (ForEachEntrant:
+// mint cursor to mint cursor, skipping the churned-away-unseen), not
+// over the full million-rank list every round.
 func (s *Scenario) absorbRanked() {
 	total := s.List.TotalSeen()
 	if s.absorbed < total {
-		floor := alexa.SiteID(s.absorbed)
 		if cap(s.tracked) == 0 {
 			s.tracked = make([]measure.SiteRef, 0, total+total/4)
 		}
-		s.List.ForEachRanked(func(rank int, id alexa.SiteID) {
-			if id >= floor {
-				s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: s.List.FirstSeenRank(id)})
-			}
+		s.List.ForEachEntrant(alexa.SiteID(s.absorbed), func(rank int, id alexa.SiteID) {
+			s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: rank})
 		})
 		s.absorbed = total
 	}
 	s.Catalog.Reserve(total, 0, 0)
+	s.DB.Reserve(total, ExtendedBase, s.Cfg.Extended)
 }
 
 // fastForward advances the cursor to round `to` without monitoring:
@@ -388,8 +385,11 @@ func Resume(cfg Config, b store.Backend) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: resume: %w", err)
 	}
-	s.DB.Merge(db)
+	// Fast-forward before merging: the ranked-list replay reserves the
+	// store's dense ranges up to the checkpointed mint cursor, so the
+	// loaded rows land in the columnar tables instead of overflow maps.
 	s.fastForward(meta.NextRound)
+	s.DB.Merge(db)
 	return s, nil
 }
 
@@ -422,6 +422,10 @@ func (s *Scenario) RunWorldV6DayContext(ctx context.Context, opts ...RunOption) 
 	refs := s.V6DayParticipants()
 	tf := s.tFrac(s.Timeline.V6Day)
 	staging := store.NewDB()
+	// Participants are main-list sites: give the staging database (and
+	// the fold-in target) the same dense id range as the main store.
+	staging.Reserve(s.List.TotalSeen(), 0, 0)
+	s.V6DayDB.Reserve(s.List.TotalSeen(), 0, 0)
 	var vps []VantagePoint
 	for _, vp := range s.Cfg.Vantages {
 		if vp.V6Day {

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
-	"strconv"
 	"sync"
 	"time"
 
@@ -34,11 +33,9 @@ type SiteRef struct {
 	FirstRank int
 }
 
-// HostName maps a site id to its synthetic DNS name.
-func HostName(id alexa.SiteID) string {
-	// strconv instead of fmt: this runs once per site per round.
-	return "site" + strconv.FormatInt(int64(id), 10) + ".v6web.test"
-}
+// HostName maps a site id to its synthetic DNS name — the canonical
+// alexa.HostName derivation the store interns site hosts against.
+func HostName(id alexa.SiteID) string { return alexa.HostName(id) }
 
 // famBoth avoids a fresh slice per site when iterating both families.
 var famBoth = [2]topo.Family{topo.V4, topo.V6}
@@ -245,8 +242,13 @@ func (m *Monitor) RunRound(round int, date time.Time, tFrac float64, sites []Sit
 			// site up or in what order.
 			src := det.NewSource(0)
 			rng := rand.New(src)
-			var dnsBuf []store.DNSRow
+			// The DNS buffer holds at most one chunk and is flushed into
+			// the store's delta encoder per chunk, so the worker never
+			// accumulates a round's worth of rows: the single-stack
+			// majority collapses into run-length counters immediately.
+			dnsBuf := make([]store.DNSRow, 0, chunk)
 			for rg := range jobs {
+				dnsBuf = dnsBuf[:0]
 				for _, idx := range order[rg[0]:rg[1]] {
 					src.Reseed(uint64(m.cfg.Seed), uint64(round), uint64(sites[idx].ID), 0xF00D)
 					res := m.monitorSite(sites[idx], round, date, tFrac, rng)
@@ -275,8 +277,8 @@ func (m *Monitor) RunRound(round int, date time.Time, tFrac float64, sites []Sit
 						acc.dest.add(res.v6AS)
 					}
 				}
+				m.db.AddDNSBatch(m.cfg.Vantage, dnsBuf)
 			}
-			m.db.AddDNSBatch(m.cfg.Vantage, dnsBuf)
 		}(&accs[w])
 	}
 	for start := 0; start < len(order); start += chunk {
@@ -344,7 +346,7 @@ func (m *Monitor) monitorSite(ref SiteRef, round int, date time.Time, tFrac floa
 	if m.resolver == nil && m.origins != nil {
 		out.v4AS, out.v6AS = m.origins.Origins(ref, date)
 	}
-	m.db.EnsureSite(ref.ID, ref.FirstRank, out.v4AS, out.v6AS, HostName)
+	m.db.EnsureCanonicalSite(ref.ID, ref.FirstRank, out.v4AS, out.v6AS)
 	out.dns = store.DNSRow{Site: ref.ID, Round: round, HasA: hasA, HasAAAA: hasAAAA}
 	out.hasDNS = true
 	if !hasA || !hasAAAA {

@@ -183,10 +183,11 @@ func (f *SimFetcher) PathTo(dst int, fam topo.Family, round int) []int {
 }
 
 // Resolve implements Fetcher: A always exists; AAAA appears at the
-// site's adoption date.
+// site's adoption date. The hosting summary answers without
+// materializing a Site for the single-stack majority.
 func (f *SimFetcher) Resolve(ref SiteRef, date time.Time) (bool, bool, error) {
-	site := f.Cat.Site(ref.ID, ref.FirstRank)
-	return true, site.DualAtUnix(date.UnixNano()), nil
+	h := f.Cat.HostingOf(ref.ID, ref.FirstRank)
+	return true, h.DualAtUnix(date.UnixNano()), nil
 }
 
 // origins computes (and memoizes on the site) the origin-AS
@@ -221,14 +222,25 @@ func (f *SimFetcher) Origins(ref SiteRef, date time.Time) (int, int) {
 
 // ResolveOrigins implements SiteResolver: the DNS phase and origin
 // attribution in one catalogue lookup.
+//
+// Sites that are not dual-stack at the query date — the vast majority
+// of a paper-scale population — are answered from the allocation-free
+// hosting summary: no Site is materialized, and the v4 origin is the
+// hosting AS directly. That shortcut is exact: the address plan gives
+// every AS one disjoint prefix per family and places a site's address
+// inside its hosting AS's prefix, so the longest-prefix match the
+// slow path performs can only resolve back to the hosting AS
+// (pinned by TestLiteResolveMatchesLPM). Dual-stack sites take the
+// full path: the Site is needed for the download phase anyway, and
+// its memoized LPM attribution also yields the v6 origin.
 func (f *SimFetcher) ResolveOrigins(ref SiteRef, date time.Time) (hasA, hasAAAA bool, v4AS, v6AS int, err error) {
-	site := f.Cat.Site(ref.ID, ref.FirstRank)
-	dual := site.DualAtUnix(date.UnixNano())
-	v4, v6Full := f.origins(site, int64(ref.ID))
-	if !dual {
-		v6Full = -1
+	h := f.Cat.HostingOf(ref.ID, ref.FirstRank)
+	if !h.DualAtUnix(date.UnixNano()) {
+		return true, false, h.V4AS, -1, nil
 	}
-	return true, dual, v4, v6Full, nil
+	site := f.Cat.Site(ref.ID, ref.FirstRank)
+	v4, v6Full := f.origins(site, int64(ref.ID))
+	return true, true, v4, v6Full, nil
 }
 
 // Fetch implements Fetcher: one simulated page download.

@@ -132,6 +132,31 @@ var goldenPacks = []struct {
 			return cfg
 		},
 	},
+	{
+		// The true top-1M list plus Penn's ~5M extended population.
+		name: "paper-scale",
+		hard: func() core.Config {
+			cfg := core.DefaultConfig(42)
+			cfg.NASes = 4000
+			cfg.ListSize = 1000000
+			cfg.Extended = 5000000
+			return cfg
+		},
+	},
+	{
+		// The CI slice of the paper-scale campaign.
+		name: "paper-scale-mini",
+		hard: func() core.Config {
+			cfg := core.DefaultConfig(42)
+			cfg.NASes = 1200
+			cfg.ListSize = 200000
+			cfg.Extended = 1000000
+			cfg.Rounds = 12
+			cfg.V6DayRounds = 6
+			cfg.Vantages = core.ScaledVantages(12)
+			return cfg
+		},
+	},
 }
 
 func TestRegistryShipsAllGoldenPacks(t *testing.T) {

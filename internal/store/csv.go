@@ -1,9 +1,11 @@
 package store
 
 import (
+	"bufio"
 	"encoding/csv"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -25,7 +27,10 @@ const (
 )
 
 // Save writes the database as four CSV files under dir, creating it
-// if needed.
+// if needed. Every file streams row by row through a bufio.Writer in
+// the tables' canonical iteration order — no sorted whole-table copy
+// is ever materialized, so saving a paper-scale database needs O(1)
+// extra memory.
 func (db *DB) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -42,114 +47,107 @@ func (db *DB) Save(dir string) error {
 	return db.savePaths(filepath.Join(dir, pathsFile))
 }
 
-func writeCSV(path string, header []string, rows [][]string) error {
+// csvStream is a row-at-a-time CSV writer: csv encoding on top of a
+// bufio.Writer on top of the file.
+type csvStream struct {
+	f   *os.File
+	bw  *bufio.Writer
+	w   *csv.Writer
+	err error
+}
+
+func newCSVStream(path string, header []string) (*csvStream, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<16)
+	s := &csvStream{f: f, bw: bw, w: csv.NewWriter(bw)}
+	if err := s.w.Write(header); err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
-	for _, r := range rows {
-		if err := w.Write(r); err != nil {
-			f.Close()
-			return err
-		}
+	return s, nil
+}
+
+// row writes one record built from fields. Errors latch; close
+// reports the first one.
+func (s *csvStream) row(fields ...string) {
+	if s.err != nil {
+		return
 	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		f.Close()
-		return err
+	s.err = s.w.Write(fields)
+}
+
+func (s *csvStream) close() error {
+	s.w.Flush()
+	if s.err == nil {
+		s.err = s.w.Error()
 	}
-	return f.Close()
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Close(); s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
 func (db *DB) saveSites(path string) error {
-	var rows [][]string
-	for _, s := range db.Sites() {
-		rows = append(rows, []string{
-			strconv.FormatInt(int64(s.Site), 10), s.Host,
-			strconv.Itoa(s.FirstRank), strconv.Itoa(s.V4AS), strconv.Itoa(s.V6AS),
-		})
+	s, err := newCSVStream(path, []string{"site", "host", "first_rank", "v4_as", "v6_as"})
+	if err != nil {
+		return err
 	}
-	return writeCSV(path, []string{"site", "host", "first_rank", "v4_as", "v6_as"}, rows)
+	db.forEachSite(func(r SiteRow) {
+		s.row(strconv.FormatInt(int64(r.Site), 10), r.Host,
+			strconv.Itoa(r.FirstRank), strconv.Itoa(r.V4AS), strconv.Itoa(r.V6AS))
+	})
+	return s.close()
 }
 
 func (db *DB) saveDNS(path string) error {
-	var rows [][]string
-	for _, v := range db.Vantages() {
-		t := db.lookup(v)
-		t.dnsMu.Lock()
-		dns := append([]DNSRow(nil), t.dns...)
-		t.dnsMu.Unlock()
-		// Canonical (site, round) order: workers append concurrently,
-		// so insertion order varies run to run, but equal databases
-		// must serialize to byte-identical files — checkpoint/resume
-		// correctness is verified by comparing saved CSVs.
-		sort.Slice(dns, func(i, j int) bool {
-			if dns[i].Site != dns[j].Site {
-				return dns[i].Site < dns[j].Site
-			}
-			return dns[i].Round < dns[j].Round
-		})
-		for _, r := range dns {
-			rows = append(rows, []string{
-				string(v), strconv.FormatInt(int64(r.Site), 10), strconv.Itoa(r.Round),
-				strconv.FormatBool(r.HasA), strconv.FormatBool(r.HasAAAA), strconv.FormatBool(r.Identical),
-			})
-		}
+	s, err := newCSVStream(path, []string{"vantage", "site", "round", "has_a", "has_aaaa", "identical"})
+	if err != nil {
+		return err
 	}
-	return writeCSV(path, []string{"vantage", "site", "round", "has_a", "has_aaaa", "identical"}, rows)
+	// The walker's canonical (site, round) order is the file's order:
+	// workers append concurrently, so equal databases must serialize to
+	// byte-identical files — checkpoint/resume correctness is verified
+	// by comparing saved CSVs.
+	for _, v := range db.Vantages() {
+		vs := string(v)
+		db.ForEachDNS(v, func(r DNSRow) {
+			s.row(vs, strconv.FormatInt(int64(r.Site), 10), strconv.Itoa(r.Round),
+				strconv.FormatBool(r.HasA), strconv.FormatBool(r.HasAAAA), strconv.FormatBool(r.Identical))
+		})
+	}
+	return s.close()
 }
 
 func (db *DB) saveSamples(path string) error {
-	type series struct {
-		k  siteFamKey
-		ss []Sample
+	s, err := newCSVStream(path, []string{"vantage", "site", "family", "round", "date", "page_bytes", "downloads", "mean_speed", "ci_ok"})
+	if err != nil {
+		return err
 	}
-	var rows [][]string
 	for _, v := range db.Vantages() {
-		t := db.lookup(v)
-		// One locked pass per shard: Save runs after every round when
-		// checkpointing, so avoid re-locking and re-copying each of
-		// the tens of thousands of series through db.Samples.
-		var all []series
-		for i := range t.samples {
-			sh := &t.samples[i]
-			sh.mu.Lock()
-			for k, ss := range sh.m {
-				all = append(all, series{k, append([]Sample(nil), ss...)})
+		vs := string(v)
+		db.ForEachSeries(v, func(site alexa.SiteID, fam topo.Family, ss []Sample) {
+			for _, smp := range ss {
+				s.row(vs, strconv.FormatInt(int64(site), 10), strconv.Itoa(int(fam)),
+					strconv.Itoa(smp.Round), smp.Date.UTC().Format(time.RFC3339),
+					strconv.Itoa(smp.PageBytes), strconv.Itoa(smp.Downloads),
+					strconv.FormatFloat(smp.MeanSpeed, 'g', 17, 64), strconv.FormatBool(smp.CIOK))
 			}
-			sh.mu.Unlock()
-		}
-		sort.Slice(all, func(i, j int) bool {
-			a, b := all[i].k, all[j].k
-			if a.site != b.site {
-				return a.site < b.site
-			}
-			return a.fam < b.fam
 		})
-		for _, e := range all {
-			// Monitors append in round order; sort anyway for DBs
-			// populated through the public API in arbitrary order.
-			sort.Slice(e.ss, func(i, j int) bool { return e.ss[i].Round < e.ss[j].Round })
-			for _, s := range e.ss {
-				rows = append(rows, []string{
-					string(v), strconv.FormatInt(int64(e.k.site), 10), strconv.Itoa(int(e.k.fam)),
-					strconv.Itoa(s.Round), s.Date.UTC().Format(time.RFC3339),
-					strconv.Itoa(s.PageBytes), strconv.Itoa(s.Downloads),
-					strconv.FormatFloat(s.MeanSpeed, 'g', 17, 64), strconv.FormatBool(s.CIOK),
-				})
-			}
-		}
 	}
-	return writeCSV(path, []string{"vantage", "site", "family", "round", "date", "page_bytes", "downloads", "mean_speed", "ci_ok"}, rows)
+	return s.close()
 }
 
 func (db *DB) savePaths(path string) error {
-	var rows [][]string
+	s, err := newCSVStream(path, []string{"vantage", "family", "dst", "round", "path"})
+	if err != nil {
+		return err
+	}
 	for _, v := range db.Vantages() {
 		t := db.lookup(v)
 		t.pathMu.Lock()
@@ -166,15 +164,13 @@ func (db *DB) savePaths(path string) error {
 		})
 		for _, k := range keys {
 			for _, snap := range t.paths[k] {
-				rows = append(rows, []string{
-					string(v), strconv.Itoa(int(k.fam)), strconv.Itoa(k.dst),
-					strconv.Itoa(snap.Round), joinInts(snap.Path),
-				})
+				s.row(string(v), strconv.Itoa(int(k.fam)), strconv.Itoa(k.dst),
+					strconv.Itoa(snap.Round), joinInts(snap.Path))
 			}
 		}
 		t.pathMu.Unlock()
 	}
-	return writeCSV(path, []string{"vantage", "family", "dst", "round", "path"}, rows)
+	return s.close()
 }
 
 func joinInts(xs []int) string {
@@ -333,18 +329,26 @@ func Load(dir string) (*DB, error) {
 	return db, nil
 }
 
+// loadCSV streams a CSV file record by record — O(1) extra memory
+// regardless of file size. The record slice is reused (ReuseRecord);
+// field strings themselves are freshly allocated and safe to retain.
 func loadCSV(path string, fields int, fn func([]string) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r := csv.NewReader(f)
-	recs, err := r.ReadAll()
-	if err != nil {
-		return err
-	}
-	for i, rec := range recs {
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<16))
+	r.ReuseRecord = true
+	r.FieldsPerRecord = -1 // field counts are checked per row below
+	for i := 0; ; i++ {
+		rec, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+		}
 		if i == 0 {
 			continue // header
 		}
@@ -355,5 +359,4 @@ func loadCSV(path string, fields int, fn func([]string) error) error {
 			return fmt.Errorf("store: %s row %d: %w", filepath.Base(path), i, err)
 		}
 	}
-	return nil
 }

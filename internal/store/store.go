@@ -6,9 +6,35 @@
 //
 // Writes are the monitoring hot path: 25 workers per vantage append
 // samples and DNS rows concurrently for every site of every round.
-// The database therefore shards its locks — site rows by id, sample
-// series by site within a per-vantage table — instead of funneling
-// every worker through one RWMutex.
+// The database therefore shards its locks by site id instead of
+// funneling every worker through one RWMutex.
+//
+// # Memory layout
+//
+// A paper-scale campaign (a 1M-site list, a 5M-site extended
+// population, 35 rounds, six vantages) stores on the order of 2*10^8
+// DNS outcomes; one struct per outcome is gigabytes before the first
+// exhibit renders. The database is therefore columnar:
+//
+//   - Site ids are dense in two ranges — the ranked list mints them
+//     sequentially from zero, the extended population is a second
+//     dense range at a fixed base — and Reserve turns those ranges
+//     into index-addressed tables. Ids outside the reserved ranges
+//     (direct API use, databases loaded from CSV without a
+//     reservation) fall back to per-shard overflow maps.
+//   - DNS history is delta-encoded: each site stores runs of
+//     consecutive rounds sharing one (HasA, HasAAAA, Identical)
+//     outcome, so storage is O(state changes), not O(sites*rounds).
+//     Two runs live inline per site (adoption is the one transition
+//     almost every site ever has); rarer histories spill to a side
+//     map. The iterators expand runs back to per-round rows, so CSV
+//     output is byte-identical to the old row-per-round log.
+//   - Samples are packed 24-byte records; the sample date — shared by
+//     every sample of a round — lives once in a per-vantage date
+//     dictionary instead of as a per-sample time.Time.
+//   - Site rows store three int32 columns per site; the Host column
+//     is interned against the canonical alexa.HostName derivation and
+//     materialized only for sites whose host actually differs.
 package store
 
 import (
@@ -59,12 +85,395 @@ type PathSnapshot struct {
 	Path  []int // dense AS indices, vantage first
 }
 
-// shards is the lock-striping factor; a power of two.
-const shards = 16
+// shardBits sets the lock-striping factor (shards = 1<<shardBits).
+// A site id's shard is id&(shards-1); its slot within a dense range
+// is id>>shardBits (offset by the range base for the extended range),
+// so a (shard, slot) pair maps back to id = slot<<shardBits | shard.
+const (
+	shardBits = 4
+	shards    = 1 << shardBits
+)
 
-type siteFamKey struct {
-	site alexa.SiteID
-	fam  topo.Family
+// reservation describes the dense id ranges Reserve has declared.
+type reservation struct {
+	main    int          // ids [0, main) are dense
+	extBase alexa.SiteID // base of the extended range (0 = none)
+	ext     int          // ids [extBase, extBase+ext) are dense
+}
+
+// locate classifies id against the reservation: which dense table it
+// belongs to (0 main, 1 ext, -1 overflow) and its slot index.
+func (r reservation) locate(id alexa.SiteID) (table int, slot int) {
+	if id >= 0 && id < alexa.SiteID(r.main) {
+		return 0, int(id >> shardBits)
+	}
+	if r.ext > 0 && id >= r.extBase && id < r.extBase+alexa.SiteID(r.ext) {
+		return 1, int((id - r.extBase) >> shardBits)
+	}
+	return -1, 0
+}
+
+// slotsFor returns how many per-shard slots cover n dense ids.
+func slotsFor(n int) int { return (n + shards - 1) >> shardBits }
+
+// --- DNS delta encoding ----------------------------------------------
+
+// dnsRun is one run of consecutive rounds sharing a DNS outcome:
+// rounds [start, start+count) all observed state.
+type dnsRun struct {
+	start int32
+	count int32
+	state uint8
+}
+
+const (
+	dnsHasA      = 1 << 0
+	dnsHasAAAA   = 1 << 1
+	dnsIdentical = 1 << 2
+	// dnsSpilled on the second inline run marks that further runs live
+	// in the shard's spill map.
+	dnsSpilled = 1 << 7
+
+	dnsStateMask = dnsHasA | dnsHasAAAA | dnsIdentical
+)
+
+func dnsState(hasA, hasAAAA, identical bool) uint8 {
+	var s uint8
+	if hasA {
+		s |= dnsHasA
+	}
+	if hasAAAA {
+		s |= dnsHasAAAA
+	}
+	if identical {
+		s |= dnsIdentical
+	}
+	return s
+}
+
+func (r dnsRun) row(site alexa.SiteID, k int32) DNSRow {
+	return DNSRow{
+		Site:      site,
+		Round:     int(r.start + k),
+		HasA:      r.state&dnsHasA != 0,
+		HasAAAA:   r.state&dnsHasAAAA != 0,
+		Identical: r.state&dnsIdentical != 0,
+	}
+}
+
+// dnsHist is a site's inline run storage: the first two runs (almost
+// every site needs at most two — single-stack forever, or one
+// adoption transition) live here; further runs spill.
+type dnsHist struct {
+	run [2]dnsRun
+}
+
+// append records one observation, returning how the history grew:
+// spill=true means the new run must go to the shard's spill list, and
+// ooo=true means the observation is out of order (or a duplicate
+// round) and must be kept as an explicit row.
+func (h *dnsHist) append(spillRuns []dnsRun, round int32, state uint8) (newRun dnsRun, spill, ooo bool) {
+	last := &h.run[0]
+	switch {
+	case h.run[0].count == 0:
+		h.run[0] = dnsRun{start: round, count: 1, state: state}
+		return dnsRun{}, false, false
+	case h.run[1].state&dnsSpilled != 0 && len(spillRuns) > 0:
+		last = &spillRuns[len(spillRuns)-1]
+	case h.run[1].count != 0:
+		last = &h.run[1]
+	}
+	end := last.start + last.count
+	switch {
+	case round == end && state == last.state&dnsStateMask:
+		last.count++
+		return dnsRun{}, false, false
+	case round >= end:
+		nr := dnsRun{start: round, count: 1, state: state}
+		if h.run[1].count == 0 && h.run[1].state&dnsSpilled == 0 {
+			h.run[1] = nr
+			return dnsRun{}, false, false
+		}
+		h.run[1].state |= dnsSpilled
+		return nr, true, false
+	default:
+		return dnsRun{}, false, true
+	}
+}
+
+// runs appends the site's full run list (inline plus spill) to buf.
+func (h *dnsHist) runs(spill []dnsRun, buf []dnsRun) []dnsRun {
+	if h.run[0].count == 0 {
+		return buf
+	}
+	buf = append(buf, h.run[0])
+	if h.run[1].count != 0 {
+		r := h.run[1]
+		r.state &= dnsStateMask
+		buf = append(buf, r)
+	}
+	if h.run[1].state&dnsSpilled != 0 {
+		buf = append(buf, spill...)
+	}
+	return buf
+}
+
+// obs counts the observations recorded across the site's runs.
+func (h *dnsHist) obs(spill []dnsRun) int32 {
+	n := h.run[0].count + h.run[1].count
+	if h.run[1].state&dnsSpilled != 0 {
+		for _, r := range spill {
+			n += r.count
+		}
+	}
+	return n
+}
+
+// dnsShard is one stripe of a vantage's delta-encoded DNS table.
+type dnsShard struct {
+	mu    sync.Mutex
+	main  []dnsHist
+	ext   []dnsHist
+	spill map[alexa.SiteID][]dnsRun
+	over  map[alexa.SiteID]*dnsHist
+	rows  int // observations in this shard (excluding the ooo log)
+}
+
+// hist returns the site's history slot, creating overflow entries on
+// demand when create is set. Caller holds s.mu.
+func (s *dnsShard) hist(res reservation, id alexa.SiteID, create bool) *dnsHist {
+	switch table, slot := res.locate(id); table {
+	case 0:
+		if slot < len(s.main) {
+			return &s.main[slot]
+		}
+	case 1:
+		if slot < len(s.ext) {
+			return &s.ext[slot]
+		}
+	}
+	if h, ok := s.over[id]; ok {
+		return h
+	}
+	if !create {
+		return nil
+	}
+	if s.over == nil {
+		s.over = make(map[alexa.SiteID]*dnsHist)
+	}
+	h := &dnsHist{}
+	s.over[id] = h
+	return h
+}
+
+func (s *dnsShard) add(res reservation, row DNSRow) (ooo bool) {
+	h := s.hist(res, row.Site, true)
+	nr, spill, outOfOrder := h.append(s.spill[row.Site], int32(row.Round), dnsState(row.HasA, row.HasAAAA, row.Identical))
+	if outOfOrder {
+		return true
+	}
+	if spill {
+		if s.spill == nil {
+			s.spill = make(map[alexa.SiteID][]dnsRun)
+		}
+		s.spill[row.Site] = append(s.spill[row.Site], nr)
+	}
+	s.rows++
+	return false
+}
+
+// --- packed samples --------------------------------------------------
+
+// packedSample is the 24-byte stored form of a Sample: the date is an
+// index into the vantage's date dictionary, and the CI flag rides the
+// top bit of the download count.
+type packedSample struct {
+	round   int32
+	dateIdx int32
+	page    int32
+	dlCI    uint32
+	speed   float64
+}
+
+const ciOKBit = 1 << 31
+
+func packSample(s Sample, dateIdx int32) packedSample {
+	dl := uint32(s.Downloads)
+	if s.CIOK {
+		dl |= ciOKBit
+	}
+	return packedSample{
+		round:   int32(s.Round),
+		dateIdx: dateIdx,
+		page:    int32(s.PageBytes),
+		dlCI:    dl,
+		speed:   s.MeanSpeed,
+	}
+}
+
+func (p packedSample) sample(dates []time.Time) Sample {
+	return Sample{
+		Round:     int(p.round),
+		Date:      dates[p.dateIdx],
+		PageBytes: int(p.page),
+		Downloads: int(p.dlCI &^ ciOKBit),
+		MeanSpeed: p.speed,
+		CIOK:      p.dlCI&ciOKBit != 0,
+	}
+}
+
+// famSlots maps dense site slots to series indices; -1 = no series.
+type famSlots []int32
+
+func (f *famSlots) grow(n int) {
+	for len(*f) < n {
+		*f = append(*f, -1)
+	}
+}
+
+// sampleShard is one stripe of a vantage's sample table: per family,
+// a dense slot column over each reserved range (plus an overflow map)
+// pointing into the shard-local series storage.
+type sampleShard struct {
+	mu     sync.Mutex
+	main   [2]famSlots
+	ext    [2]famSlots
+	over   [2]map[alexa.SiteID]int32
+	series [][]packedSample
+	rows   int
+}
+
+// seriesIdx returns the series index stored for (id, fam), or -1.
+// Caller holds s.mu.
+func (s *sampleShard) seriesIdx(res reservation, id alexa.SiteID, fam topo.Family) int32 {
+	f := int(fam)
+	switch table, slot := res.locate(id); table {
+	case 0:
+		if slot < len(s.main[f]) {
+			return s.main[f][slot]
+		}
+		return -1
+	case 1:
+		if slot < len(s.ext[f]) {
+			return s.ext[f][slot]
+		}
+		return -1
+	}
+	if idx, ok := s.over[f][id]; ok {
+		return idx
+	}
+	return -1
+}
+
+func (s *sampleShard) add(res reservation, id alexa.SiteID, fam topo.Family, p packedSample) {
+	f := int(fam)
+	idx := int32(-1)
+	table, slot := res.locate(id)
+	switch table {
+	case 0:
+		if slot < len(s.main[f]) {
+			idx = s.main[f][slot]
+		} else {
+			table = -1
+		}
+	case 1:
+		if slot < len(s.ext[f]) {
+			idx = s.ext[f][slot]
+		} else {
+			table = -1
+		}
+	}
+	if table < 0 {
+		if s.over[f] == nil {
+			s.over[f] = make(map[alexa.SiteID]int32)
+		}
+		var ok bool
+		if idx, ok = s.over[f][id]; !ok {
+			idx = -1
+		}
+	}
+	if idx < 0 {
+		idx = int32(len(s.series))
+		// A site's series grows one sample per monitored round;
+		// preallocate a study's worth to avoid repeated regrowth.
+		s.series = append(s.series, make([]packedSample, 0, 40))
+		switch table {
+		case 0:
+			s.main[f][slot] = idx
+		case 1:
+			s.ext[f][slot] = idx
+		default:
+			s.over[f][id] = idx
+		}
+	}
+	s.series[idx] = append(s.series[idx], p)
+	s.rows++
+}
+
+// --- site rows -------------------------------------------------------
+
+// siteCols is the columnar site-row storage for one dense range within
+// one shard.
+type siteCols struct {
+	present   []bool
+	firstRank []int32
+	v4        []int32
+	v6        []int32
+}
+
+func (c *siteCols) grow(n int) {
+	for len(c.present) < n {
+		c.present = append(c.present, false)
+		c.firstRank = append(c.firstRank, 0)
+		c.v4 = append(c.v4, 0)
+		c.v6 = append(c.v6, 0)
+	}
+}
+
+// siteShard is one stripe of the site-row table. Hosts equal to the
+// canonical alexa.HostName derivation are not stored; hostOver holds
+// the exceptions.
+type siteShard struct {
+	mu       sync.Mutex
+	main     siteCols
+	ext      siteCols
+	over     map[alexa.SiteID]SiteRow
+	hostOver map[alexa.SiteID]string
+	n        int // present rows in the dense ranges
+}
+
+// DB is an in-memory measurement database safe for concurrent use.
+// Reserve declares the dense id ranges (see the package comment);
+// it must not run concurrently with any other call.
+type DB struct {
+	res reservation
+
+	sites [shards]siteShard
+
+	vmu      sync.RWMutex
+	vantages map[Vantage]*vantageTable
+}
+
+// vantageTable holds one vantage's measurement tables, striped by
+// site id.
+type vantageTable struct {
+	dns     [shards]dnsShard
+	samples [shards]sampleShard
+
+	// oooMu guards the out-of-order log: rows whose round precedes the
+	// end of the site's last run (duplicates included) are kept
+	// verbatim rather than folded into the delta encoding.
+	oooMu sync.Mutex
+	ooo   []DNSRow
+
+	pathMu sync.Mutex
+	paths  map[famDstKey][]PathSnapshot
+
+	// Date dictionary: the distinct sample dates, typically one per
+	// round.
+	dateMu  sync.RWMutex
+	dates   []time.Time
+	dateIdx map[time.Time]int32
 }
 
 type famDstKey struct {
@@ -72,59 +481,128 @@ type famDstKey struct {
 	dst int
 }
 
-// sampleShard is one stripe of a vantage's sample table.
-type sampleShard struct {
-	mu sync.Mutex
-	m  map[siteFamKey][]Sample
-}
-
-// vantageTable holds one vantage's measurement tables. DNS rows are a
-// single append-only log (one short critical section per site per
-// round); samples are striped by site id; paths are written by the
-// post-round snapshot loop.
-type vantageTable struct {
-	dnsMu sync.Mutex
-	dns   []DNSRow
-
-	samples [shards]sampleShard
-
-	pathMu sync.Mutex
-	paths  map[famDstKey][]PathSnapshot
-}
-
-func newVantageTable() *vantageTable {
-	t := &vantageTable{paths: make(map[famDstKey][]PathSnapshot)}
-	for i := range t.samples {
-		t.samples[i].m = make(map[siteFamKey][]Sample)
+func newVantageTable(res reservation) *vantageTable {
+	t := &vantageTable{
+		paths:   make(map[famDstKey][]PathSnapshot),
+		dateIdx: make(map[time.Time]int32),
 	}
+	t.grow(res)
 	return t
 }
 
-// siteShard is one stripe of the site-row table.
-type siteShard struct {
-	mu sync.Mutex
-	m  map[alexa.SiteID]SiteRow
+// grow sizes the dense columns to the reservation. Callers must hold
+// the shard locks or be otherwise exclusive (Reserve's contract).
+func (t *vantageTable) grow(res reservation) {
+	nMain, nExt := slotsFor(res.main), slotsFor(res.ext)
+	for i := range t.dns {
+		d := &t.dns[i]
+		for len(d.main) < nMain {
+			d.main = append(d.main, dnsHist{})
+		}
+		for len(d.ext) < nExt {
+			d.ext = append(d.ext, dnsHist{})
+		}
+		s := &t.samples[i]
+		for f := 0; f < 2; f++ {
+			s.main[f].grow(nMain)
+			s.ext[f].grow(nExt)
+		}
+	}
 }
 
-// DB is an in-memory measurement database safe for concurrent use.
-type DB struct {
-	sites [shards]siteShard
+func (t *vantageTable) dateRef(d time.Time) int32 {
+	t.dateMu.RLock()
+	idx, ok := t.dateIdx[d]
+	t.dateMu.RUnlock()
+	if ok {
+		return idx
+	}
+	t.dateMu.Lock()
+	defer t.dateMu.Unlock()
+	if idx, ok = t.dateIdx[d]; ok {
+		return idx
+	}
+	idx = int32(len(t.dates))
+	t.dates = append(t.dates, d)
+	t.dateIdx[d] = idx
+	return idx
+}
 
-	vmu      sync.RWMutex
-	vantages map[Vantage]*vantageTable
+// dateTable returns the current date dictionary; elements below its
+// length are immutable.
+func (t *vantageTable) dateTable() []time.Time {
+	t.dateMu.RLock()
+	defer t.dateMu.RUnlock()
+	return t.dates
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	db := &DB{vantages: make(map[Vantage]*vantageTable)}
-	for i := range db.sites {
-		db.sites[i].m = make(map[alexa.SiteID]SiteRow)
-	}
-	return db
+	return &DB{vantages: make(map[Vantage]*vantageTable)}
 }
 
-func (db *DB) siteShard(id alexa.SiteID) *siteShard {
-	return &db.sites[uint64(id)&(shards-1)]
+// Reserve declares the dense site-id ranges: ids in [0, mainIDs) and
+// [extBase, extBase+extIDs) get index-addressed columnar storage in
+// every table. Growing preserves stored data (overflow entries now
+// covered by a range are migrated); the extended base cannot change
+// once set and must be a multiple of the shard count. Reserve must
+// not run concurrently with any other call — the campaign reserves
+// between rounds.
+func (db *DB) Reserve(mainIDs int, extBase alexa.SiteID, extIDs int) {
+	if extIDs > 0 {
+		if db.res.ext > 0 && extBase != db.res.extBase {
+			panic("store: Reserve with a different extended base")
+		}
+		if extBase&(shards-1) != 0 {
+			panic("store: extended base must be a multiple of the shard count")
+		}
+	}
+	if mainIDs > db.res.main {
+		db.res.main = mainIDs
+	}
+	if extIDs > db.res.ext {
+		db.res.extBase = extBase
+		db.res.ext = extIDs
+	}
+	res := db.res
+	for i := range db.sites {
+		sh := &db.sites[i]
+		sh.main.grow(slotsFor(res.main))
+		sh.ext.grow(slotsFor(res.ext))
+		for id, row := range sh.over {
+			if table, _ := res.locate(id); table >= 0 {
+				delete(sh.over, id)
+				sh.putDense(res, row)
+			}
+		}
+	}
+	db.vmu.Lock()
+	defer db.vmu.Unlock()
+	for _, t := range db.vantages {
+		t.grow(res)
+		for i := range t.dns {
+			d := &t.dns[i]
+			for id, h := range d.over {
+				if table, _ := res.locate(id); table >= 0 {
+					delete(d.over, id)
+					*d.hist(res, id, true) = *h
+				}
+			}
+			s := &t.samples[i]
+			for f := 0; f < 2; f++ {
+				for id, idx := range s.over[f] {
+					if table, slot := res.locate(id); table >= 0 {
+						delete(s.over[f], id)
+						if table == 0 {
+							s.main[f][slot] = idx
+						} else {
+							s.ext[f][slot] = idx
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // table returns v's table, creating it on first use.
@@ -138,7 +616,7 @@ func (db *DB) table(v Vantage) *vantageTable {
 	db.vmu.Lock()
 	defer db.vmu.Unlock()
 	if t = db.vantages[v]; t == nil {
-		t = newVantageTable()
+		t = newVantageTable(db.res)
 		db.vantages[v] = t
 	}
 	return t
@@ -162,12 +640,64 @@ func (db *DB) tables() map[Vantage]*vantageTable {
 	return out
 }
 
+func (db *DB) siteShard(id alexa.SiteID) *siteShard {
+	return &db.sites[uint64(id)&(shards-1)]
+}
+
+// putDense stores row into the dense columns. Caller holds sh.mu (or
+// is exclusive) and has verified the id is in range.
+func (sh *siteShard) putDense(res reservation, row SiteRow) {
+	table, slot := res.locate(row.Site)
+	cols := &sh.main
+	if table == 1 {
+		cols = &sh.ext
+	}
+	if !cols.present[slot] {
+		cols.present[slot] = true
+		sh.n++
+	}
+	cols.firstRank[slot] = int32(row.FirstRank)
+	cols.v4[slot] = int32(row.V4AS)
+	cols.v6[slot] = int32(row.V6AS)
+	if row.Host == alexa.HostName(row.Site) {
+		delete(sh.hostOver, row.Site)
+	} else {
+		if sh.hostOver == nil {
+			sh.hostOver = make(map[alexa.SiteID]string)
+		}
+		sh.hostOver[row.Site] = row.Host
+	}
+}
+
+// rowAt reconstructs the dense row at (cols, slot) for site id.
+// Caller holds sh.mu.
+func (sh *siteShard) rowAt(cols *siteCols, slot int, id alexa.SiteID) SiteRow {
+	host, ok := sh.hostOver[id]
+	if !ok {
+		host = alexa.HostName(id)
+	}
+	return SiteRow{
+		Site:      id,
+		Host:      host,
+		FirstRank: int(cols.firstRank[slot]),
+		V4AS:      int(cols.v4[slot]),
+		V6AS:      int(cols.v6[slot]),
+	}
+}
+
 // PutSite inserts or updates a site row.
 func (db *DB) PutSite(row SiteRow) {
 	sh := db.siteShard(row.Site)
 	sh.mu.Lock()
-	sh.m[row.Site] = row
-	sh.mu.Unlock()
+	defer sh.mu.Unlock()
+	if table, _ := db.res.locate(row.Site); table >= 0 {
+		sh.putDense(db.res, row)
+		return
+	}
+	if sh.over == nil {
+		sh.over = make(map[alexa.SiteID]SiteRow)
+	}
+	sh.over[row.Site] = row
 }
 
 // EnsureSite records the monitor's current view of a site, writing
@@ -177,18 +707,70 @@ func (db *DB) PutSite(row SiteRow) {
 // identical to calling PutSite every round: last write wins and
 // writes carry the same values.
 func (db *DB) EnsureSite(id alexa.SiteID, firstRank, v4AS, v6AS int, host func(alexa.SiteID) string) {
-	sh := db.siteShard(id)
-	sh.mu.Lock()
-	prev, ok := sh.m[id]
-	if ok && prev.FirstRank == firstRank && prev.V4AS == v4AS && prev.V6AS == v6AS {
-		sh.mu.Unlock()
+	if db.ensureUnchanged(id, firstRank, v4AS, v6AS) {
 		return
 	}
-	sh.mu.Unlock()
-	row := SiteRow{Site: id, Host: host(id), FirstRank: firstRank, V4AS: v4AS, V6AS: v6AS}
+	db.PutSite(SiteRow{Site: id, Host: host(id), FirstRank: firstRank, V4AS: v4AS, V6AS: v6AS})
+}
+
+// EnsureCanonicalSite is EnsureSite for sites whose Host is the
+// canonical alexa.HostName derivation — the monitoring hot path: one
+// lock acquisition, one range lookup, and for the (overwhelmingly
+// common) unchanged row three integer compares; no host string is
+// ever built for dense-range sites.
+func (db *DB) EnsureCanonicalSite(id alexa.SiteID, firstRank, v4AS, v6AS int) {
+	sh := db.siteShard(id)
+	table, slot := db.res.locate(id)
 	sh.mu.Lock()
-	sh.m[id] = row
-	sh.mu.Unlock()
+	defer sh.mu.Unlock()
+	if table >= 0 {
+		cols := &sh.main
+		if table == 1 {
+			cols = &sh.ext
+		}
+		if cols.present[slot] &&
+			cols.firstRank[slot] == int32(firstRank) &&
+			cols.v4[slot] == int32(v4AS) &&
+			cols.v6[slot] == int32(v6AS) {
+			return
+		}
+		if !cols.present[slot] {
+			cols.present[slot] = true
+			sh.n++
+		}
+		cols.firstRank[slot] = int32(firstRank)
+		cols.v4[slot] = int32(v4AS)
+		cols.v6[slot] = int32(v6AS)
+		delete(sh.hostOver, id)
+		return
+	}
+	if prev, ok := sh.over[id]; ok && prev.FirstRank == firstRank && prev.V4AS == v4AS && prev.V6AS == v6AS {
+		return
+	}
+	if sh.over == nil {
+		sh.over = make(map[alexa.SiteID]SiteRow)
+	}
+	sh.over[id] = SiteRow{Site: id, Host: alexa.HostName(id), FirstRank: firstRank, V4AS: v4AS, V6AS: v6AS}
+}
+
+// ensureUnchanged reports whether the stored row already carries the
+// given values (the skip condition shared by both Ensure paths).
+func (db *DB) ensureUnchanged(id alexa.SiteID, firstRank, v4AS, v6AS int) bool {
+	sh := db.siteShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if table, slot := db.res.locate(id); table >= 0 {
+		cols := &sh.main
+		if table == 1 {
+			cols = &sh.ext
+		}
+		return cols.present[slot] &&
+			cols.firstRank[slot] == int32(firstRank) &&
+			cols.v4[slot] == int32(v4AS) &&
+			cols.v6[slot] == int32(v6AS)
+	}
+	prev, ok := sh.over[id]
+	return ok && prev.FirstRank == firstRank && prev.V4AS == v4AS && prev.V6AS == v6AS
 }
 
 // Site returns a site row.
@@ -196,71 +778,219 @@ func (db *DB) Site(id alexa.SiteID) (SiteRow, bool) {
 	sh := db.siteShard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	r, ok := sh.m[id]
+	if table, slot := db.res.locate(id); table >= 0 {
+		cols := &sh.main
+		if table == 1 {
+			cols = &sh.ext
+		}
+		if !cols.present[slot] {
+			return SiteRow{}, false
+		}
+		return sh.rowAt(cols, slot, id), true
+	}
+	r, ok := sh.over[id]
 	return r, ok
+}
+
+// forEachSite visits every site row in ascending id order, streaming
+// from the columnar tables without materializing the whole set. It
+// takes each shard lock once per visited site.
+func (db *DB) forEachSite(fn func(SiteRow)) {
+	// Overflow ids can interleave anywhere; gather and sort them once.
+	var over []alexa.SiteID
+	for i := range db.sites {
+		sh := &db.sites[i]
+		sh.mu.Lock()
+		for id := range sh.over {
+			over = append(over, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+	oi := 0
+	emitOverBelow := func(limit alexa.SiteID, all bool) {
+		for oi < len(over) && (all || over[oi] < limit) {
+			id := over[oi]
+			sh := db.siteShard(id)
+			sh.mu.Lock()
+			row, ok := sh.over[id]
+			sh.mu.Unlock()
+			if ok {
+				fn(row)
+			}
+			oi++
+		}
+	}
+	emitRange := func(base alexa.SiteID, n int, pick func(sh *siteShard) *siteCols) {
+		for id := base; id < base+alexa.SiteID(n); id++ {
+			emitOverBelow(id, false)
+			sh := db.siteShard(id)
+			slot := int(id-base) >> shardBits
+			sh.mu.Lock()
+			cols := pick(sh)
+			if slot < len(cols.present) && cols.present[slot] {
+				row := sh.rowAt(cols, slot, id)
+				sh.mu.Unlock()
+				fn(row)
+			} else {
+				sh.mu.Unlock()
+			}
+		}
+	}
+	emitRange(0, db.res.main, func(sh *siteShard) *siteCols { return &sh.main })
+	if db.res.ext > 0 {
+		emitRange(db.res.extBase, db.res.ext, func(sh *siteShard) *siteCols { return &sh.ext })
+	}
+	emitOverBelow(0, true)
 }
 
 // Sites returns all site rows sorted by id.
 func (db *DB) Sites() []SiteRow {
 	var out []SiteRow
-	for i := range db.sites {
-		sh := &db.sites[i]
-		sh.mu.Lock()
-		for _, r := range sh.m {
-			out = append(out, r)
-		}
-		sh.mu.Unlock()
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	db.forEachSite(func(r SiteRow) { out = append(out, r) })
 	return out
 }
 
-// AddDNS appends a DNS phase result.
+// AddDNS appends a DNS phase result. Within one site, rounds arriving
+// in order extend the delta encoding; an out-of-order or duplicate
+// round is kept as an explicit row.
 func (db *DB) AddDNS(v Vantage, row DNSRow) {
 	t := db.table(v)
-	t.dnsMu.Lock()
-	t.dns = append(t.dns, row)
-	t.dnsMu.Unlock()
+	t.addDNS(db.res, row)
 }
 
-// AddDNSBatch appends a worker's buffered DNS rows in one critical
-// section. Row order across concurrent batches is unspecified, as it
-// already was for concurrent AddDNS calls.
+func (t *vantageTable) addDNS(res reservation, row DNSRow) {
+	sh := &t.dns[uint64(row.Site)&(shards-1)]
+	sh.mu.Lock()
+	ooo := sh.add(res, row)
+	sh.mu.Unlock()
+	if ooo {
+		t.oooMu.Lock()
+		t.ooo = append(t.ooo, row)
+		t.oooMu.Unlock()
+	}
+}
+
+// AddDNSBatch feeds a worker's buffered DNS rows to the delta
+// encoder, taking each shard lock once per batch rather than once per
+// row. Batches for the same site must arrive in round order (the
+// monitor's rounds are sequential); rows violating that are kept as
+// explicit out-of-order rows.
 func (db *DB) AddDNSBatch(v Vantage, rows []DNSRow) {
 	if len(rows) == 0 {
 		return
 	}
 	t := db.table(v)
-	t.dnsMu.Lock()
-	t.dns = append(t.dns, rows...)
-	t.dnsMu.Unlock()
+	res := db.res
+	var ooo []DNSRow
+	for i := 0; i < shards; i++ {
+		sh := &t.dns[i]
+		locked := false
+		for _, row := range rows {
+			if uint64(row.Site)&(shards-1) != uint64(i) {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			if sh.add(res, row) {
+				ooo = append(ooo, row)
+			}
+		}
+		if locked {
+			sh.mu.Unlock()
+		}
+	}
+	if len(ooo) > 0 {
+		t.oooMu.Lock()
+		t.ooo = append(t.ooo, ooo...)
+		t.oooMu.Unlock()
+	}
 }
 
-// DNS returns all DNS rows for a vantage in insertion order.
+// DNS returns all DNS rows for a vantage in canonical (site, round)
+// order, expanded from the delta encoding.
 func (db *DB) DNS(v Vantage) []DNSRow {
+	var out []DNSRow
+	db.ForEachDNS(v, func(r DNSRow) { out = append(out, r) })
+	return out
+}
+
+// DNSStats returns the delta encoder's compression surface for a
+// vantage: the expanded row count, the stored run count, and the
+// number of sites with any history. The interesting derived number is
+// transitions per site, (runs-sites)/sites — a site's first run is
+// its initial state, every further run a state change.
+func (db *DB) DNSStats(v Vantage) (rows, runs, sites int) {
 	t := db.lookup(v)
 	if t == nil {
-		return nil
+		return 0, 0, 0
 	}
-	t.dnsMu.Lock()
-	defer t.dnsMu.Unlock()
-	return append([]DNSRow(nil), t.dns...)
+	for i := range t.dns {
+		sh := &t.dns[i]
+		sh.mu.Lock()
+		rows += sh.rows
+		count := func(h *dnsHist, id alexa.SiteID) {
+			if h.run[0].count == 0 {
+				return
+			}
+			sites++
+			runs++
+			if h.run[1].count != 0 {
+				runs++
+			}
+			if h.run[1].state&dnsSpilled != 0 {
+				runs += len(sh.spill[id])
+			}
+		}
+		for slot := range sh.main {
+			count(&sh.main[slot], alexa.SiteID(slot<<shardBits|i))
+		}
+		for slot := range sh.ext {
+			count(&sh.ext[slot], db.res.extBase+alexa.SiteID(slot<<shardBits|i))
+		}
+		for id, h := range sh.over {
+			count(h, id)
+		}
+		sh.mu.Unlock()
+	}
+	t.oooMu.Lock()
+	n := len(t.ooo)
+	t.oooMu.Unlock()
+	return rows + n, runs + n, sites
 }
 
 // AddSample appends a download sample.
 func (db *DB) AddSample(v Vantage, site alexa.SiteID, fam topo.Family, s Sample) {
 	t := db.table(v)
+	p := packSample(s, t.dateRef(s.Date))
 	sh := &t.samples[uint64(site)&(shards-1)]
-	k := siteFamKey{site, fam}
 	sh.mu.Lock()
-	series, ok := sh.m[k]
-	if !ok {
-		// A site's series grows one sample per monitored round;
-		// preallocate a study's worth to avoid repeated regrowth.
-		series = make([]Sample, 0, 40)
-	}
-	sh.m[k] = append(series, s)
+	sh.add(db.res, site, fam, p)
 	sh.mu.Unlock()
+}
+
+// expandSeries converts a packed series to round-sorted Samples.
+// Monitors append in round order, so the expansion is normally a
+// straight copy; only series populated out of order through the
+// public API pay the stable sort.
+func expandSeries(packed []packedSample, dates []time.Time) []Sample {
+	if len(packed) == 0 {
+		return nil
+	}
+	out := make([]Sample, len(packed))
+	sorted := true
+	for i, p := range packed {
+		out[i] = p.sample(dates)
+		if i > 0 && out[i].Round < out[i-1].Round {
+			sorted = false
+		}
+	}
+	if !sorted {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	}
+	return out
 }
 
 // Samples returns the round-ordered samples for (vantage, site,
@@ -270,38 +1000,42 @@ func (db *DB) Samples(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
 	if t == nil {
 		return nil
 	}
+	dates := t.dateTable()
 	sh := &t.samples[uint64(site)&(shards-1)]
-	k := siteFamKey{site, fam}
 	sh.mu.Lock()
-	out := append([]Sample(nil), sh.m[k]...)
+	var packed []packedSample
+	if idx := sh.seriesIdx(db.res, site, fam); idx >= 0 {
+		packed = append(packed, sh.series[idx]...)
+	}
 	sh.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
-	return out
+	return expandSeries(packed, dates)
 }
 
 // SampledSites returns the distinct site ids with samples at vantage
-// v, sorted. The ids are derived straight from the shard keys — each
-// site contributes one key per sampled family — then sorted once and
-// deduplicated in place, instead of being funneled through an
-// intermediate set that had to be rebuilt on every call.
+// v, sorted.
 func (db *DB) SampledSites(v Vantage) []alexa.SiteID {
 	t := db.lookup(v)
 	if t == nil {
 		return nil
 	}
-	n := 0
+	var out []alexa.SiteID
 	for i := range t.samples {
 		sh := &t.samples[i]
 		sh.mu.Lock()
-		n += len(sh.m)
-		sh.mu.Unlock()
-	}
-	out := make([]alexa.SiteID, 0, n)
-	for i := range t.samples {
-		sh := &t.samples[i]
-		sh.mu.Lock()
-		for k := range sh.m {
-			out = append(out, k.site)
+		for f := 0; f < 2; f++ {
+			for slot, idx := range sh.main[f] {
+				if idx >= 0 {
+					out = append(out, alexa.SiteID(slot<<shardBits|i))
+				}
+			}
+			for slot, idx := range sh.ext[f] {
+				if idx >= 0 {
+					out = append(out, db.res.extBase+alexa.SiteID(slot<<shardBits|i))
+				}
+			}
+			for id := range sh.over[f] {
+				out = append(out, id)
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -438,36 +1172,21 @@ func (db *DB) Vantages() []Vantage {
 // Merge folds another database into this one — the paper's "common
 // repository at Penn aggregates the measurement data from the
 // different vantage points". Site rows from other win on conflict;
-// samples and DNS rows append; path histories are replayed through
+// samples and DNS rows append (DNS history re-enters the delta
+// encoder in canonical order); path histories are replayed through
 // the change-collapsing insert.
 func (db *DB) Merge(other *DB) {
 	if db == other || other == nil {
 		return
 	}
-	for i := range other.sites {
-		sh := &other.sites[i]
-		sh.mu.Lock()
-		for _, row := range sh.m {
-			db.PutSite(row)
-		}
-		sh.mu.Unlock()
-	}
+	other.forEachSite(func(row SiteRow) { db.PutSite(row) })
 	for v, t := range other.tables() {
-		t.dnsMu.Lock()
-		for _, r := range t.dns {
-			db.AddDNS(v, r)
-		}
-		t.dnsMu.Unlock()
-		for i := range t.samples {
-			sh := &t.samples[i]
-			sh.mu.Lock()
-			for k, ss := range sh.m {
-				for _, s := range ss {
-					db.AddSample(v, k.site, k.fam, s)
-				}
+		other.ForEachDNS(v, func(r DNSRow) { db.AddDNS(v, r) })
+		other.ForEachSeries(v, func(site alexa.SiteID, fam topo.Family, ss []Sample) {
+			for _, s := range ss {
+				db.AddSample(v, site, fam, s)
 			}
-			sh.mu.Unlock()
-		}
+		})
 		t.pathMu.Lock()
 		for k, snaps := range t.paths {
 			for _, snap := range snaps {
@@ -483,19 +1202,23 @@ func (db *DB) Counts() (sites, dnsRows, sampleRows, pathSnaps int) {
 	for i := range db.sites {
 		sh := &db.sites[i]
 		sh.mu.Lock()
-		sites += len(sh.m)
+		sites += sh.n + len(sh.over)
 		sh.mu.Unlock()
 	}
 	for _, t := range db.tables() {
-		t.dnsMu.Lock()
-		dnsRows += len(t.dns)
-		t.dnsMu.Unlock()
+		for i := range t.dns {
+			sh := &t.dns[i]
+			sh.mu.Lock()
+			dnsRows += sh.rows
+			sh.mu.Unlock()
+		}
+		t.oooMu.Lock()
+		dnsRows += len(t.ooo)
+		t.oooMu.Unlock()
 		for i := range t.samples {
 			sh := &t.samples[i]
 			sh.mu.Lock()
-			for _, ss := range sh.m {
-				sampleRows += len(ss)
-			}
+			sampleRows += sh.rows
 			sh.mu.Unlock()
 		}
 		t.pathMu.Lock()

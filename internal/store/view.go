@@ -2,58 +2,242 @@ package store
 
 import (
 	"sort"
+	"time"
 
 	"v6web/internal/alexa"
 	"v6web/internal/topo"
 )
 
-// This file is the zero-copy read path. The copying getters (Samples,
-// DNS, LatestPath, ...) are safe at any time but pay an allocation —
-// and for Samples a sort — per call, which made every exhibit scan
-// the store quadratically. Readers that run while no writer is active
-// (analysis, report generation, CSV export) should either use the
-// ForEach iterators, which visit rows in place under the table locks,
-// or take a Snapshot once via Freeze and do all random-access reads
-// through it without locks or copies.
+// This file is the read path over the columnar tables. DNS history is
+// stored delta-encoded (see store.go), so every reader — the ForEach
+// iterators, the copying getters, CSV export, and frozen Snapshots —
+// goes through one shared walker that expands runs back to per-round
+// rows in canonical (site, round) order. Because the walker's order is
+// canonical rather than insertion order, equal databases always
+// iterate (and serialize) identically regardless of worker
+// interleaving.
 
-// ForEachDNS visits every DNS row stored for a vantage, in insertion
-// order, without copying the log. fn runs under the DNS table lock:
-// it must be quick and must not write to the same database.
-func (db *DB) ForEachDNS(v Vantage, fn func(DNSRow)) {
+// dnsView is the walker's input: captured table references with
+// optional per-site observation caps (set when freezing a Snapshot so
+// later appends stay invisible; nil = uncapped live reads).
+type dnsView struct {
+	extBase alexa.SiteID
+	shards  [shards]dnsViewShard
+	ooo     []DNSRow // sorted by (site, round)
+}
+
+type dnsViewShard struct {
+	main, ext       []dnsHist
+	spill           map[alexa.SiteID][]dnsRun
+	mainObs, extObs []int32 // per-slot observation caps; nil = uncapped
+	over            map[alexa.SiteID]frozenOverDNS
+}
+
+type frozenOverDNS struct {
+	h   dnsHist
+	obs int32 // -1 = uncapped
+}
+
+// dnsViewOf captures the vantage's DNS tables. Caller must hold every
+// dns shard lock when live (caps=false); with caps=true it also
+// computes the per-site observation counts that freeze the view.
+func (t *vantageTable) dnsViewOf(res reservation, caps bool) *dnsView {
+	t.oooMu.Lock()
+	ooo := append([]DNSRow(nil), t.ooo...)
+	t.oooMu.Unlock()
+	sort.SliceStable(ooo, func(i, j int) bool {
+		if ooo[i].Site != ooo[j].Site {
+			return ooo[i].Site < ooo[j].Site
+		}
+		return ooo[i].Round < ooo[j].Round
+	})
+	view := &dnsView{extBase: res.extBase, ooo: ooo}
+	for i := range t.dns {
+		sh := &t.dns[i]
+		vs := &view.shards[i]
+		vs.main = sh.main[:len(sh.main):len(sh.main)]
+		vs.ext = sh.ext[:len(sh.ext):len(sh.ext)]
+		vs.spill = sh.spill
+		if len(sh.over) > 0 {
+			vs.over = make(map[alexa.SiteID]frozenOverDNS, len(sh.over))
+			for id, h := range sh.over {
+				o := frozenOverDNS{h: *h, obs: -1}
+				if caps {
+					o.obs = h.obs(sh.spill[id])
+				}
+				vs.over[id] = o
+			}
+		}
+		if caps {
+			vs.mainObs = make([]int32, len(vs.main))
+			for slot := range vs.main {
+				id := alexa.SiteID(slot<<shardBits | i)
+				vs.mainObs[slot] = vs.main[slot].obs(sh.spill[id])
+			}
+			vs.extObs = make([]int32, len(vs.ext))
+			for slot := range vs.ext {
+				id := res.extBase + alexa.SiteID(slot<<shardBits|i)
+				vs.extObs[slot] = vs.ext[slot].obs(sh.spill[id])
+			}
+		}
+	}
+	return view
+}
+
+// walkDNS expands the view to per-round rows in canonical (site,
+// round) order. Out-of-order rows merge back into their site's
+// timeline; duplicates follow the delta-encoded observation of the
+// same round.
+func (v *dnsView) walkDNS(fn func(DNSRow)) {
+	v.walkRuns(func(site alexa.SiteID, runs []dnsRun, cap int32, oooRows []DNSRow) {
+		emitted, oi := int32(0), 0
+	expand:
+		for _, r := range runs {
+			for k := int32(0); k < r.count; k++ {
+				if cap >= 0 && emitted >= cap {
+					break expand
+				}
+				round := int(r.start + k)
+				for oi < len(oooRows) && oooRows[oi].Round < round {
+					fn(oooRows[oi])
+					oi++
+				}
+				fn(r.row(site, k))
+				emitted++
+			}
+		}
+		for ; oi < len(oooRows); oi++ {
+			fn(oooRows[oi])
+		}
+	})
+}
+
+// walkRuns visits every site with DNS history in ascending id order,
+// handing fn the site's run list (shared scratch — do not retain), its
+// observation cap (-1 = uncapped), and its out-of-order rows.
+func (v *dnsView) walkRuns(fn func(site alexa.SiteID, runs []dnsRun, cap int32, ooo []DNSRow)) {
+	var over []alexa.SiteID
+	for i := range v.shards {
+		for id := range v.shards[i].over {
+			over = append(over, id)
+		}
+	}
+	sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+
+	var buf []dnsRun
+	oi, vi := 0, 0
+	emit := func(id alexa.SiteID, runs []dnsRun, cap int32) {
+		// Out-of-order rows for sites the dense walk has passed (a site
+		// can in principle appear only in the ooo log after a merge of
+		// exotic histories) flush before the next site.
+		for oi < len(v.ooo) && v.ooo[oi].Site < id {
+			start := oi
+			for oi < len(v.ooo) && v.ooo[oi].Site == v.ooo[start].Site {
+				oi++
+			}
+			fn(v.ooo[start].Site, nil, -1, v.ooo[start:oi])
+		}
+		if len(runs) == 0 {
+			return
+		}
+		start := oi
+		for oi < len(v.ooo) && v.ooo[oi].Site == id {
+			oi++
+		}
+		fn(id, runs, cap, v.ooo[start:oi])
+	}
+	emitOver := func(limit alexa.SiteID, all bool) {
+		for vi < len(over) && (all || over[vi] < limit) {
+			id := over[vi]
+			o := v.shards[uint64(id)&(shards-1)].over[id]
+			buf = o.h.runs(v.shards[uint64(id)&(shards-1)].spill[id], buf[:0])
+			emit(id, buf, o.obs)
+			vi++
+		}
+	}
+	emitRange := func(base alexa.SiteID, pick func(s *dnsViewShard) ([]dnsHist, []int32)) {
+		hists0, _ := pick(&v.shards[0])
+		for slot := 0; slot < len(hists0); slot++ {
+			for i := 0; i < shards; i++ {
+				s := &v.shards[i]
+				hists, obs := pick(s)
+				if slot >= len(hists) || hists[slot].run[0].count == 0 {
+					continue
+				}
+				id := base + alexa.SiteID(slot<<shardBits|i)
+				emitOver(id, false)
+				cap := int32(-1)
+				if obs != nil {
+					cap = obs[slot]
+				}
+				buf = hists[slot].runs(s.spill[id], buf[:0])
+				emit(id, buf, cap)
+			}
+		}
+	}
+	emitRange(0, func(s *dnsViewShard) ([]dnsHist, []int32) { return s.main, s.mainObs })
+	emitRange(v.extBase, func(s *dnsViewShard) ([]dnsHist, []int32) { return s.ext, s.extObs })
+	emitOver(0, true)
+	emit(alexa.SiteID(1)<<62, nil, -1) // flush trailing ooo rows
+}
+
+// lockedDNSView captures a live view under every DNS shard lock and
+// runs fn over it; writers to other shards stay blocked for the
+// duration, matching the old single-log lock semantics.
+func (db *DB) lockedDNSView(v Vantage, fn func(*dnsView)) {
 	t := db.lookup(v)
 	if t == nil {
 		return
 	}
-	t.dnsMu.Lock()
-	defer t.dnsMu.Unlock()
-	for _, r := range t.dns {
-		fn(r)
+	for i := range t.dns {
+		t.dns[i].mu.Lock()
 	}
+	defer func() {
+		for i := range t.dns {
+			t.dns[i].mu.Unlock()
+		}
+	}()
+	fn(t.dnsViewOf(db.res, false))
 }
 
-// ForEachSeries visits every (site, family) sample series stored for a
-// vantage. The series slice is the store's own backing array: fn must
-// not mutate it, and must not write to the same database (it runs
-// under the shard lock). Visit order is unspecified; series are in
-// round order whenever they were produced by a monitor, a Merge of
-// monitored databases, or Load.
+// ForEachDNS visits every DNS row stored for a vantage in canonical
+// (site, round) order, expanding the delta-encoded history row by
+// row. fn runs under the DNS table locks: it must be quick and must
+// not write to the same database.
+func (db *DB) ForEachDNS(v Vantage, fn func(DNSRow)) {
+	db.lockedDNSView(v, func(view *dnsView) { view.walkDNS(fn) })
+}
+
+// ForEachSeries visits every (site, family) sample series stored for
+// a vantage in ascending (site, family) order. The series passed to
+// fn is expanded from the packed storage — a fresh copy fn may keep.
+// fn must not write to the same database.
 func (db *DB) ForEachSeries(v Vantage, fn func(site alexa.SiteID, fam topo.Family, series []Sample)) {
 	t := db.lookup(v)
 	if t == nil {
 		return
 	}
-	for i := range t.samples {
-		sh := &t.samples[i]
-		sh.mu.Lock()
-		for k, ss := range sh.m {
-			fn(k.site, k.fam, ss)
+	dates := t.dateTable()
+	for _, site := range db.SampledSites(v) {
+		sh := &t.samples[uint64(site)&(shards-1)]
+		for _, fam := range famBoth {
+			sh.mu.Lock()
+			var packed []packedSample
+			if idx := sh.seriesIdx(db.res, site, fam); idx >= 0 {
+				packed = append(packed, sh.series[idx]...)
+			}
+			sh.mu.Unlock()
+			if ss := expandSeries(packed, dates); len(ss) > 0 {
+				fn(site, fam, ss)
+			}
 		}
-		sh.mu.Unlock()
 	}
 }
 
+var famBoth = [2]topo.Family{topo.V4, topo.V6}
+
 // SeriesLen returns how many samples are stored for (vantage, site,
-// family) without copying the series.
+// family) without expanding the series.
 func (db *DB) SeriesLen(v Vantage, site alexa.SiteID, fam topo.Family) int {
 	t := db.lookup(v)
 	if t == nil {
@@ -62,98 +246,97 @@ func (db *DB) SeriesLen(v Vantage, site alexa.SiteID, fam topo.Family) int {
 	sh := &t.samples[uint64(site)&(shards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return len(sh.m[siteFamKey{site, fam}])
+	if idx := sh.seriesIdx(db.res, site, fam); idx >= 0 {
+		return len(sh.series[idx])
+	}
+	return 0
 }
 
 // Snapshot is an immutable read view of a database, taken once with
-// Freeze and then queried without locks or copies. Slices returned by
-// its methods reference the store's backing arrays and must not be
-// mutated. The view reflects the rows present at Freeze time; it
-// remains valid if the database grows afterwards (appends land beyond
-// the captured lengths) but the contract callers should rely on is
-// simpler: freeze when no writer is active — for a campaign, between
-// rounds.
+// Freeze and then queried without further coordination. The view
+// reflects the rows present at Freeze time: per-site observation caps
+// and capped series lengths keep rows appended afterwards invisible.
+// Site rows read through to the live columnar table (they are
+// overwritten in place, not appended), so the contract callers should
+// rely on is the simple one: freeze when no writer is active — for a
+// campaign, between rounds.
 type Snapshot struct {
-	sites    map[alexa.SiteID]SiteRow
-	vantages map[Vantage]*vantageView
+	db       *DB
+	vantages map[Vantage]*frozenVantage
 }
 
-type vantageView struct {
-	dns     []DNSRow
-	series  map[siteFamKey][]Sample
+type siteFamKey struct {
+	site alexa.SiteID
+	fam  topo.Family
+}
+
+type frozenSeries struct {
+	packed []packedSample
+}
+
+type frozenVantage struct {
+	dns     *dnsView
 	sampled []alexa.SiteID
+	series  map[siteFamKey]frozenSeries
+	datesT  []time.Time // date dictionary at freeze; read-only below len
 	paths   map[famDstKey][]PathSnapshot
 }
 
 // Freeze captures a Snapshot of the database: one short locked pass
-// per table, after which every read is lock- and allocation-free.
-// Sample series are verified round-sorted during capture (they always
-// are when produced by monitors, Merge, or Load); an out-of-order
-// series — possible only through direct AddSample use — is replaced in
-// the view by a sorted copy, so Snapshot.Series matches what
-// DB.Samples would have returned.
+// per table, after which reads need no locks. Expanded sample series
+// come back round-sorted, matching what DB.Samples returns.
 func (db *DB) Freeze() *Snapshot {
-	snap := &Snapshot{
-		sites:    make(map[alexa.SiteID]SiteRow),
-		vantages: make(map[Vantage]*vantageView),
-	}
-	for i := range db.sites {
-		sh := &db.sites[i]
-		sh.mu.Lock()
-		for id, row := range sh.m {
-			snap.sites[id] = row
-		}
-		sh.mu.Unlock()
-	}
+	snap := &Snapshot{db: db, vantages: make(map[Vantage]*frozenVantage)}
 	for v, t := range db.tables() {
-		view := &vantageView{}
-		t.dnsMu.Lock()
-		view.dns = t.dns[:len(t.dns):len(t.dns)]
-		t.dnsMu.Unlock()
+		fv := &frozenVantage{series: make(map[siteFamKey]frozenSeries)}
 
-		n := 0
-		for i := range t.samples {
-			sh := &t.samples[i]
-			sh.mu.Lock()
-			n += len(sh.m)
-			sh.mu.Unlock()
+		for i := range t.dns {
+			t.dns[i].mu.Lock()
 		}
-		view.series = make(map[siteFamKey][]Sample, n)
-		keys := make([]alexa.SiteID, 0, n)
+		fv.dns = t.dnsViewOf(db.res, true)
+		for i := range t.dns {
+			t.dns[i].mu.Unlock()
+		}
+
+		dates := t.dateTable()
+		var ids []alexa.SiteID
 		for i := range t.samples {
 			sh := &t.samples[i]
 			sh.mu.Lock()
-			for k, ss := range sh.m {
-				if !roundSorted(ss) {
-					ss = append([]Sample(nil), ss...)
-					sort.Slice(ss, func(i, j int) bool { return ss[i].Round < ss[j].Round })
+			capture := func(id alexa.SiteID, fam topo.Family, idx int32) {
+				if idx < 0 {
+					return
 				}
-				view.series[k] = ss[:len(ss):len(ss)]
-				keys = append(keys, k.site)
+				ss := sh.series[idx]
+				fv.series[siteFamKey{id, fam}] = frozenSeries{packed: ss[:len(ss):len(ss)]}
+				ids = append(ids, id)
+			}
+			for f, fam := range famBoth {
+				for slot, idx := range sh.main[f] {
+					capture(alexa.SiteID(slot<<shardBits|i), fam, idx)
+				}
+				for slot, idx := range sh.ext[f] {
+					capture(db.res.extBase+alexa.SiteID(slot<<shardBits|i), fam, idx)
+				}
+				for id, idx := range sh.over[f] {
+					capture(id, fam, idx)
+				}
 			}
 			sh.mu.Unlock()
 		}
-		view.sampled = dedupSortedSiteIDs(keys)
+		fv.sampled = dedupSortedSiteIDs(ids)
+		fv.datesT = dates
 
 		t.pathMu.Lock()
-		view.paths = make(map[famDstKey][]PathSnapshot, len(t.paths))
+		fv.paths = make(map[famDstKey][]PathSnapshot, len(t.paths))
 		for k, snaps := range t.paths {
-			view.paths[k] = snaps[:len(snaps):len(snaps)]
+			fv.paths[k] = snaps[:len(snaps):len(snaps)]
 		}
 		t.pathMu.Unlock()
 
-		snap.vantages[v] = view
+		snap.vantages[v] = fv
 	}
 	return snap
-}
-
-func roundSorted(ss []Sample) bool {
-	for i := 1; i < len(ss); i++ {
-		if ss[i].Round < ss[i-1].Round {
-			return false
-		}
-	}
-	return true
 }
 
 // dedupSortedSiteIDs sorts ids and removes duplicates in place.
@@ -168,12 +351,11 @@ func dedupSortedSiteIDs(ids []alexa.SiteID) []alexa.SiteID {
 	return out
 }
 
-func (s *Snapshot) view(v Vantage) *vantageView { return s.vantages[v] }
+func (s *Snapshot) view(v Vantage) *frozenVantage { return s.vantages[v] }
 
-// Site returns a site row.
+// Site returns a site row. Reads through to the live site table.
 func (s *Snapshot) Site(id alexa.SiteID) (SiteRow, bool) {
-	r, ok := s.sites[id]
-	return r, ok
+	return s.db.Site(id)
 }
 
 // SampledSites returns the distinct site ids with samples at vantage
@@ -185,40 +367,76 @@ func (s *Snapshot) SampledSites(v Vantage) []alexa.SiteID {
 	return nil
 }
 
-// Series returns the round-ordered samples for (vantage, site,
-// family) without copying. Read-only.
+// Series returns the round-sorted samples for (vantage, site, family)
+// expanded from the frozen packed series. The returned slice is a
+// fresh copy.
 func (s *Snapshot) Series(v Vantage, site alexa.SiteID, fam topo.Family) []Sample {
-	if view := s.view(v); view != nil {
-		return view.series[siteFamKey{site, fam}]
+	view := s.view(v)
+	if view == nil {
+		return nil
 	}
-	return nil
+	fs, ok := view.series[siteFamKey{site, fam}]
+	if !ok {
+		return nil
+	}
+	return expandSeries(fs.packed, view.datesT)
 }
 
 // SeriesLen returns the number of samples for (vantage, site, family).
 func (s *Snapshot) SeriesLen(v Vantage, site alexa.SiteID, fam topo.Family) int {
-	return len(s.Series(v, site, fam))
+	if view := s.view(v); view != nil {
+		return len(view.series[siteFamKey{site, fam}].packed)
+	}
+	return 0
 }
 
-// ForEachDNS visits every DNS row for a vantage in insertion order.
+// ForEachDNS visits every frozen DNS row for a vantage in canonical
+// (site, round) order.
 func (s *Snapshot) ForEachDNS(v Vantage, fn func(DNSRow)) {
 	if view := s.view(v); view != nil {
-		for _, r := range view.dns {
-			fn(r)
-		}
+		view.dns.walkDNS(fn)
 	}
 }
 
+// ForEachDNSRuns visits the delta-encoded history directly: one call
+// per stored run (site ascending), without expanding to per-round
+// rows — the cheap way to answer "was this site ever dual" questions
+// at paper scale. Out-of-order rows are visited as single-round runs.
+func (s *Snapshot) ForEachDNSRuns(v Vantage, fn func(site alexa.SiteID, hasA, hasAAAA, identical bool, startRound, rounds int)) {
+	view := s.view(v)
+	if view == nil {
+		return
+	}
+	view.dns.walkRuns(func(site alexa.SiteID, runs []dnsRun, cap int32, ooo []DNSRow) {
+		emitted := int32(0)
+		for _, r := range runs {
+			n := r.count
+			if cap >= 0 && emitted+n > cap {
+				n = cap - emitted
+			}
+			if n <= 0 {
+				break
+			}
+			fn(site, r.state&dnsHasA != 0, r.state&dnsHasAAAA != 0, r.state&dnsIdentical != 0, int(r.start), int(n))
+			emitted += n
+		}
+		for _, row := range ooo {
+			fn(row.Site, row.HasA, row.HasAAAA, row.Identical, row.Round, 1)
+		}
+	})
+}
+
 // ForEachSeries visits every (site, family) series for a vantage in
-// (site, family) order. The series is read-only.
+// (site, family) order. The series is a fresh expanded copy.
 func (s *Snapshot) ForEachSeries(v Vantage, fn func(site alexa.SiteID, fam topo.Family, series []Sample)) {
 	view := s.view(v)
 	if view == nil {
 		return
 	}
 	for _, site := range view.sampled {
-		for _, fam := range []topo.Family{topo.V4, topo.V6} {
-			if ss := view.series[siteFamKey{site, fam}]; len(ss) > 0 {
-				fn(site, fam, ss)
+		for _, fam := range famBoth {
+			if fs, ok := view.series[siteFamKey{site, fam}]; ok && len(fs.packed) > 0 {
+				fn(site, fam, expandSeries(fs.packed, view.datesT))
 			}
 		}
 	}

@@ -399,39 +399,95 @@ func (c *Catalog) badMixAS(as int) bool {
 	return det.Bool(c.cfg.BadMixASFrac, uint64(c.cfg.Seed), uint64(as), 0xBAD)
 }
 
-func (c *Catalog) build(id alexa.SiteID, firstRank int) *Site {
+// hosting computes the pure hosting attributes of a site — where its
+// A and (if it ever adopts) AAAA records point, whether it sits on a
+// CDN, and its adoption date. It is the shared source of truth for
+// build and the allocation-free HostingOf fast path, so the two can
+// never draw different deterministic values.
+func (c *Catalog) hosting(id alexa.SiteID, firstRank int) (v4AS, v6AS int, cdn bool, adoptTime time.Time, adopts bool) {
 	seed := uint64(c.cfg.Seed)
 	sid := uint64(id)
-	s := &Site{ID: id, FirstRank: firstRank, V6AS: -1}
+	v6AS = -1
+	adoptTime, adopts = c.adopt.Adopts(id, firstRank)
 
-	adoptTime, adopts := c.adopt.Adopts(id, firstRank)
-
-	// Hosting.
-	s.CDN = det.Bool(c.cfg.CDNFrac, seed, sid, 1)
+	cdn = det.Bool(c.cfg.CDNFrac, seed, sid, 1)
 	switch {
-	case s.CDN:
-		s.V4AS = c.cdns[det.IntN(len(c.cdns), seed, sid, 2)]
+	case cdn:
+		v4AS = c.cdns[det.IntN(len(c.cdns), seed, sid, 2)]
 		if adopts {
 			// CDNs have no production v6: the AAAA points at the
 			// origin server in some v6-capable AS → DL.
-			s.V6AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 3))]
+			v6AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 3))]
 		}
 	case adopts:
 		// Adopting sites live in v6-capable ASes, except the
 		// RelocateDL fraction whose home AS lacks v6 and who host
 		// their v6 presence elsewhere.
 		if det.Bool(c.cfg.RelocateDL, seed, sid, 4) {
-			s.V4AS = c.stubs[pick(c.stubCum, det.Float(seed, sid, 5))]
+			v4AS = c.stubs[pick(c.stubCum, det.Float(seed, sid, 5))]
 			// A collision (home AS happens to be the chosen v6 host)
 			// simply yields a same-location site, which is fine.
-			s.V6AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 6))]
+			v6AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 6))]
 		} else {
-			s.V4AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 7))]
-			s.V6AS = s.V4AS
+			v4AS = c.v6stubs[pick(c.v6stubCum, det.Float(seed, sid, 7))]
+			v6AS = v4AS
 		}
 	default:
-		s.V4AS = c.stubs[pick(c.stubCum, det.Float(seed, sid, 8))]
+		v4AS = c.stubs[pick(c.stubCum, det.Float(seed, sid, 8))]
 	}
+	return v4AS, v6AS, cdn, adoptTime, adopts
+}
+
+// Hosting is a site's allocation-free hosting summary: enough to
+// answer the DNS query phase (does an AAAA exist at a date, and in
+// which AS) without materializing the full Site.
+type Hosting struct {
+	V4AS      int
+	V6AS      int   // -1 if the site never adopts IPv6
+	AdoptUnix int64 // when the AAAA record appears, if V6AS >= 0
+}
+
+// DualAtUnix reports whether the site is reachable over both families
+// at the given Unix-nanosecond instant.
+func (h Hosting) DualAtUnix(ns int64) bool {
+	return h.V6AS >= 0 && ns >= h.AdoptUnix
+}
+
+// HostingOf returns the hosting summary of a site without
+// materializing (or caching) a Site for it. A site already in the
+// cache is read from it; otherwise the summary is recomputed from the
+// deterministic draws — a handful of hashes, no allocation. This is
+// the DNS query phase's fast path: the vast single-stack majority of
+// a paper-scale population never needs a Site built at all.
+func (c *Catalog) HostingOf(id alexa.SiteID, firstRank int) Hosting {
+	if slot := c.slot(id); slot != nil {
+		if s := slot.Load(); s != nil {
+			return Hosting{V4AS: s.V4AS, V6AS: s.V6AS, AdoptUnix: s.AdoptUnix}
+		}
+	} else {
+		c.mu.Lock()
+		s, ok := c.overflow[id]
+		c.mu.Unlock()
+		if ok {
+			return Hosting{V4AS: s.V4AS, V6AS: s.V6AS, AdoptUnix: s.AdoptUnix}
+		}
+	}
+	v4AS, v6AS, _, adoptTime, adopts := c.hosting(id, firstRank)
+	h := Hosting{V4AS: v4AS, V6AS: v6AS}
+	if adopts {
+		h.AdoptUnix = adoptTime.UnixNano()
+	}
+	return h
+}
+
+func (c *Catalog) build(id alexa.SiteID, firstRank int) *Site {
+	seed := uint64(c.cfg.Seed)
+	sid := uint64(id)
+	s := &Site{ID: id, FirstRank: firstRank}
+
+	var adoptTime time.Time
+	var adopts bool
+	s.V4AS, s.V6AS, s.CDN, adoptTime, adopts = c.hosting(id, firstRank)
 	if adopts {
 		s.AdoptTime = adoptTime
 		s.AdoptUnix = adoptTime.UnixNano()
