@@ -8,6 +8,7 @@
 package v6web
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"runtime"
@@ -20,10 +21,18 @@ import (
 	"v6web/internal/core"
 	"v6web/internal/netsim"
 	"v6web/internal/scenario"
+	"v6web/internal/shard"
 	"v6web/internal/stats"
 	"v6web/internal/topo"
 	"v6web/internal/websim"
 )
+
+// TestMain lets BenchmarkShardedPaperScaleMini re-exec this test
+// binary as shard worker processes.
+func TestMain(m *testing.M) {
+	shard.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 // The shared scenario is built once; the per-table benchmarks measure
 // the analysis that regenerates each exhibit from the stored data.
@@ -431,6 +440,41 @@ func BenchmarkPaperScale(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedPaperScaleMini runs the same paper-scale-mini
+// campaign as BenchmarkPaperScale, but split across 4 local worker
+// processes via the coordinator (internal/shard). On a multi-core
+// host the wall-clock time over BenchmarkPaperScale is the campaign
+// speedup; the reported merge time and wire bytes per site bound the
+// coordinator's sequential overhead — the merge must stay a small
+// fraction of a worker's round work for sharding to pay off.
+func BenchmarkShardedPaperScaleMini(b *testing.B) {
+	b.ReportAllocs()
+	comp, err := scenario.LoadCompiled("paper-scale-mini", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const workers = 4
+	for i := 0; i < b.N; i++ {
+		// No checkpoint dir: BenchmarkPaperScale doesn't checkpoint
+		// either, so the comparison isolates sharding itself. The CI
+		// shard-smoke job covers the checkpointed/kill-retry path.
+		s, st, err := shard.Run(context.Background(), comp.Config, shard.Options{
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunWorldV6Day(); err != nil {
+			b.Fatal(err)
+		}
+		sites, _, _, _ := s.DB.Counts()
+		b.ReportMetric(float64(st.Shards), "shards")
+		b.ReportMetric(float64(workers), "workers")
+		b.ReportMetric(float64(st.MergeDur.Nanoseconds()), "merge-ns")
+		b.ReportMetric(float64(st.WireBytes)/float64(sites), "wire-bytes/site")
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---------------
 
 // ablationScenario runs a small study with the given overrides and
@@ -731,6 +775,16 @@ func BenchmarkMonitorScaling(b *testing.B) {
 	}{{"6vp-serial", 1}, {"6vp-parallel", 0}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			workers := mode.workers
+			if workers == 0 {
+				if runtime.NumCPU() < 2 {
+					// The worker pool can only lose on one CPU; a "parallel"
+					// number measured there would misread as a regression.
+					b.Skip("6vp-parallel needs >=2 CPUs; serial timing is the honest number here")
+				}
+				workers = runtime.GOMAXPROCS(0)
+			}
+			b.ReportMetric(float64(workers), "workers")
 			b.ReportAllocs()
 			cfg := core.DefaultConfig(11)
 			cfg.NASes = 800

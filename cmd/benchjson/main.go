@@ -9,7 +9,10 @@
 //	go test -run '^$' -bench . -benchtime 1x . | benchjson
 //
 // CI commits the result per PR, so the repo carries a comparable
-// series of benchmark shapes and timings across its history.
+// series of benchmark shapes and timings across its history. Every
+// point leads with a `_host` entry (CPU model, GOMAXPROCS, NumCPU,
+// and — via -workers — the sharded-campaign worker count) so timing
+// deltas can be attributed to code rather than to the machine.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,8 +68,41 @@ func parseBenchLine(line string) (name string, metrics map[string]float64, ok bo
 	return name, metrics, true
 }
 
+// hostJSON renders the `_host` entry: the machine context without
+// which a trajectory point cannot be compared across PRs (a parallel
+// speedup on 16 cores and a slowdown on 1 core are the same code).
+// workers > 0 records the sharded-campaign worker count used for the
+// run's BenchmarkShardedPaperScaleMini numbers.
+func hostJSON(workers int) string {
+	parts := []string{
+		fmt.Sprintf("%q: %q", "cpu_model", cpuModel()),
+		fmt.Sprintf("%q: %d", "gomaxprocs", runtime.GOMAXPROCS(0)),
+		fmt.Sprintf("%q: %d", "numcpu", runtime.NumCPU()),
+	}
+	if workers > 0 {
+		parts = append(parts, fmt.Sprintf("%q: %d", "shard_workers", workers))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// cpuModel reads the CPU model from /proc/cpuinfo; on hosts without
+// it (darwin, containers with masked proc) the field degrades to
+// "unknown" rather than failing the run.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return "unknown"
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	workers := flag.Int("workers", 0, "sharded-campaign worker count to record in the _host entry (0 omits it)")
 	flag.Parse()
 
 	// A bench line reaches the -json stream as several Output events
@@ -114,6 +151,7 @@ func main() {
 	sort.Strings(names)
 	var buf strings.Builder
 	buf.WriteString("{\n")
+	fmt.Fprintf(&buf, "  %q: %s,\n", "_host", hostJSON(*workers))
 	for i, n := range names {
 		keys := make([]string, 0, len(results[n]))
 		for k := range results[n] {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	cases := []struct {
@@ -58,6 +61,33 @@ func TestParseBenchLine(t *testing.T) {
 			if metrics[k] != v {
 				t.Errorf("parseBenchLine(%q) %s = %v, want %v", c.line, k, metrics[k], v)
 			}
+		}
+	}
+}
+
+// TestHostJSON validates the `_host` metadata entry: well-formed JSON
+// with the machine fields present, and the shard worker count only
+// when one was given.
+func TestHostJSON(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		var host map[string]any
+		if err := json.Unmarshal([]byte(hostJSON(workers)), &host); err != nil {
+			t.Fatalf("hostJSON(%d) is not valid JSON: %v", workers, err)
+		}
+		model, ok := host["cpu_model"].(string)
+		if !ok || model == "" {
+			t.Errorf("hostJSON(%d): cpu_model missing or empty: %v", workers, host)
+		}
+		for _, k := range []string{"gomaxprocs", "numcpu"} {
+			if v, ok := host[k].(float64); !ok || v < 1 {
+				t.Errorf("hostJSON(%d): %s missing or < 1: %v", workers, k, host)
+			}
+		}
+		if _, has := host["shard_workers"]; has != (workers > 0) {
+			t.Errorf("hostJSON(%d): shard_workers present=%v", workers, has)
+		}
+		if workers > 0 && host["shard_workers"].(float64) != float64(workers) {
+			t.Errorf("hostJSON(%d): shard_workers = %v", workers, host["shard_workers"])
 		}
 	}
 }

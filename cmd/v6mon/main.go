@@ -24,6 +24,15 @@
 //	v6mon -out data/ -scenario my.json -set topo.ases=500  # a pack file, scaled
 //	v6mon -out data/ -resume          # continue a killed campaign (same flags)
 //	v6mon -out data/ -stop-after 10   # checkpoint and exit after round 10
+//	v6mon -out data/ -shards 4        # split across 4 local worker processes
+//
+// With -shards N > 1 the campaign runs as N site-range shards in
+// worker processes (internal/shard): each worker measures its slice
+// and streams columnar binary frames back; the coordinator merges
+// them into CSVs byte-identical to a single-process run. Workers
+// checkpoint per shard under <out>/shards, so a killed worker costs
+// one shard-round and an interrupted coordinator continues when the
+// same command is rerun.
 package main
 
 import (
@@ -41,10 +50,12 @@ import (
 	"v6web/internal/cli"
 	"v6web/internal/core"
 	"v6web/internal/scenario"
+	"v6web/internal/shard"
 	"v6web/internal/store"
 )
 
 func main() {
+	shard.MaybeWorker()
 	var (
 		out       = flag.String("out", "v6web-data", "output directory for the measurement CSVs and checkpoints")
 		seed      = flag.Int64("seed", 42, "deterministic scenario seed")
@@ -56,6 +67,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume the campaign from the last checkpoint under -out")
 		every     = flag.Int("checkpoint-every", 5, "checkpoint after this many completed rounds (0 disables checkpointing; SIGINT checkpoints regardless)")
 		stopAfter = flag.Int("stop-after", 0, "checkpoint and exit after this round completes (0 runs to the end)")
+		shards    = flag.Int("shards", 1, "split the campaign across this many local worker processes (1 runs in-process)")
 	)
 	var sets scenario.Overrides
 	flag.Var(&sets, "set", "spec override as a dotted path, e.g. -set topo.ases=500 (repeatable; needs -scenario)")
@@ -79,6 +91,13 @@ func main() {
 
 	if *stopAfter > 0 && *every <= 0 {
 		fatal(fmt.Errorf("-stop-after needs -checkpoint-every > 0, or the stopped campaign cannot be resumed"))
+	}
+	if *shards > 1 {
+		if *resume || *stopAfter > 0 {
+			fatal(fmt.Errorf("-shards does not combine with -resume or -stop-after; workers resume from their own shard checkpoints, so just rerun the same command"))
+		}
+		runSharded(cfg, *out, *shards, *every, *quiet)
+		return
 	}
 
 	// SIGINT/SIGTERM cancel the campaign at the next round boundary;
@@ -178,6 +197,68 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Printf("saved to %s\n", *out)
+	}
+}
+
+// runSharded is the -shards path: worker processes measure site-range
+// slices, the coordinator merges their frames, and everything after
+// the main study (World IPv6 Day, saving) runs locally as usual.
+func runSharded(cfg core.Config, out string, shards, every int, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	opt := shard.Options{Workers: shards, CheckpointEvery: every}
+	if every > 0 {
+		opt.Dir = filepath.Join(out, "shards")
+	}
+	if !quiet {
+		opt.Log = os.Stdout
+		fmt.Printf("sharding campaign across %d workers (list: %d sites, rounds: %d)\n",
+			shards, cfg.ListSize, cfg.Rounds)
+	}
+	start := time.Now()
+	s, st, err := shard.Run(ctx, cfg, opt)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "v6mon: interrupted; rerun the same command to continue from the shard checkpoints\n")
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Printf("%d shards merged in %v total (%d retries, merge %v)\n",
+			st.Shards, time.Since(start).Round(time.Millisecond), st.Retries,
+			st.MergeDur.Round(time.Millisecond))
+	}
+	if err := s.RunWorldV6DayContext(ctx); err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Printf("main study: %v\n", s.DB)
+		fmt.Printf("world ipv6 day: %v\n", s.V6DayDB)
+	}
+	final := &store.CSVBackend{Dir: out}
+	if err := final.SaveSnapshot(store.SnapMain, s.DB); err != nil {
+		fatal(err)
+	}
+	if err := final.SaveSnapshot(store.SnapV6Day, s.V6DayDB); err != nil {
+		fatal(err)
+	}
+	err = final.SaveMeta(store.Meta{
+		NextRound: cfg.Rounds, Rounds: cfg.Rounds,
+		ConfigHash: cfg.Fingerprint(), Complete: true, SavedAt: time.Now().UTC(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if opt.Dir != "" {
+		if err := os.RemoveAll(opt.Dir); err != nil && !quiet {
+			fmt.Fprintf(os.Stderr, "v6mon: could not remove shard checkpoints: %v\n", err)
+		}
+	}
+	if !quiet {
+		fmt.Printf("saved to %s\n", out)
 	}
 }
 

@@ -54,13 +54,15 @@
 //
 // The cmd tools expose the same machinery: v6mon runs (and with
 // -resume, continues) a checkpointed campaign with SIGINT-graceful
-// shutdown, v6report regenerates every table and figure from a saved
+// shutdown — or, with -shards N, splits it across worker processes
+// with a deterministic merge (cmd/v6shard is the multi-machine
+// form) — v6report regenerates every table and figure from a saved
 // or fresh campaign, v6sweep runs what-if parameter sweeps
 // concurrently (including -over sweeps across any scenario-spec
-// field), and v6topo inspects the synthetic substrate. All four
-// accept -scenario <name|file>. examples/resume demonstrates the
-// checkpoint → crash → resume cycle end to end; bench_test.go
-// regenerates every exhibit.
+// field), and v6topo inspects the synthetic substrate. All the
+// campaign tools accept -scenario <name|file>. examples/resume
+// demonstrates the checkpoint → crash → resume cycle end to end;
+// bench_test.go regenerates every exhibit.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured

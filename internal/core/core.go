@@ -186,6 +186,15 @@ type Scenario struct {
 
 	extRefs []measure.SiteRef // Penn's extended population
 
+	// restrict, when set, limits monitoring to a shard's slice of the
+	// site population (see Restrict in shard.go); trackedR/extRefsR are
+	// the restricted subsets, maintained alongside tracked/extRefs.
+	// allowVP, when non-nil, limits monitoring to a vantage subset.
+	restrict *SiteRange
+	trackedR []measure.SiteRef
+	extRefsR []measure.SiteRef
+	allowVP  map[store.Vantage]bool
+
 	// tracked accumulates every site ever seen in the list: "new
 	// sites ... are added to the monitoring list and tracked from
 	// this point onward" (Section 3). absorbed is the mint cursor of

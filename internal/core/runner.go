@@ -218,6 +218,9 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 		if r < vp.StartRound {
 			continue
 		}
+		if s.allowVP != nil && !s.allowVP[vp.Name] {
+			continue
+		}
 		tasks = append(tasks, roundTask{vp: i})
 		if vp.Extended {
 			tasks = append(tasks, roundTask{vp: i, ext: true})
@@ -227,9 +230,12 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 	elapsed := make([]time.Duration, len(tasks))
 	runTasks(s.roundWorkers(), len(tasks), func(k int) {
 		t := tasks[k]
-		refs := s.tracked
+		refs, extPop := s.tracked, s.extRefs
+		if s.restrict != nil {
+			refs, extPop = s.trackedR, s.extRefsR
+		}
 		if t.ext {
-			refs = s.extRefs
+			refs = extPop
 		}
 		start := time.Now()
 		stats[k] = s.monitors[s.Cfg.Vantages[t.vp].Name].RunRound(r, date, tf, refs)
@@ -284,6 +290,9 @@ func (s *Scenario) absorbRanked() {
 		}
 		s.List.ForEachEntrant(alexa.SiteID(s.absorbed), func(rank int, id alexa.SiteID) {
 			s.tracked = append(s.tracked, measure.SiteRef{ID: id, FirstRank: rank})
+			if s.restrict != nil && id >= s.restrict.MainLo && id < s.restrict.MainHi {
+				s.trackedR = append(s.trackedR, measure.SiteRef{ID: id, FirstRank: rank})
+			}
 		})
 		s.absorbed = total
 	}

@@ -146,6 +146,10 @@ type Monitor struct {
 	origins  OriginReporter
 	paths    PathReporter
 	resolver SiteResolver
+
+	// destSink, when set, diverts the post-round path snapshot: see
+	// SetDestSink.
+	destSink func(round int, dsts []int)
 }
 
 // NewMonitor builds a monitor writing into db.
@@ -305,16 +309,31 @@ func (m *Monitor) RunRound(round int, date time.Time, tFrac float64, sites []Sit
 	// seen, over both families (the paper retrieved routing tables
 	// "after each monitoring round").
 	if m.paths != nil {
-		destASes.forEach(func(dst int) {
-			for _, fam := range famBoth {
-				if p := m.paths.PathTo(dst, fam, round); p != nil {
-					m.db.AddPath(m.cfg.Vantage, fam, dst, round, p)
+		if m.destSink != nil {
+			var dsts []int
+			destASes.forEach(func(dst int) { dsts = append(dsts, dst) })
+			m.destSink(round, dsts)
+		} else {
+			destASes.forEach(func(dst int) {
+				for _, fam := range famBoth {
+					if p := m.paths.PathTo(dst, fam, round); p != nil {
+						m.db.AddPath(m.cfg.Vantage, fam, dst, round, p)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 	return st
 }
+
+// SetDestSink diverts the post-round path snapshot: instead of
+// recording AS paths itself, RunRound hands fn the sorted
+// destination-AS set it would have snapshotted. Shard workers use this
+// to ship destination sets to a coordinator, which replays the path
+// snapshots centrally (the fetcher's PathTo is deterministic). The
+// sink fires only when the fetcher reports paths at all, mirroring the
+// unsharded recording condition. Not safe to call while a round runs.
+func (m *Monitor) SetDestSink(fn func(round int, dsts []int)) { m.destSink = fn }
 
 type siteResult struct {
 	dual      bool

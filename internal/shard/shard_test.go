@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"v6web/internal/core"
+	"v6web/internal/store"
+)
+
+// TestMain diverts re-exec'd worker processes (the kill/retry test
+// spawns the test binary itself) into the worker loop.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// testCfg mirrors core's runnerCfg: a campaign small enough that the
+// byte-identity property test can afford reference plus sharded runs
+// across seeds and shard counts.
+func testCfg(seed int64) core.Config {
+	cfg := core.DefaultConfig(seed)
+	cfg.NASes = 250
+	cfg.ListSize = 1200
+	cfg.Extended = 200
+	cfg.Rounds = 7
+	cfg.V6DayRounds = 4
+	cfg.Vantages = core.ScaledVantages(cfg.Rounds)
+	return cfg
+}
+
+var campaignFiles = []string{
+	"main/sites.csv", "main/dns.csv", "main/samples.csv", "main/paths.csv",
+	"v6day/sites.csv", "v6day/dns.csv", "v6day/samples.csv", "v6day/paths.csv",
+}
+
+func saveCampaign(t *testing.T, s *core.Scenario, name string) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), name)
+	b := &store.CSVBackend{Dir: dir}
+	if err := b.SaveSnapshot(store.SnapMain, s.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(store.SnapV6Day, s.V6DayDB); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func assertCampaignsIdentical(t *testing.T, refDir, gotDir, label string) {
+	t.Helper()
+	for _, name := range campaignFiles {
+		want, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(gotDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: %s differs from single-process run (%d vs %d bytes)",
+				label, name, len(got), len(want))
+		}
+	}
+}
+
+// referenceRun is the single-process campaign the sharded runs must
+// reproduce byte-for-byte.
+func referenceRun(t *testing.T, cfg core.Config) string {
+	t.Helper()
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunWorldV6Day(); err != nil {
+		t.Fatal(err)
+	}
+	return saveCampaign(t, s, "ref")
+}
+
+// --- in-process transport --------------------------------------------
+
+// pipeConn runs a real worker (full Serve loop, real frames) in a
+// goroutine of this process: the whole data path minus process
+// isolation, so property tests stay fast and debuggable.
+type pipeConn struct {
+	r    *io.PipeReader
+	done chan error
+}
+
+func (p *pipeConn) Read(b []byte) (int, error) { return p.r.Read(b) }
+func (p *pipeConn) kill()                      { p.r.CloseWithError(fmt.Errorf("killed by coordinator")) }
+func (p *pipeConn) wait() error                { return <-p.done }
+
+func inprocSpawner(ctx context.Context, spec Spec) (workerConn, error) {
+	specR, specW := io.Pipe()
+	frameR, frameW := io.Pipe()
+	go func() {
+		writeSpec(specW, spec)
+		specW.Close()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		err := Serve(specR, frameW)
+		frameW.Close()
+		done <- err
+	}()
+	return &pipeConn{r: frameR, done: done}, nil
+}
+
+// --- tests -----------------------------------------------------------
+
+func TestSplitCoversExactly(t *testing.T) {
+	cfg := testCfg(1)
+	mainTotal, err := core.FinalMainSites(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		specs, err := Split(cfg, n)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", n, err)
+		}
+		if len(specs) != n {
+			t.Fatalf("Split(%d): got %d specs", n, len(specs))
+		}
+		if specs[0].MainLo != 0 || specs[n-1].MainHi != int64(mainTotal) {
+			t.Errorf("n=%d: main ranges span [%d,%d), want [0,%d)",
+				n, specs[0].MainLo, specs[n-1].MainHi, mainTotal)
+		}
+		if specs[0].ExtLo != int64(core.ExtendedBase) ||
+			specs[n-1].ExtHi != int64(core.ExtendedBase)+int64(cfg.Extended) {
+			t.Errorf("n=%d: ext ranges span [%d,%d)", n, specs[0].ExtLo, specs[n-1].ExtHi)
+		}
+		for i := 1; i < n; i++ {
+			if specs[i].MainLo != specs[i-1].MainHi || specs[i].ExtLo != specs[i-1].ExtHi {
+				t.Errorf("n=%d: shard %d does not abut shard %d", n, i, i-1)
+			}
+		}
+		for i, sp := range specs {
+			if sp.MainLo >= sp.MainHi {
+				t.Errorf("n=%d: shard %d has empty main range", n, i)
+			}
+			if sp.Fingerprint != cfg.Fingerprint() {
+				t.Errorf("n=%d: shard %d fingerprint mismatch", n, i)
+			}
+		}
+	}
+	if _, err := Split(cfg, 0); err == nil {
+		t.Error("Split(0): want error")
+	}
+}
+
+// randomSpecs splits the campaign at rng-chosen (not equal) cut
+// points: byte-identity must hold for ANY tiling of the id space.
+func randomSpecs(t *testing.T, cfg core.Config, k int, rng *rand.Rand) []Spec {
+	t.Helper()
+	mainTotal, err := core.FinalMainSites(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := func(total, k int) []int {
+		pts := map[int]bool{}
+		for len(pts) < k-1 {
+			pts[1+rng.Intn(total-1)] = true
+		}
+		out := []int{0}
+		for p := range pts {
+			out = append(out, p)
+		}
+		out = append(out, total)
+		for i := range out { // insertion sort; k is tiny
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	mainCuts := cuts(mainTotal, k)
+	extCuts := cuts(cfg.Extended, k)
+	fp := cfg.Fingerprint()
+	specs := make([]Spec, k)
+	for i := range specs {
+		specs[i] = Spec{
+			Index: i, Count: k, Fingerprint: fp,
+			MainLo: int64(mainCuts[i]), MainHi: int64(mainCuts[i+1]),
+			ExtLo:  int64(core.ExtendedBase) + int64(extCuts[i]),
+			ExtHi:  int64(core.ExtendedBase) + int64(extCuts[i+1]),
+			Config: cfg,
+		}
+	}
+	return specs
+}
+
+// TestShardedCampaignByteIdentical is the tentpole property test:
+// splitting a campaign into k random site-range shards, running each
+// through a real worker, and merging on the coordinator must
+// reproduce the single-process CSVs byte-identically — for every k,
+// at every seed, for both the main study and World IPv6 Day.
+func TestShardedCampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded byte-identity property test in -short mode")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := testCfg(seed)
+			refDir := referenceRun(t, cfg)
+			rng := rand.New(rand.NewSource(seed * 977))
+			for _, k := range []int{2, 4, 7} {
+				specs := randomSpecs(t, cfg, k, rng)
+				s, st, err := runSpecs(context.Background(), cfg, specs, Options{
+					spawn: inprocSpawner,
+				})
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if st.Shards != k || st.WireBytes == 0 {
+					t.Errorf("k=%d: odd stats %+v", k, st)
+				}
+				if err := s.RunWorldV6Day(); err != nil {
+					t.Fatal(err)
+				}
+				gotDir := saveCampaign(t, s, fmt.Sprintf("k%d", k))
+				assertCampaignsIdentical(t, refDir, gotDir, fmt.Sprintf("seed=%d k=%d", seed, k))
+			}
+		})
+	}
+}
+
+// killingConn SIGKILLs the worker process once a few frames have been
+// read, simulating a crash mid-campaign.
+type killingConn struct {
+	workerConn
+	reads int32
+}
+
+func (k *killingConn) Read(b []byte) (int, error) {
+	n, err := k.workerConn.Read(b)
+	if atomic.AddInt32(&k.reads, 1) == 3 {
+		k.workerConn.kill()
+	}
+	return n, err
+}
+
+// TestWorkerKillRetried kills one real worker process (SIGKILL, as the
+// CI chaos job does) after its first rounds; the coordinator must
+// detect the dead stream, retry the shard — which resumes from the
+// shard checkpoint — and still produce byte-identical CSVs.
+func TestWorkerKillRetried(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-spawning retry test in -short mode")
+	}
+	cfg := testCfg(5)
+	refDir := referenceRun(t, cfg)
+
+	base := execSpawner(nil)
+	var sabotaged atomic.Bool
+	var log bytes.Buffer
+	s, st, err := Run(context.Background(), cfg, Options{
+		Workers:         2,
+		Dir:             t.TempDir(),
+		CheckpointEvery: 2,
+		FrameTimeout:    time.Minute,
+		Log:             &log,
+		spawn: func(ctx context.Context, spec Spec) (workerConn, error) {
+			conn, err := base(ctx, spec)
+			if err != nil || spec.Index != 0 || !sabotaged.CompareAndSwap(false, true) {
+				return conn, err
+			}
+			return &killingConn{workerConn: conn}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("sharded run with killed worker: %v\n%s", err, log.String())
+	}
+	if st.Retries < 1 {
+		t.Fatalf("want at least one retry, got %d\n%s", st.Retries, log.String())
+	}
+	if err := s.RunWorldV6Day(); err != nil {
+		t.Fatal(err)
+	}
+	assertCampaignsIdentical(t, refDir, saveCampaign(t, s, "killed"), "after worker kill")
+}
+
+func TestWireCodecs(t *testing.T) {
+	if idx, fp, err := decodeHello(encodeHello(3, "abc")); err != nil || idx != 3 || fp != "abc" {
+		t.Errorf("hello round-trip: %d %q %v", idx, fp, err)
+	}
+	r, s2, d, m, err := decodeRound(encodeRound(6, 1200, 77, 41))
+	if err != nil || r != 6 || s2 != 1200 || d != 77 || m != 41 {
+		t.Errorf("round round-trip: %d %d %d %d %v", r, s2, d, m, err)
+	}
+	sec := sectionMsg{section: store.ShardDNS, vantage: "Penn", lo: 10, hi: 1 << 41, payload: []byte{9, 8, 7}}
+	got, err := decodeSectionFrame(encodeSectionFrame(sec))
+	if err != nil || got.section != sec.section || got.vantage != sec.vantage ||
+		got.lo != sec.lo || got.hi != sec.hi || !bytes.Equal(got.payload, sec.payload) {
+		t.Errorf("section round-trip: %+v %v", got, err)
+	}
+	dm := destsMsg{vantage: "LU", round: 4, dsts: []int{0, 3, 4, 99}}
+	gd, err := decodeDestsFrame(encodeDestsFrame(dm))
+	if err != nil || gd.vantage != dm.vantage || gd.round != dm.round || len(gd.dsts) != 4 || gd.dsts[3] != 99 {
+		t.Errorf("dests round-trip: %+v %v", gd, err)
+	}
+	if _, err := decodeSectionFrame(nil); err == nil {
+		t.Error("empty section frame: want error")
+	}
+	if _, err := decodeDestsFrame(encodeDestsFrame(dm)[:2]); err == nil {
+		t.Error("truncated dests frame: want error")
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameRound, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil || typ != frameRound || string(payload) != "xyz" {
+		t.Errorf("frame round-trip: %d %q %v", typ, payload, err)
+	}
+}
+
+func TestUnionSorted(t *testing.T) {
+	got := unionSorted([]int{1, 3, 5}, []int{2, 3, 6})
+	want := []int{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("unionSorted: got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unionSorted: got %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"v6web/internal/alexa"
+	"v6web/internal/core"
+	"v6web/internal/store"
+)
+
+// WorkerEnv marks a process as a shard worker. The coordinator re-execs
+// the current binary with this set; MaybeWorker at the top of main (and
+// of TestMain in packages whose tests spawn workers) diverts such a
+// process into the worker loop before any flag parsing runs.
+const WorkerEnv = "V6WEB_SHARD_WORKER"
+
+// MaybeWorker turns the process into a shard worker when WorkerEnv is
+// set: it serves one spec over stdin/stdout and exits. Call it first
+// thing in main; it returns immediately in ordinary processes.
+func MaybeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "shard worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeAddr dials a coordinator running with Options.Listen and
+// serves shards until the coordinator goes away; each connection
+// carries one spec. A connection that closes without delivering a spec
+// (or mid-handshake) means the coordinator is done with us.
+func ServeAddr(addr string) error {
+	served := 0
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			if served > 0 {
+				return nil // coordinator finished and went away
+			}
+			return err
+		}
+		err = Serve(c, c)
+		c.Close()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) {
+				return nil
+			}
+			return err
+		}
+		served++
+	}
+}
+
+// Serve runs one shard: it reads the spec handshake from in, runs the
+// spec's site range through the round machinery, and streams heartbeat
+// and result frames to out. SIGINT/SIGTERM between rounds checkpoints
+// and exits cleanly; a later worker for the same spec resumes there.
+func Serve(in io.Reader, out io.Writer) error {
+	spec, err := readSpec(in)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bw := bufio.NewWriterSize(out, 1<<16)
+	emit := func(typ byte, payload []byte) error {
+		if err := writeFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := runSpec(ctx, spec, emit); err != nil {
+		// Best effort: tell the coordinator why before exiting non-zero.
+		if werr := writeFrame(bw, frameError, []byte(err.Error())); werr == nil {
+			bw.Flush()
+		}
+		return err
+	}
+	return nil
+}
+
+func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte) error) error {
+	cfg := spec.Config
+	if cfg.Vantages == nil {
+		cfg.Vantages = core.DefaultVantages()
+	}
+	if got := cfg.Fingerprint(); got != spec.Fingerprint {
+		return fmt.Errorf("shard %d: config fingerprint %s does not match spec %s", spec.Index, got, spec.Fingerprint)
+	}
+	if err := emit(frameHello, encodeHello(spec.Index, spec.Fingerprint)); err != nil {
+		return err
+	}
+
+	var (
+		s     *core.Scenario
+		dests *destLog
+	)
+	if spec.CheckpointDir != "" {
+		s, dests = loadCheckpoint(cfg, spec)
+	}
+	if s == nil {
+		var err error
+		if s, err = core.NewScenario(cfg); err != nil {
+			return err
+		}
+		dests = newDestLog()
+	}
+	s.Restrict(spec.siteRange())
+	if len(spec.Vantages) > 0 {
+		names := make([]store.Vantage, len(spec.Vantages))
+		for i, v := range spec.Vantages {
+			names[i] = store.Vantage(v)
+		}
+		s.RestrictVantages(names)
+	}
+	s.SetDestSink(dests.record)
+
+	checkpoint := func() error {
+		if spec.CheckpointDir == "" {
+			return nil
+		}
+		// The dests sidecar lands before SaveMeta commits the
+		// checkpoint, so a committed checkpoint always has a sidecar
+		// covering at least its rounds; resume truncates the excess.
+		if err := dests.save(destsPath(spec), spec, s.RoundsDone()); err != nil {
+			return err
+		}
+		return s.Checkpoint(store.NewCheckpointBackend(spec.CheckpointDir))
+	}
+	for s.RoundsDone() < cfg.Rounds {
+		if err := ctx.Err(); err != nil {
+			if cerr := checkpoint(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("shard %d: interrupted at round %d (checkpointed)", spec.Index, s.RoundsDone())
+		}
+		round := s.RoundsDone()
+		var sites, dual, measured int
+		obs := func(ev core.RoundEvent) {
+			sites += ev.Stats.Sites
+			dual += ev.Stats.Dual
+			measured += ev.Stats.Measured
+		}
+		if err := s.NextRound(obs); err != nil {
+			return err
+		}
+		if err := emit(frameRound, encodeRound(round, sites, dual, measured)); err != nil {
+			return err
+		}
+		if spec.CheckpointEvery > 0 && s.RoundsDone()%spec.CheckpointEvery == 0 && s.RoundsDone() < cfg.Rounds {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sendSections(s.DB, spec, emit); err != nil {
+		return err
+	}
+	if err := dests.send(emit); err != nil {
+		return err
+	}
+	return emit(frameDone, nil)
+}
+
+// loadCheckpoint tries to resume the shard from its checkpoint
+// directory. Any unusable state — no committed checkpoint, a lost
+// dests sidecar, a foreign campaign's leftovers — falls back to a
+// wiped directory and a fresh start; the directory is the shard's
+// private scratch space, so that is always safe.
+func loadCheckpoint(cfg core.Config, spec Spec) (*core.Scenario, *destLog) {
+	backend := store.NewCheckpointBackend(spec.CheckpointDir)
+	meta, ok, err := backend.LoadMeta()
+	if err == nil && !ok {
+		return nil, nil // pristine directory
+	}
+	if err == nil {
+		var dests *destLog
+		if dests, err = loadDestLog(destsPath(spec), spec, meta.NextRound); err == nil {
+			var s *core.Scenario
+			if s, err = core.Resume(cfg, backend); err == nil {
+				return s, dests
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "shard %d: discarding unusable checkpoint state in %s: %v\n",
+		spec.Index, spec.CheckpointDir, err)
+	os.RemoveAll(spec.CheckpointDir)
+	return nil, nil
+}
+
+// sendSections streams the shard's results: the wire format IS the
+// store's columnar encoding (delta-encoded DNS runs, packed samples),
+// chunked at chunkIDs ids per frame so no frame outgrows its buffer at
+// paper scale. Empty chunks are skipped.
+const chunkIDs = 1 << 20
+
+func sendSections(db *store.DB, spec Spec, emit func(typ byte, payload []byte) error) error {
+	ranges := [][2]int64{{spec.MainLo, spec.MainHi}, {spec.ExtLo, spec.ExtHi}}
+	send := func(section byte, v store.Vantage, claim string) error {
+		for _, rg := range ranges {
+			for lo := rg[0]; lo < rg[1]; lo += chunkIDs {
+				hi := min(lo+chunkIDs, rg[1])
+				payload, n, err := db.AppendShardSection(nil, section, v, alexa.SiteID(lo), alexa.SiteID(hi))
+				if err != nil {
+					return err
+				}
+				if n == 0 {
+					continue
+				}
+				frame := encodeSectionFrame(sectionMsg{section: section, vantage: claim, lo: lo, hi: hi, payload: payload})
+				if err := emit(frameSection, frame); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := send(store.ShardSites, "", spec.vantageLabel()); err != nil {
+		return err
+	}
+	for _, v := range db.Vantages() {
+		if err := send(store.ShardDNS, v, string(v)); err != nil {
+			return err
+		}
+		if err := send(store.ShardSamples, v, string(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// destLog records, per (vantage, round), the destination ASes whose
+// paths the coordinator must replay: the path table collapses
+// consecutive identical snapshots, which is not range-mergeable, so
+// workers ship destination sets and the coordinator re-derives the
+// (deterministic) paths itself. A vantage's main and extended tasks
+// report the same round concurrently, hence the union under a mutex.
+type destLog struct {
+	mu sync.Mutex
+	m  map[store.Vantage][][]int
+}
+
+func newDestLog() *destLog { return &destLog{m: make(map[store.Vantage][][]int)} }
+
+func (d *destLog) record(v store.Vantage, round int, dsts []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rounds := d.m[v]
+	for len(rounds) <= round {
+		rounds = append(rounds, nil)
+	}
+	rounds[round] = unionSorted(rounds[round], dsts)
+	d.m[v] = rounds
+}
+
+// unionSorted merges two ascending distinct slices into one.
+func unionSorted(a, b []int) []int {
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func (d *destLog) send(emit func(typ byte, payload []byte) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	vs := make([]store.Vantage, 0, len(d.m))
+	for v := range d.m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		for round, dsts := range d.m[v] {
+			if len(dsts) == 0 {
+				continue
+			}
+			frame := encodeDestsFrame(destsMsg{vantage: string(v), round: round, dsts: dsts})
+			if err := emit(frameDests, frame); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// destsFile is the JSON sidecar persisting the dest log next to the
+// shard checkpoint, stamped with the shard's identity so a stale file
+// from a different split or campaign is rejected on resume.
+type destsFile struct {
+	NextRound   int                       `json:"next_round"`
+	Fingerprint string                    `json:"fingerprint"`
+	MainLo      int64                     `json:"main_lo"`
+	MainHi      int64                     `json:"main_hi"`
+	ExtLo       int64                     `json:"ext_lo"`
+	ExtHi       int64                     `json:"ext_hi"`
+	Dests       map[store.Vantage][][]int `json:"dests"`
+}
+
+func destsPath(spec Spec) string {
+	return filepath.Join(spec.CheckpointDir, "dests.json")
+}
+
+func (d *destLog) save(path string, spec Spec, nextRound int) error {
+	d.mu.Lock()
+	f := destsFile{
+		NextRound: nextRound, Fingerprint: spec.Fingerprint,
+		MainLo: spec.MainLo, MainHi: spec.MainHi,
+		ExtLo: spec.ExtLo, ExtHi: spec.ExtHi,
+		Dests: d.m,
+	}
+	blob, err := json.Marshal(f)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadDestLog reads the sidecar back, validates it belongs to this
+// spec and covers at least nextRound, and truncates rounds ≥ nextRound
+// (they will be re-run after the checkpoint they follow).
+func loadDestLog(path string, spec Spec, nextRound int) (*destLog, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f destsFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, err
+	}
+	if f.Fingerprint != spec.Fingerprint ||
+		f.MainLo != spec.MainLo || f.MainHi != spec.MainHi ||
+		f.ExtLo != spec.ExtLo || f.ExtHi != spec.ExtHi {
+		return nil, fmt.Errorf("dests sidecar belongs to a different campaign or split")
+	}
+	if f.NextRound < nextRound {
+		return nil, fmt.Errorf("dests sidecar at round %d behind checkpoint round %d", f.NextRound, nextRound)
+	}
+	d := newDestLog()
+	for v, rounds := range f.Dests {
+		if len(rounds) > nextRound {
+			rounds = rounds[:nextRound]
+		}
+		d.m[v] = rounds
+	}
+	return d, nil
+}

@@ -452,6 +452,11 @@ type DB struct {
 
 	vmu      sync.RWMutex
 	vantages map[Vantage]*vantageTable
+
+	// mergeMu guards merged: the shard ranges MergeShard has already
+	// landed per (section, vantage), kept for its overlap assertion.
+	mergeMu sync.Mutex
+	merged  map[mergeKey][]mergeRange
 }
 
 // vantageTable holds one vantage's measurement tables, striped by
