@@ -408,6 +408,7 @@ func BenchmarkPaperScale(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var before, after runtime.MemStats
 		runtime.GC()
@@ -454,6 +455,7 @@ func BenchmarkShardedPaperScaleMini(b *testing.B) {
 		b.Fatal(err)
 	}
 	const workers = 4
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// No checkpoint dir: BenchmarkPaperScale doesn't checkpoint
 		// either, so the comparison isolates sharding itself. The CI
@@ -668,6 +670,7 @@ func BenchmarkAblationCIStopRule(b *testing.B) {
 	rule := stats.CIStop{Frac: 0.10, MinN: 3}
 	rng := rand.New(rand.NewSource(3))
 	var totalDownloads, converged int
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var w stats.Welford
 		for d := 0; d < 30; d++ {
@@ -693,6 +696,7 @@ func BenchmarkAblationBGPPreference(b *testing.B) {
 	g := mustGraph(b)
 	c := bgp.NewComputer(g)
 	var longer, pairs, extra float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Aggregate over a destination sample so a single iteration
 		// already carries signal.
@@ -794,6 +798,7 @@ func BenchmarkMonitorScaling(b *testing.B) {
 			cfg.Vantages = core.ScaledVantages(cfg.Rounds)
 			cfg.RoundWorkers = mode.workers
 			var samples, dnsRows int
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s, err := core.NewScenario(cfg)
 				if err != nil {
@@ -899,6 +904,7 @@ func BenchmarkAdoptionModel(b *testing.B) {
 	ad := alexa.NewAdoption(1, alexa.DefaultTimeline())
 	tl := ad.Timeline
 	hits := 0
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ad.IsV6At(alexa.SiteID(i), 1+i%1000000, tl.End) {
 			hits++

@@ -174,18 +174,7 @@ func main() {
 		fmt.Printf("main study: %v\n", s.DB)
 		fmt.Printf("world ipv6 day: %v\n", s.V6DayDB)
 	}
-	final := &store.CSVBackend{Dir: *out}
-	if err := final.SaveSnapshot(store.SnapMain, s.DB); err != nil {
-		fatal(err)
-	}
-	if err := final.SaveSnapshot(store.SnapV6Day, s.V6DayDB); err != nil {
-		fatal(err)
-	}
-	err = final.SaveMeta(store.Meta{
-		NextRound: cfg.Rounds, Rounds: cfg.Rounds,
-		ConfigHash: cfg.Fingerprint(), Complete: true, SavedAt: time.Now().UTC(),
-	})
-	if err != nil {
+	if err := cli.SaveCompleted(*out, cfg.Rounds, cfg.Fingerprint(), s.DB, s.V6DayDB); err != nil {
 		fatal(err)
 	}
 	// The final CSVs are the product; the checkpoint log (up to Keep
@@ -238,18 +227,7 @@ func runSharded(cfg core.Config, out string, shards, every int, quiet bool) {
 		fmt.Printf("main study: %v\n", s.DB)
 		fmt.Printf("world ipv6 day: %v\n", s.V6DayDB)
 	}
-	final := &store.CSVBackend{Dir: out}
-	if err := final.SaveSnapshot(store.SnapMain, s.DB); err != nil {
-		fatal(err)
-	}
-	if err := final.SaveSnapshot(store.SnapV6Day, s.V6DayDB); err != nil {
-		fatal(err)
-	}
-	err = final.SaveMeta(store.Meta{
-		NextRound: cfg.Rounds, Rounds: cfg.Rounds,
-		ConfigHash: cfg.Fingerprint(), Complete: true, SavedAt: time.Now().UTC(),
-	})
-	if err != nil {
+	if err := cli.SaveCompleted(out, cfg.Rounds, cfg.Fingerprint(), s.DB, s.V6DayDB); err != nil {
 		fatal(err)
 	}
 	if opt.Dir != "" {

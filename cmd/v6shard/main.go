@@ -32,7 +32,6 @@ import (
 	"v6web/internal/core"
 	"v6web/internal/scenario"
 	"v6web/internal/shard"
-	"v6web/internal/store"
 )
 
 func main() {
@@ -141,18 +140,7 @@ func coordinateMain(args []string) {
 	if err := s.RunWorldV6DayContext(ctx); err != nil {
 		fatal(err)
 	}
-	final := &store.CSVBackend{Dir: *out}
-	if err := final.SaveSnapshot(store.SnapMain, s.DB); err != nil {
-		fatal(err)
-	}
-	if err := final.SaveSnapshot(store.SnapV6Day, s.V6DayDB); err != nil {
-		fatal(err)
-	}
-	err = final.SaveMeta(store.Meta{
-		NextRound: cfg.Rounds, Rounds: cfg.Rounds,
-		ConfigHash: cfg.Fingerprint(), Complete: true, SavedAt: time.Now().UTC(),
-	})
-	if err != nil {
+	if err := cli.SaveCompleted(*out, cfg.Rounds, cfg.Fingerprint(), s.DB, s.V6DayDB); err != nil {
 		fatal(err)
 	}
 	if opt.Dir != "" {

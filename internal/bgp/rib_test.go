@@ -178,6 +178,7 @@ func BenchmarkRoutesV4(b *testing.B) {
 		b.Fatal(err)
 	}
 	c := NewComputer(g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Routes(i%g.N(), topo.V4)
@@ -193,6 +194,7 @@ func BenchmarkBuildRIB(b *testing.B) {
 	for i := range dsts {
 		dsts[i] = (i * 7) % g.N()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildRIB(g, 0, dsts, topo.V4)

@@ -132,6 +132,7 @@ func BenchmarkBuildRIBSingleSourceFull(b *testing.B) {
 	for i := range all {
 		all[i] = i
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildRIBSingleSource(g, 0, all, topo.V4, false)
@@ -147,6 +148,7 @@ func BenchmarkBuildRIBOracleFull(b *testing.B) {
 	for i := range all {
 		all[i] = i
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildRIBOracle(g, 0, all, topo.V4, false)

@@ -8,6 +8,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
+
+	"v6web/internal/store"
 )
 
 // ExplicitFlags returns which of the named flags the user set on the
@@ -28,4 +31,26 @@ func ExplicitFlags(names ...string) []string {
 func Fatal(tool string, err error) {
 	fmt.Fprintln(os.Stderr, tool+":", err)
 	os.Exit(1)
+}
+
+// SaveCompleted writes a finished campaign's product to dir: both
+// database snapshots plus the completion Meta (NextRound == Rounds,
+// Complete set) that marks the directory as final rather than a
+// resumable checkpoint. Every tool that finishes a campaign goes
+// through here so the completion contract cannot drift between them.
+func SaveCompleted(dir string, rounds int, fingerprint string, main, v6day *store.DB) error {
+	final := &store.CSVBackend{Dir: dir}
+	if err := final.SaveSnapshot(store.SnapMain, main); err != nil {
+		return err
+	}
+	if err := final.SaveSnapshot(store.SnapV6Day, v6day); err != nil {
+		return err
+	}
+	return final.SaveMeta(store.Meta{
+		NextRound:  rounds,
+		Rounds:     rounds,
+		ConfigHash: fingerprint,
+		Complete:   true,
+		SavedAt:    time.Now().UTC(),
+	})
 }

@@ -102,6 +102,7 @@ type Config struct {
 	// part of Fingerprint: every worker count produces byte-identical
 	// campaign output (test-enforced), so a checkpoint taken at one
 	// setting resumes under any other.
+	//v6lint:nonsemantic every worker count produces byte-identical output, so checkpoints resume under any setting
 	RoundWorkers int
 }
 

@@ -153,7 +153,7 @@ func (ls *LiveStudy) V6Fallback() bool { return ls.fallback }
 
 // RunRound executes one real-socket monitoring round.
 func (ls *LiveStudy) RunRound(round int) measure.RoundStats {
-	return ls.mon.RunRound(round, time.Now(), 1.0, ls.refs)
+	return ls.mon.RunRound(round, time.Now(), 1.0, ls.refs) //v6lint:wallclock live study rounds are stamped with the real date
 }
 
 // Close tears the servers down.

@@ -237,9 +237,9 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 		if t.ext {
 			refs = extPop
 		}
-		start := time.Now()
+		start := time.Now() //v6lint:wallclock RoundEvent.Elapsed is observability, not simulation state
 		stats[k] = s.monitors[s.Cfg.Vantages[t.vp].Name].RunRound(r, date, tf, refs)
-		elapsed[k] = time.Since(start)
+		elapsed[k] = time.Since(start) //v6lint:wallclock RoundEvent.Elapsed is observability, not simulation state
 	})
 
 	// Merge each vantage's extended shard into its main stats and
@@ -324,7 +324,7 @@ func (s *Scenario) Checkpoint(b store.Backend) error {
 		Rounds:     s.Cfg.Rounds,
 		ConfigHash: s.Cfg.Fingerprint(),
 		Complete:   s.next >= s.Cfg.Rounds,
-		SavedAt:    time.Now().UTC(),
+		SavedAt:    time.Now().UTC(), //v6lint:wallclock checkpoint timestamp is metadata, excluded from campaign CSVs
 	})
 	if err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
@@ -462,8 +462,9 @@ func (s *Scenario) RunWorldV6DayContext(ctx context.Context, opts ...RunOption) 
 				return
 			}
 			date := s.Timeline.V6Day.Add(time.Duration(r) * 30 * time.Minute)
-			start := time.Now()
+			start := time.Now() //v6lint:wallclock RoundEvent.Elapsed is observability, not simulation state
 			st := mon.RunRound(r, date, tf, refs)
+			//v6lint:wallclock RoundEvent.Elapsed is observability, not simulation state
 			events[k] = append(events[k], RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: time.Since(start)})
 		}
 	})

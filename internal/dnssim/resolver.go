@@ -37,7 +37,7 @@ type Cache struct {
 // NewCache returns a cache using clock now (nil means time.Now).
 func NewCache(now func() time.Time) *Cache {
 	if now == nil {
-		now = time.Now
+		now = time.Now //v6lint:wallclock documented default clock; simulations inject a deterministic one
 	}
 	return &Cache{entries: make(map[rrKey]cacheEntry), now: now}
 }
@@ -168,6 +168,7 @@ func (r *Resolver) queryOnce(name string, t dnswire.Type) ([]dnswire.RR, error) 
 		return nil, fmt.Errorf("dnssim: dial: %w", err)
 	}
 	defer conn.Close()
+	//v6lint:wallclock socket deadline on a live UDP exchange
 	if err := conn.SetDeadline(time.Now().Add(r.Timeout)); err != nil {
 		return nil, err
 	}
@@ -215,6 +216,7 @@ func (r *Resolver) queryTCP(name string, t dnswire.Type) ([]dnswire.RR, error) {
 		return nil, fmt.Errorf("dnssim: tcp dial: %w", err)
 	}
 	defer conn.Close()
+	//v6lint:wallclock socket deadline on a live TCP exchange
 	if err := conn.SetDeadline(time.Now().Add(r.Timeout)); err != nil {
 		return nil, err
 	}

@@ -131,7 +131,7 @@ func (s *Server) serveTCP() {
 // handleTCPConn serves length-prefixed queries on one connection.
 func (s *Server) handleTCPConn(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	conn.SetDeadline(time.Now().Add(30 * time.Second)) //v6lint:wallclock socket deadline on a live connection
 	for {
 		var lenBuf [2]byte
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {

@@ -45,6 +45,7 @@ func (he *HappyEyeballs) Dial(v6IP, v4IP net.IP, port int) (*DialResult, error) 
 	if v6IP == nil && v4IP == nil {
 		return nil, fmt.Errorf("httpsim: happy eyeballs needs at least one address")
 	}
+	//v6lint:wallclock races real connection attempts; elapsed time is the measurement
 	start := time.Now()
 	results := make(chan attempt, 2)
 	tries := 0
@@ -76,6 +77,7 @@ func (he *HappyEyeballs) Dial(v6IP, v4IP net.IP, port int) (*DialResult, error) 
 			if a.err == nil {
 				// Winner. Drain the loser asynchronously.
 				go drainLosers(results, tries-i-1)
+				//v6lint:wallclock real dial-race duration over live sockets
 				return &DialResult{Conn: a.conn, Family: a.fam, Elapsed: time.Since(start)}, nil
 			}
 			if firstErr == nil {

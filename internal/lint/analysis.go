@@ -1,0 +1,193 @@
+// Package lint is the repo's custom static-analysis suite: five
+// analyzers that mechanically enforce the determinism, lock, and
+// fingerprint invariants every PR since the campaign-runner redesign
+// has staked correctness on. The campaign CSVs must be byte-identical
+// across serial, parallel, sharded, and checkpoint/resume execution;
+// the hazard classes that break that invariant are statically
+// recognizable, and each analyzer encodes one of them:
+//
+//   - maporder: map iteration feeding an ordered sink without a sort
+//   - detrand: wall clock or unseeded randomness in simulation code
+//   - fingerprint: config fields silently missing from Fingerprint()
+//   - locks: columnar-store shard-lock discipline
+//   - benchmetric: benchmark hygiene (ReportAllocs, ResetTimer)
+//
+// The framework deliberately mirrors the golang.org/x/tools
+// go/analysis API shape (Analyzer, Pass, Diagnostic, testdata
+// fixtures with "want" expectations) so the suite can migrate onto
+// the real multichecker if the dependency ever becomes available; it
+// is implemented on the standard library alone (go/ast, go/types,
+// and export data produced by `go list -export`).
+//
+// # Escape hatches
+//
+// Each rule has an explicit, reviewable annotation that suppresses a
+// finding. The annotation is a line comment of the form
+//
+//	//v6lint:<key> <reason>
+//
+// placed either at the end of the offending line or as a comment line
+// directly above it. The reason is mandatory: an annotation without
+// one is itself a finding. The keys are "wallclock" (detrand),
+// "nonsemantic" (fingerprint), "unordered" (maporder), "locked"
+// (locks), and "benchmetric" (benchmetric); see each analyzer's Doc.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fixture paths.
+	Name string
+	// Doc explains the rule, the bug class it encodes, and its escape
+	// hatch.
+	Doc string
+	// Run executes the rule over one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass provides one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path as analyzed. Path-scoped
+	// analyzers (detrand) match on its last element.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	ann    annIndex
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotated reports whether pos (its line, or the line directly
+// above) carries a //v6lint:<key> annotation, and returns its reason.
+// An annotation with an empty reason is reported as a finding and not
+// honored.
+func (p *Pass) Annotated(pos token.Pos, key string) (reason string, ok bool) {
+	position := p.Fset.Position(pos)
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		if a, found := p.ann[annKey{position.Filename, line, key}]; found {
+			if a.reason == "" {
+				p.Reportf(pos, "//v6lint:%s annotation without a reason — the escape hatch requires one", key)
+				return "", false
+			}
+			return a.reason, true
+		}
+	}
+	return "", false
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+type annKey struct {
+	file string
+	line int
+	key  string
+}
+
+type annotation struct {
+	reason string
+}
+
+type annIndex map[annKey]annotation
+
+// annPrefix introduces a lint annotation comment.
+const annPrefix = "//v6lint:"
+
+// indexAnnotations scans every comment of files for //v6lint:
+// annotations and indexes them by (file, line, key).
+func indexAnnotations(fset *token.FileSet, files []*ast.File) annIndex {
+	idx := annIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, annPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, annPrefix)
+				key, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				idx[annKey{pos.Filename, pos.Line, key}] = annotation{reason: strings.TrimSpace(reason)}
+			}
+		}
+	}
+	return idx
+}
+
+// RunAnalyzers executes every analyzer over pkg and returns the
+// findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ann := indexAnnotations(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			ann:      ann,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, DetRand, Fingerprint, Locks, BenchMetric}
+}

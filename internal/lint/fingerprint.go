@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fingerprint checks that every field of a struct type carrying a
+// Fingerprint() method is either referenced by that method (directly
+// or through same-package helpers it calls) or explicitly annotated
+// //v6lint:nonsemantic <reason>. A config field that silently skips
+// the fingerprint is the exact trap the parallel-runner PR had to
+// document for RoundWorkers: Resume compares fingerprints to refuse
+// mixing two campaigns' state, so a skipped semantic field lets a
+// different campaign's checkpoint resume — and corrupt — this one.
+var Fingerprint = &Analyzer{
+	Name: "fingerprint",
+	Doc:  "every field of a Fingerprint()-bearing struct must be hashed or marked //v6lint:nonsemantic",
+	Run:  runFingerprint,
+}
+
+func runFingerprint(pass *Pass) error {
+	decls := funcDecls(pass.Info, pass.Files)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fp *types.Func
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == "Fingerprint" {
+				fp = m
+				break
+			}
+		}
+		if fp == nil {
+			continue
+		}
+		checkFingerprint(pass, decls, named, st, fp)
+	}
+	return nil
+}
+
+// checkFingerprint walks the intra-package call graph rooted at the
+// Fingerprint method and verifies every field of st is reached.
+func checkFingerprint(pass *Pass, decls map[*types.Func]*ast.FuncDecl, named *types.Named, st *types.Struct, fp *types.Func) {
+	root := decls[fp]
+	if root == nil || root.Body == nil {
+		return // method declared without a body in this package (should not happen)
+	}
+
+	fields := map[*types.Var]bool{} // field -> referenced
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = false
+	}
+	all := false // whole-struct value reached a call (e.g. %+v of the receiver)
+
+	visited := map[*types.Func]bool{}
+	work := []*types.Func{fp}
+	for len(work) > 0 && !all {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if s := pass.Info.Selections[n]; s != nil && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						if _, mine := fields[v]; mine {
+							fields[v] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				// A whole struct value passed as a call argument (fmt %+v
+				// of the receiver, a copy handed to a helper) covers all
+				// fields. Field selections c.F pass the SelectorExpr, not
+				// the bare ident, so they do not trip this.
+				if v, ok := pass.Info.Uses[n].(*types.Var); ok {
+					if sameNamed(v.Type(), named) && isCallArg(pass, n) {
+						all = true
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() == pass.Pkg {
+					work = append(work, fn)
+				}
+			}
+			return true
+		})
+	}
+	if all {
+		return
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if fields[f] {
+			continue
+		}
+		if _, ok := pass.Annotated(f.Pos(), "nonsemantic"); ok {
+			continue
+		}
+		pass.Reportf(f.Pos(),
+			"field %s.%s is not referenced by Fingerprint(): a semantic field outside the fingerprint lets Resume mix two different campaigns' state; hash it, or annotate //v6lint:nonsemantic <reason>",
+			named.Obj().Name(), f.Name())
+	}
+}
+
+// sameNamed reports whether t is named (or *named).
+func sameNamed(t types.Type, named *types.Named) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}
+
+// isCallArg reports whether the ident appears as a direct call
+// argument within its file.
+func isCallArg(pass *Pass, id *ast.Ident) bool {
+	for _, f := range pass.Files {
+		if f.Pos() <= id.Pos() && id.Pos() < f.End() {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				for _, a := range call.Args {
+					if unparen(a) == ast.Expr(id) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			return found
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"io"
+	"strings"
+)
+
+// Run loads the packages matched by patterns (relative to dir), runs
+// analyzers (nil means the full suite) over each, writes one line per
+// finding to w, and returns the number of findings.
+func Run(dir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// --- shared AST helpers ----------------------------------------------
+
+// unparen strips parentheses: a local stand-in for ast.Unparen, which
+// postdates the module's go directive.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders an expression compactly for diagnostics and for
+// comparing lock receivers ("t.dns[i].mu").
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return fmt.Sprintf("%T", e)
+	}
+	return sb.String()
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// funcDecls maps each package-level function or method object to its
+// declaration, for intra-package call-graph walks.
+func funcDecls(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// baseIdent returns the leftmost identifier of a selector/index
+// chain: baseIdent(a.b[i].c) == a. Returns nil for non-chains.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

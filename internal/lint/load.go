@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis. Packages
+// named by the load patterns include their in-package test files;
+// external (_test package) files are returned as a separate Package
+// with the same Path.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	ForTest    string
+	Export     string
+	Module     *struct{ Path string }
+
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// loader typechecks module packages from source, resolving
+// out-of-module imports (the standard library; the module has no
+// other dependencies) through compiler export data produced by
+// `go list -export`.
+type loader struct {
+	dir     string
+	fset    *token.FileSet
+	listing map[string]*listPkg
+	exports map[string]string
+	pkgs    map[string]*Package // typechecked module packages, by import path
+	gc      types.Importer
+	roots   map[string]bool
+}
+
+func goList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// Load typechecks the packages matched by patterns (relative to dir)
+// plus their in-package and external test files, and returns them
+// ready for analysis.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	rootOut, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	roots := map[string]bool{}
+	var rootOrder []string
+	for _, line := range strings.Split(strings.TrimSpace(string(rootOut)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			roots[line] = true
+			rootOrder = append(rootOrder, line)
+		}
+	}
+	if len(rootOrder) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	// One -deps -test -export listing provides the whole graph: source
+	// file lists for module packages, export data for everything else
+	// (including test-only dependencies such as "testing").
+	depOut, err := goList(dir, append([]string{"-deps", "-test", "-export", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		listing: map[string]*listPkg{},
+		exports: map[string]string{},
+		pkgs:    map[string]*Package{},
+		roots:   roots,
+	}
+	dec := json.NewDecoder(bytes.NewReader(depOut))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			// Test-binary variants; the base listing already names the
+			// test files, and the variants' dependencies appear as
+			// ordinary entries of this same listing.
+			continue
+		}
+		cp := p
+		l.listing[p.ImportPath] = &cp
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, path := range rootOrder {
+		pkg, err := l.typecheck(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		lp := l.listing[path]
+		if lp != nil && len(lp.XTestGoFiles) > 0 {
+			xt, err := l.typecheckFiles(path, lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xt)
+		}
+	}
+	return out, nil
+}
+
+// inModule reports whether the listed package is part of the main
+// module (and therefore typechecked from source).
+func (l *loader) inModule(lp *listPkg) bool {
+	return lp != nil && !lp.Standard && lp.Module != nil
+}
+
+// Import implements types.Importer over the mixed source/export-data
+// world.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if lp := l.listing[path]; l.inModule(lp) {
+		pkg, err := l.typecheck(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.gc.Import(path)
+}
+
+// typecheck typechecks the module package at path from source,
+// including its in-package test files when the package was named by
+// the load patterns. Results are memoized so diamond imports share
+// one *types.Package.
+func (l *loader) typecheck(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	lp := l.listing[path]
+	if lp == nil {
+		return nil, fmt.Errorf("lint: package %q not in listing", path)
+	}
+	files := append([]string(nil), lp.GoFiles...)
+	if l.roots[path] {
+		files = append(files, lp.TestGoFiles...)
+	}
+	pkg, err := l.typecheckFiles(path, lp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *loader) typecheckFiles(path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: syntax, Pkg: tpkg, Info: info}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// LoadDir typechecks a standalone fixture directory (outside the
+// module build, e.g. under testdata) as a single package with the
+// given import path. Fixture files may import only the standard
+// library; export data for those imports is resolved through one
+// `go list -export` call.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	importSet := map[string]bool{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		syntax = append(syntax, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(syntax) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for imp := range importSet {
+			if imp != "unsafe" {
+				imports = append(imports, imp)
+			}
+		}
+		sort.Strings(imports)
+		out, err := goList(dir, append([]string{"-deps", "-export", "-json"}, imports...)...)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: fixture import %q: only standard-library imports are supported", path)
+		}
+		return os.Open(f)
+	})
+	info := newInfo()
+	conf := types.Config{Importer: gc, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking fixture %s: %w", dir, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: syntax, Pkg: tpkg, Info: info}, nil
+}

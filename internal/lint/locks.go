@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Locks enforces the columnar store's shard-lock discipline through
+// two annotations placed on struct fields:
+//
+//	//v6lint:guardedby <mutexField>  — this field may only be accessed
+//	    by functions that (a) lock <mutexField> on a value of the same
+//	    struct type somewhere in their body, (b) document the
+//	    precondition with a "Caller holds ..." / "Callers must hold
+//	    ..." doc comment naming the lock, or (c) annotate the access
+//	    with //v6lint:locked <reason> (single-threaded construction,
+//	    Reserve-style exclusivity contracts).
+//	//v6lint:shardlock — this mutex is one stripe of a sharded lock.
+//	    Acquiring a second shard lock while one is held (lexically, in
+//	    source order, honoring defer'd unlocks) is flagged: lock
+//	    ordering across stripes is not defined, so nested acquisition
+//	    is a deadlock waiting for an unlucky site-id pair.
+//
+// The analysis is intra-procedural and lexical by design: the store's
+// convention is that every shard-locked section is a short straight-
+// line block, and anything subtler must be rewritten, not waved
+// through.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc:  "enforce //v6lint:guardedby field access and non-nested //v6lint:shardlock acquisition",
+	Run:  runLocks,
+}
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	owner *types.Named // struct type owning the field
+	mutex string       // sibling mutex field name
+}
+
+func runLocks(pass *Pass) error {
+	guarded := map[*types.Var]guardInfo{} // data field -> its guard
+	shardMus := map[*types.Var]bool{}     // mutex fields marked shardlock
+	collectLockAnnotations(pass, guarded, shardMus)
+	if len(guarded) == 0 && len(shardMus) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccess(pass, fd, guarded)
+			checkNestedShardLocks(pass, fd, shardMus)
+		}
+	}
+	return nil
+}
+
+// collectLockAnnotations walks struct declarations for the two lock
+// annotations.
+func collectLockAnnotations(pass *Pass, guarded map[*types.Var]guardInfo, shardMus map[*types.Var]bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					v, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if mu, ok := pass.Annotated(name.Pos(), "guardedby"); ok {
+						if !fieldNames[mu] {
+							pass.Reportf(name.Pos(), "//v6lint:guardedby names %q, which is not a field of %s", mu, ts.Name.Name)
+							continue
+						}
+						guarded[v] = guardInfo{owner: named, mutex: mu}
+					}
+					if _, ok := pass.Annotated(name.Pos(), "shardlock"); ok {
+						shardMus[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGuardedAccess flags selector accesses to guarded fields in
+// functions that neither lock the guard nor document the caller-holds
+// precondition.
+func checkGuardedAccess(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardInfo) {
+	type lockKey struct {
+		owner *types.Named
+		mutex string
+	}
+	locksHeld := map[lockKey]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+		default:
+			return true
+		}
+		// sel.X should itself be a selector <expr>.<mutexField>.
+		muSel, ok := unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[muSel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if owner := namedRecv(s.Recv()); owner != nil {
+			locksHeld[lockKey{owner, muSel.Sel.Name}] = true
+		}
+		return true
+	})
+
+	doc := ""
+	if fd.Doc != nil {
+		doc = fd.Doc.Text()
+	}
+	docHolds := strings.Contains(doc, "hold") // "Caller holds s.mu." / "Callers must hold the shard locks"
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[v]
+		if !ok {
+			return true
+		}
+		if locksHeld[lockKey{g.owner, g.mutex}] {
+			return true
+		}
+		if docHolds && (strings.Contains(doc, g.mutex) || strings.Contains(doc, "lock")) {
+			return true
+		}
+		if _, ok := pass.Annotated(sel.Pos(), "locked"); ok {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but %s neither locks it nor documents \"Caller holds %s\" (or annotate //v6lint:locked <reason>)",
+			g.owner.Obj().Name(), v.Name(), g.mutex, fd.Name.Name, g.mutex)
+		return true
+	})
+}
+
+// namedRecv unwraps a selection receiver type to its named struct.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// checkNestedShardLocks performs a lexical scan of shard-mutex
+// Lock/Unlock events in source order and flags acquiring a second
+// shard stripe while one is held.
+func checkNestedShardLocks(pass *Pass, fd *ast.FuncDecl, shardMus map[*types.Var]bool) {
+	type event struct {
+		pos      int // source order
+		expr     string
+		lock     bool
+		deferred bool
+		node     ast.Node
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		deferred := false
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call = n.Call
+			deferred = true
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var lock bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			lock = true
+		case "Unlock", "RUnlock":
+			lock = false
+		default:
+			return true
+		}
+		muSel, ok := unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[muSel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !shardMus[v] {
+			return true
+		}
+		events = append(events, event{
+			pos:      int(call.Pos()),
+			expr:     exprString(pass.Fset, sel.X),
+			lock:     lock,
+			deferred: deferred,
+			node:     call,
+		})
+		return !deferred
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := map[string]bool{}
+	for _, ev := range events {
+		switch {
+		case ev.lock:
+			for other := range held {
+				if other != ev.expr {
+					pass.Reportf(ev.node.Pos(),
+						"shard lock %s acquired while %s is held: nested shard acquisition has no defined lock order and deadlocks on an unlucky id pair",
+						ev.expr, other)
+				}
+			}
+			held[ev.expr] = true
+		case ev.deferred:
+			// Held until function return; leave it held.
+		default:
+			delete(held, ev.expr)
+		}
+	}
+}

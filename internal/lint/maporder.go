@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body reaches an ordered
+// sink — an fmt.Fprint*/Print* call, a Write*-method call on a writer
+// declared outside the loop (CSV writers, hashes, buffers), or an
+// append to a slice declared outside the loop — with no sort applied
+// to the accumulated slice afterwards in the same function. Go map
+// iteration order is deliberately randomized, so any such path makes
+// output differ run to run, breaking the campaign's byte-identical
+// CSV invariant (serial vs parallel vs sharded vs resumed).
+//
+// Safe patterns are not flagged: collecting keys into a slice that is
+// sorted before use, ranging over an already-sorted slice, or
+// building another map (order-insensitive). A deliberate
+// order-insensitive iteration can be annotated with
+// //v6lint:unordered <reason> on the range statement's line.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding an ordered sink without an intervening sort",
+	Run:  runMapOrder,
+}
+
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteRow":    true,
+	"WriteAll":    true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if _, ok := pass.Annotated(rs.For, "unordered"); ok {
+					return true
+				}
+				checkMapRange(pass, fd, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange scans one map-range body for ordered sinks.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	// declaredOutside resolves e to the variable it denotes and
+	// reports whether that variable is declared outside the range
+	// statement. Variables from other packages (os.Stdout) have no
+	// position here and count as outside.
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		var v *types.Var
+		if sel, ok := unparen(e).(*ast.SelectorExpr); ok {
+			v, _ = pass.Info.Uses[sel.Sel].(*types.Var)
+		}
+		if v == nil {
+			id := baseIdent(e)
+			if id == nil {
+				return nil, false
+			}
+			v, _ = pass.Info.ObjectOf(id).(*types.Var)
+		}
+		if v == nil {
+			return nil, false
+		}
+		outside := v.Pos() < rs.Pos() || v.Pos() > rs.End()
+		return v, outside
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtin append to a slice declared outside the loop.
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				if obj, outside := declaredOutside(call.Args[0]); outside {
+					if !sortedAfter(pass, fd, obj, rs.End()) {
+						pass.Reportf(call.Pos(),
+							"append to %s inside map iteration with no later sort: map order is randomized, so any serialized output of %s differs run to run (sort it, or annotate //v6lint:unordered)",
+							exprString(pass.Fset, call.Args[0]), exprString(pass.Fset, call.Args[0]))
+					}
+				}
+			}
+			return true
+		}
+		// fmt.Fprint*/Print* sinks.
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			name := fn.Name()
+			switch {
+			case strings.HasPrefix(name, "Fprint"):
+				if len(call.Args) > 0 {
+					if _, outside := declaredOutside(call.Args[0]); outside {
+						pass.Reportf(call.Pos(),
+							"fmt.%s inside map iteration writes in randomized map order (sort the keys first, or annotate //v6lint:unordered)", name)
+					}
+				}
+			case strings.HasPrefix(name, "Print"):
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside map iteration writes in randomized map order (sort the keys first, or annotate //v6lint:unordered)", name)
+			}
+			return true
+		}
+		// Write*-method sinks on receivers declared outside the loop.
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && writeMethods[sel.Sel.Name] {
+			if _, isMethod := pass.Info.Uses[sel.Sel].(*types.Func); isMethod {
+				if _, outside := declaredOutside(sel.X); outside {
+					pass.Reportf(call.Pos(),
+						"%s.%s inside map iteration writes in randomized map order (sort the keys first, or annotate //v6lint:unordered)",
+						exprString(pass.Fset, sel.X), sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort (package sort
+// or slices, or a *.Sort* method on obj) after pos within fd.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		sorter := false
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				sorter = true
+			}
+		}
+		if strings.Contains(strings.ToLower(fn.Name()), "sort") {
+			sorter = true
+		}
+		if !sorter {
+			return true
+		}
+		refs := func(e ast.Expr) bool {
+			id := baseIdent(e)
+			return id != nil && pass.Info.ObjectOf(id) == obj
+		}
+		for _, arg := range call.Args {
+			if refs(arg) {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && refs(sel.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

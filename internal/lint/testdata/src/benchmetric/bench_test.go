@@ -1,0 +1,84 @@
+// Package benchmetric is the analysistest fixture for the
+// benchmetric analyzer: ReportAllocs everywhere, ResetTimer after
+// pre-loop setup.
+package benchmetric
+
+import "testing"
+
+func work(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func setup() []int { return make([]int, 1024) }
+
+func BenchmarkGood(b *testing.B) {
+	data := setup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work(len(data))
+	}
+}
+
+func BenchmarkMissingReport(b *testing.B) { // want `BenchmarkMissingReport does not call b.ReportAllocs`
+	for i := 0; i < b.N; i++ {
+		work(64)
+	}
+}
+
+func BenchmarkMissingReset(b *testing.B) {
+	b.ReportAllocs()
+	data := setup()
+	for i := 0; i < b.N; i++ { // want `runs setup before its b.N loop without b.ResetTimer`
+		work(len(data))
+	}
+}
+
+func BenchmarkEarlyReset(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer() // want `b.ResetTimer\(\) precedes later setup work`
+	data := setup()
+	for i := 0; i < b.N; i++ {
+		work(len(data))
+	}
+}
+
+func BenchmarkLoopStyle(b *testing.B) {
+	b.ReportAllocs()
+	data := setup()
+	for b.Loop() {
+		work(len(data))
+	}
+}
+
+func BenchmarkNoLoop(b *testing.B) { // want `has no b.N/b.Loop loop`
+	b.ReportAllocs()
+	work(64)
+}
+
+//v6lint:benchmetric fixture stand-in for deliberately measuring construction
+func BenchmarkAnnotated(b *testing.B) {
+	data := setup()
+	for i := 0; i < b.N; i++ {
+		work(len(data))
+	}
+}
+
+func BenchmarkDriver(b *testing.B) {
+	data := setup()
+	b.Run("good", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			work(len(data))
+		}
+	})
+	b.Run("missing", func(b *testing.B) { // want `BenchmarkDriver/sub does not call b.ReportAllocs`
+		for i := 0; i < b.N; i++ {
+			work(len(data))
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Package websim is the analysistest fixture for the detrand
+// analyzer; its import path ends in a simulation package name so the
+// path filter engages.
+package websim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobal() float64 {
+	return rand.Float64() // want `global rand.Float64 uses process-wide random state`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle`
+}
+
+func badNow() time.Time {
+	return time.Now() // want `time.Now in simulation package websim`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in simulation package websim`
+}
+
+func pick() rand.Source { return rand.NewSource(1) }
+
+func badNew() *rand.Rand {
+	return rand.New(pick()) // want `rand.New seeded from pick`
+}
+
+func badEmptyReason() time.Time {
+	//v6lint:wallclock
+	return time.Now() // want `annotation without a reason` `time.Now in simulation package websim`
+}
+
+func goodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodVar(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+func goodMethod(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func goodAnnotated() time.Time {
+	//v6lint:wallclock fixture stand-in for a live-socket deadline
+	return time.Now()
+}

@@ -1,0 +1,47 @@
+// Package fingerprint is the analysistest fixture for the
+// fingerprint analyzer: every field of a Fingerprint()-bearing struct
+// must be hashed or annotated.
+package fingerprint
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Spec has one hashed field, one forgotten field, and one annotated
+// field.
+type Spec struct {
+	Seed    int64
+	Rounds  int
+	Workers int    // want `field Spec.Workers is not referenced by Fingerprint`
+	Label   string //v6lint:nonsemantic display-only; never read by the simulation
+}
+
+func (s *Spec) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", s.Seed, s.Rounds)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Indirect covers its fields through a same-package helper.
+type Indirect struct {
+	A int
+	B int
+}
+
+func (x Indirect) Fingerprint() string { return x.part() }
+
+func (x Indirect) part() string { return fmt.Sprint(x.A, x.B) }
+
+// Whole hands the entire value to fmt, covering every field.
+type Whole struct {
+	A int
+	B string
+}
+
+func (w Whole) Fingerprint() string { return fmt.Sprintf("%+v", w) }
+
+// NoMethod has no Fingerprint method and is ignored.
+type NoMethod struct {
+	Unused int
+}

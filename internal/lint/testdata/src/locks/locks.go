@@ -1,0 +1,58 @@
+// Package locks is the analysistest fixture for the locks analyzer:
+// //v6lint:guardedby field discipline and non-nested //v6lint:shardlock
+// acquisition.
+package locks
+
+import "sync"
+
+type shard struct {
+	mu   sync.Mutex //v6lint:shardlock one stripe of the fixture table
+	rows int        //v6lint:guardedby mu
+}
+
+type table struct {
+	shards [4]shard
+}
+
+func (s *shard) addLocked(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows += n
+}
+
+// bump increments the row count. Caller holds s.mu.
+func (s *shard) bump() {
+	s.rows++
+}
+
+func (s *shard) addRacy(n int) {
+	s.rows += n // want `shard.rows is guarded by mu but addRacy neither locks it`
+}
+
+func (s *shard) addAnnotated(n int) {
+	s.rows += n //v6lint:locked fixture stand-in for single-threaded construction
+}
+
+func (t *table) moveGood(i, j, n int) {
+	t.shards[i].mu.Lock()
+	t.shards[i].rows -= n
+	t.shards[i].mu.Unlock()
+	t.shards[j].mu.Lock()
+	t.shards[j].rows += n
+	t.shards[j].mu.Unlock()
+}
+
+func (t *table) moveNested(i, j, n int) {
+	t.shards[i].mu.Lock()
+	defer t.shards[i].mu.Unlock()
+	t.shards[j].mu.Lock() // want `shard lock t.shards\[j\].mu acquired while t.shards\[i\].mu is held`
+	t.shards[j].rows += n
+	t.shards[j].mu.Unlock()
+	t.shards[i].rows -= n
+}
+
+type badAnn struct {
+	mu sync.Mutex
+	//v6lint:guardedby lock
+	data int // want `names "lock", which is not a field of badAnn`
+}

@@ -1,0 +1,70 @@
+// Package maporder is the analysistest fixture for the maporder
+// analyzer: map iteration feeding ordered sinks.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside map iteration`
+	}
+}
+
+func badFprint(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stdout, k) // want `fmt.Fprintln inside map iteration`
+	}
+}
+
+func badWriter(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `buf.WriteString inside map iteration`
+	}
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodLocal(m map[string]int) {
+	for k := range m {
+		parts := []string{}
+		parts = append(parts, k)
+		_ = parts
+	}
+}
+
+func goodMapBuild(m map[string]int) map[int]string {
+	inv := map[int]string{}
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func goodAnnotated(m map[string]int) []string {
+	var keys []string
+	//v6lint:unordered keys are deduplicated into a set downstream
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,56 @@
+// Package websim seeds exactly one violation per analyzer. It backs
+// the end-to-end v6lint smoke test and the CI step proving the lint
+// job fails on a known violation. The testdata location keeps it out
+// of ./... wildcards; the smoke test and CI address it by explicit
+// path. Its directory is named websim so the detrand package filter
+// engages.
+package websim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Spec mimics a scenario config with a field missing from the hash:
+// the fingerprint violation.
+type Spec struct {
+	Seed  int64
+	Extra int
+}
+
+// Fingerprint hashes only Seed, forgetting Extra.
+func (s Spec) Fingerprint() string {
+	return fmt.Sprintf("%d", s.Seed)
+}
+
+// Jitter reads the process-global generator: the detrand violation.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Keys feeds map iteration straight into an outer append with no
+// later sort: the maporder violation.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int //v6lint:guardedby mu
+}
+
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// incRacy skips the mutex: the locks violation.
+func (c *counter) incRacy() {
+	c.n++
+}

@@ -1,0 +1,11 @@
+package websim
+
+import "testing"
+
+// BenchmarkKeys misses b.ReportAllocs(): the benchmetric violation.
+func BenchmarkKeys(b *testing.B) {
+	m := map[string]int{"a": 1, "b": 2}
+	for i := 0; i < b.N; i++ {
+		Keys(m)
+	}
+}

@@ -231,12 +231,13 @@ func (h *dnsHist) obs(spill []dnsRun) int32 {
 
 // dnsShard is one stripe of a vantage's delta-encoded DNS table.
 type dnsShard struct {
-	mu    sync.Mutex
-	main  []dnsHist
-	ext   []dnsHist
-	spill map[alexa.SiteID][]dnsRun
-	over  map[alexa.SiteID]*dnsHist
-	rows  int // observations in this shard (excluding the ooo log)
+	mu    sync.Mutex                //v6lint:shardlock one stripe of the site-id striped DNS table
+	main  []dnsHist                 //v6lint:guardedby mu
+	ext   []dnsHist                 //v6lint:guardedby mu
+	spill map[alexa.SiteID][]dnsRun //v6lint:guardedby mu
+	over  map[alexa.SiteID]*dnsHist //v6lint:guardedby mu
+	rows  int                       //v6lint:guardedby mu
+	// rows counts observations in this shard (excluding the ooo log).
 }
 
 // hist returns the site's history slot, creating overflow entries on
@@ -266,6 +267,8 @@ func (s *dnsShard) hist(res reservation, id alexa.SiteID, create bool) *dnsHist 
 	return h
 }
 
+// add records one DNS observation, reporting out-of-order rows the
+// caller must keep in the ooo log instead. Caller holds s.mu.
 func (s *dnsShard) add(res reservation, row DNSRow) (ooo bool) {
 	h := s.hist(res, row.Site, true)
 	nr, spill, outOfOrder := h.append(s.spill[row.Site], int32(row.Round), dnsState(row.HasA, row.HasAAAA, row.Identical))
@@ -335,12 +338,12 @@ func (f *famSlots) grow(n int) {
 // a dense slot column over each reserved range (plus an overflow map)
 // pointing into the shard-local series storage.
 type sampleShard struct {
-	mu     sync.Mutex
-	main   [2]famSlots
-	ext    [2]famSlots
-	over   [2]map[alexa.SiteID]int32
-	series [][]packedSample
-	rows   int
+	mu     sync.Mutex                //v6lint:shardlock one stripe of the site-id striped sample table
+	main   [2]famSlots               //v6lint:guardedby mu
+	ext    [2]famSlots               //v6lint:guardedby mu
+	over   [2]map[alexa.SiteID]int32 //v6lint:guardedby mu
+	series [][]packedSample          //v6lint:guardedby mu
+	rows   int                       //v6lint:guardedby mu
 }
 
 // seriesIdx returns the series index stored for (id, fam), or -1.
@@ -365,6 +368,8 @@ func (s *sampleShard) seriesIdx(res reservation, id alexa.SiteID, fam topo.Famil
 	return -1
 }
 
+// add appends one packed sample to the site's series, minting the
+// series slot on first use. Caller holds s.mu.
 func (s *sampleShard) add(res reservation, id alexa.SiteID, fam topo.Family, p packedSample) {
 	f := int(fam)
 	idx := int32(-1)
@@ -434,12 +439,13 @@ func (c *siteCols) grow(n int) {
 // canonical alexa.HostName derivation are not stored; hostOver holds
 // the exceptions.
 type siteShard struct {
-	mu       sync.Mutex
-	main     siteCols
-	ext      siteCols
-	over     map[alexa.SiteID]SiteRow
-	hostOver map[alexa.SiteID]string
-	n        int // present rows in the dense ranges
+	mu       sync.Mutex               //v6lint:shardlock one stripe of the site-id striped site table
+	main     siteCols                 //v6lint:guardedby mu
+	ext      siteCols                 //v6lint:guardedby mu
+	over     map[alexa.SiteID]SiteRow //v6lint:guardedby mu
+	hostOver map[alexa.SiteID]string  //v6lint:guardedby mu
+	n        int                      //v6lint:guardedby mu
+	// n counts present rows in the dense ranges.
 }
 
 // DB is an in-memory measurement database safe for concurrent use.
@@ -451,12 +457,12 @@ type DB struct {
 	sites [shards]siteShard
 
 	vmu      sync.RWMutex
-	vantages map[Vantage]*vantageTable
+	vantages map[Vantage]*vantageTable //v6lint:guardedby vmu
 
 	// mergeMu guards merged: the shard ranges MergeShard has already
 	// landed per (section, vantage), kept for its overlap assertion.
 	mergeMu sync.Mutex
-	merged  map[mergeKey][]mergeRange
+	merged  map[mergeKey][]mergeRange //v6lint:guardedby mergeMu
 }
 
 // vantageTable holds one vantage's measurement tables, striped by
@@ -469,16 +475,16 @@ type vantageTable struct {
 	// end of the site's last run (duplicates included) are kept
 	// verbatim rather than folded into the delta encoding.
 	oooMu sync.Mutex
-	ooo   []DNSRow
+	ooo   []DNSRow //v6lint:guardedby oooMu
 
 	pathMu sync.Mutex
-	paths  map[famDstKey][]PathSnapshot
+	paths  map[famDstKey][]PathSnapshot //v6lint:guardedby pathMu
 
 	// Date dictionary: the distinct sample dates, typically one per
 	// round.
 	dateMu  sync.RWMutex
-	dates   []time.Time
-	dateIdx map[time.Time]int32
+	dates   []time.Time         //v6lint:guardedby dateMu
+	dateIdx map[time.Time]int32 //v6lint:guardedby dateMu
 }
 
 type famDstKey struct {
@@ -552,7 +558,8 @@ func NewDB() *DB {
 // covered by a range are migrated); the extended base cannot change
 // once set and must be a multiple of the shard count. Reserve must
 // not run concurrently with any other call — the campaign reserves
-// between rounds.
+// between rounds — and relies on that exclusivity instead of holding
+// the shard locks while it rebuilds the dense tables.
 func (db *DB) Reserve(mainIDs int, extBase alexa.SiteID, extIDs int) {
 	if extIDs > 0 {
 		if db.res.ext > 0 && extBase != db.res.extBase {
