@@ -9,8 +9,10 @@ package v6web
 
 import (
 	"context"
+	"io/fs"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -23,6 +25,7 @@ import (
 	"v6web/internal/scenario"
 	"v6web/internal/shard"
 	"v6web/internal/stats"
+	"v6web/internal/store"
 	"v6web/internal/topo"
 	"v6web/internal/websim"
 )
@@ -475,6 +478,96 @@ func BenchmarkShardedPaperScaleMini(b *testing.B) {
 		b.ReportMetric(float64(st.MergeDur.Nanoseconds()), "merge-ns")
 		b.ReportMetric(float64(st.WireBytes)/float64(sites), "wire-bytes/site")
 	}
+}
+
+// --- Snapshot formats -------------------------------------------------
+
+// diskBytes sums the on-disk size of a saved snapshot — a CSV
+// directory or a single .v6db file.
+func diskBytes(b *testing.B, root string) float64 {
+	b.Helper()
+	var total int64
+	err := filepath.WalkDir(root, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if info, err := d.Info(); err == nil && !d.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(total)
+}
+
+// BenchmarkSnapshotSave times one full checkpoint write of the shared
+// bench database in each snapshot format; disk-bytes is the size the
+// save leaves behind. The binary format must beat CSV on both axes —
+// that gap is why checkpoints default to binary.
+func BenchmarkSnapshotSave(b *testing.B) {
+	b.ReportAllocs()
+	db := benchScenario(b).DB
+	b.ResetTimer()
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		target := filepath.Join(b.TempDir(), "main")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Save(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(diskBytes(b, target), "disk-bytes")
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		target := filepath.Join(b.TempDir(), "main"+store.BinaryExt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.SaveBinary(target, store.BinaryOptions{Compress: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(diskBytes(b, target), "disk-bytes")
+	})
+}
+
+// BenchmarkSnapshotLoad times materializing the same database back
+// from each format — the cost a resume pays before its first round.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	b.ReportAllocs()
+	db := benchScenario(b).DB
+	b.ResetTimer()
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		target := filepath.Join(b.TempDir(), "main")
+		if err := db.Save(target); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Load(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		target := filepath.Join(b.TempDir(), "main"+store.BinaryExt)
+		if err := db.SaveBinary(target, store.BinaryOptions{Compress: true}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.LoadBinary(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---------------

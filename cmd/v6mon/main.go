@@ -9,7 +9,10 @@
 // interrupt loses at most the round in flight and a hard kill at
 // most the cadence. Restarting with -resume picks up from the last
 // checkpoint and produces byte-identical final CSVs to a
-// never-interrupted run.
+// never-interrupted run. Checkpoints are written as binary .v6db
+// snapshots by default (-format csv keeps the old CSV checkpoints);
+// resume auto-detects either format, and the final measurement CSVs
+// are the same regardless.
 //
 // The campaign's world can come from a declarative scenario pack
 // (-scenario, internal/scenario) instead of the shape flags: a
@@ -19,7 +22,7 @@
 // Usage:
 //
 //	v6mon -out data/ [-seed 42] [-ases 1500] [-sites 20000] [-rounds 35]
-//	      [-checkpoint-every 5] [-q]
+//	      [-checkpoint-every 5] [-format binary|csv] [-q]
 //	v6mon -out data/ -scenario world-ipv6-day              # a built-in pack
 //	v6mon -out data/ -scenario my.json -set topo.ases=500  # a pack file, scaled
 //	v6mon -out data/ -resume          # continue a killed campaign (same flags)
@@ -68,6 +71,7 @@ func main() {
 		every     = flag.Int("checkpoint-every", 5, "checkpoint after this many completed rounds (0 disables checkpointing; SIGINT checkpoints regardless)")
 		stopAfter = flag.Int("stop-after", 0, "checkpoint and exit after this round completes (0 runs to the end)")
 		shards    = flag.Int("shards", 1, "split the campaign across this many local worker processes (1 runs in-process)")
+		format    = flag.String("format", "binary", "checkpoint snapshot format: binary or csv (the final measurement CSVs are unaffected)")
 	)
 	var sets scenario.Overrides
 	flag.Var(&sets, "set", "spec override as a dotted path, e.g. -set topo.ases=500 (repeatable; needs -scenario)")
@@ -89,6 +93,11 @@ func main() {
 		fatal(cfgErr)
 	}
 
+	ckptFormat, err := store.ParseSnapshotFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *stopAfter > 0 && *every <= 0 {
 		fatal(fmt.Errorf("-stop-after needs -checkpoint-every > 0, or the stopped campaign cannot be resumed"))
 	}
@@ -96,7 +105,7 @@ func main() {
 		if *resume || *stopAfter > 0 {
 			fatal(fmt.Errorf("-shards does not combine with -resume or -stop-after; workers resume from their own shard checkpoints, so just rerun the same command"))
 		}
-		runSharded(cfg, *out, *shards, *every, *quiet)
+		runSharded(cfg, *out, *shards, *every, ckptFormat, *quiet)
 		return
 	}
 
@@ -110,9 +119,10 @@ func main() {
 	context.AfterFunc(ctx, stop)
 
 	ckpt := store.NewCheckpointBackend(*out)
+	ckpt.Format = ckptFormat
+	ckpt.Fingerprint = cfg.Fingerprint()
 
 	var s *core.Scenario
-	var err error
 	if *resume {
 		s, err = core.Resume(cfg, ckpt)
 		if err != nil {
@@ -192,12 +202,12 @@ func main() {
 // runSharded is the -shards path: worker processes measure site-range
 // slices, the coordinator merges their frames, and everything after
 // the main study (World IPv6 Day, saving) runs locally as usual.
-func runSharded(cfg core.Config, out string, shards, every int, quiet bool) {
+func runSharded(cfg core.Config, out string, shards, every int, format store.SnapshotFormat, quiet bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	opt := shard.Options{Workers: shards, CheckpointEvery: every}
+	opt := shard.Options{Workers: shards, CheckpointEvery: every, CheckpointFormat: format}
 	if every > 0 {
 		opt.Dir = filepath.Join(out, "shards")
 	}

@@ -12,7 +12,8 @@
 // Usage:
 //
 //	v6shard coordinate -out data/ -shards 4 [-seed 42] [-ases 1500]
-//	        [-sites 20000] [-rounds 35] [-scenario pack [-set k=v]] [-q]
+//	        [-sites 20000] [-rounds 35] [-scenario pack [-set k=v]]
+//	        [-format binary|csv] [-q]
 //	v6shard coordinate -out data/ -shards 8 -listen :9653
 //	v6shard worker -connect host:9653     # repeat per machine/core
 package main
@@ -32,6 +33,7 @@ import (
 	"v6web/internal/core"
 	"v6web/internal/scenario"
 	"v6web/internal/shard"
+	"v6web/internal/store"
 )
 
 func main() {
@@ -81,6 +83,7 @@ func coordinateMain(args []string) {
 		shards = fs.Int("shards", 4, "number of site-range shards / workers")
 		listen = fs.String("listen", "", "accept remote `v6shard worker -connect` processes on this address instead of spawning local workers")
 		every  = fs.Int("checkpoint-every", 2, "worker checkpoint cadence in rounds (0 disables; a failed worker then retries from scratch)")
+		format = fs.String("format", "binary", "worker checkpoint snapshot format: binary or csv (the final measurement CSVs are unaffected)")
 		quiet  = fs.Bool("q", false, "suppress progress output")
 	)
 	var sets scenario.Overrides
@@ -108,14 +111,20 @@ func coordinateMain(args []string) {
 		cfg = comp.Config
 	}
 
+	ckptFormat, err := store.ParseSnapshotFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
 	opt := shard.Options{
-		Workers:         *shards,
-		CheckpointEvery: *every,
-		Listen:          *listen,
+		Workers:          *shards,
+		CheckpointEvery:  *every,
+		CheckpointFormat: ckptFormat,
+		Listen:           *listen,
 	}
 	if *every > 0 {
 		opt.Dir = filepath.Join(*out, "shards")

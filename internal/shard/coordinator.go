@@ -35,6 +35,10 @@ type Options struct {
 	// (default 2); ignored when Dir is empty.
 	CheckpointEvery int
 
+	// CheckpointFormat selects the worker checkpoint serialization
+	// (default store.FormatBinary); ignored when Dir is empty.
+	CheckpointFormat store.SnapshotFormat
+
 	// FrameTimeout bounds the silence between two frames from a worker
 	// before it is presumed dead and its shard retried (default 5m).
 	FrameTimeout time.Duration
@@ -130,6 +134,7 @@ func runSpecs(ctx context.Context, cfg core.Config, specs []Spec, opt Options) (
 		if opt.Dir != "" {
 			specs[i].CheckpointDir = filepath.Join(opt.Dir, fmt.Sprintf("shard-%02d", i))
 			specs[i].CheckpointEvery = opt.CheckpointEvery
+			specs[i].CheckpointFormat = opt.CheckpointFormat.String()
 		}
 	}
 	s, err := core.NewScenario(cfg)

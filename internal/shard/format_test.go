@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"v6web/internal/store"
+)
+
+// TestCheckpointFormatTravelsInSpec pins that the coordinator's
+// checkpoint format choice survives the JSON trip to the worker and
+// lands in the worker's backend — and that a spec carrying garbage is
+// rejected before any rounds run.
+func TestCheckpointFormatTravelsInSpec(t *testing.T) {
+	for _, tc := range []struct {
+		wire string
+		want store.SnapshotFormat
+	}{
+		{wire: "", want: store.FormatBinary},
+		{wire: "binary", want: store.FormatBinary},
+		{wire: "csv", want: store.FormatCSV},
+	} {
+		spec := Spec{Index: 1, Fingerprint: "fp", CheckpointDir: t.TempDir(), CheckpointFormat: tc.wire}
+		blob, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.CheckpointFormat != tc.wire {
+			t.Fatalf("format %q round-tripped to %q", tc.wire, back.CheckpointFormat)
+		}
+		b, err := checkpointBackend(back)
+		if err != nil {
+			t.Fatalf("format %q: %v", tc.wire, err)
+		}
+		if b.Format != tc.want || b.Fingerprint != "fp" {
+			t.Fatalf("format %q: backend got format %v fingerprint %q", tc.wire, b.Format, b.Fingerprint)
+		}
+	}
+	if _, err := checkpointBackend(Spec{Index: 2, CheckpointFormat: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bogus format accepted: %v", err)
+	}
+}

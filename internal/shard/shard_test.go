@@ -258,7 +258,8 @@ func (k *killingConn) Read(b []byte) (int, error) {
 // TestWorkerKillRetried kills one real worker process (SIGKILL, as the
 // CI chaos job does) after its first rounds; the coordinator must
 // detect the dead stream, retry the shard — which resumes from the
-// shard checkpoint — and still produce byte-identical CSVs.
+// shard checkpoint (binary-format by default) — and still produce
+// byte-identical CSVs.
 func TestWorkerKillRetried(t *testing.T) {
 	if testing.Short() {
 		t.Skip("process-spawning retry test in -short mode")
@@ -270,7 +271,7 @@ func TestWorkerKillRetried(t *testing.T) {
 	var sabotaged atomic.Bool
 	var log bytes.Buffer
 	s, st, err := Run(context.Background(), cfg, Options{
-		Workers:         2,
+		Workers:         4,
 		Dir:             t.TempDir(),
 		CheckpointEvery: 2,
 		FrameTimeout:    time.Minute,

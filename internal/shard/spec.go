@@ -45,6 +45,12 @@ type Spec struct {
 	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
 
+	// CheckpointFormat selects the snapshot serialization of the
+	// worker's checkpoints: "binary" (or empty, the default) or "csv".
+	// Resume auto-detects, so a spec may change the format between
+	// attempts of the same shard.
+	CheckpointFormat string `json:"checkpoint_format,omitempty"`
+
 	Config core.Config `json:"config"`
 }
 

@@ -108,11 +108,16 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 	}
 
 	var (
-		s     *core.Scenario
-		dests *destLog
+		s       *core.Scenario
+		dests   *destLog
+		backend *store.CheckpointBackend
 	)
 	if spec.CheckpointDir != "" {
-		s, dests = loadCheckpoint(cfg, spec)
+		var err error
+		if backend, err = checkpointBackend(spec); err != nil {
+			return err
+		}
+		s, dests = loadCheckpoint(cfg, spec, backend)
 	}
 	if s == nil {
 		var err error
@@ -141,7 +146,7 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 		if err := dests.save(destsPath(spec), spec, s.RoundsDone()); err != nil {
 			return err
 		}
-		return s.Checkpoint(store.NewCheckpointBackend(spec.CheckpointDir))
+		return s.Checkpoint(backend)
 	}
 	for s.RoundsDone() < cfg.Rounds {
 		if err := ctx.Err(); err != nil {
@@ -178,13 +183,28 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 	return emit(frameDone, nil)
 }
 
+// checkpointBackend builds the shard's checkpoint backend from the
+// spec: the format and the campaign fingerprint travel inside the
+// spec, so every attempt and resume of a shard uses the coordinator's
+// choice. A spec with an unknown format string is rejected before any
+// rounds run.
+func checkpointBackend(spec Spec) (*store.CheckpointBackend, error) {
+	format, err := store.ParseSnapshotFormat(spec.CheckpointFormat)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", spec.Index, err)
+	}
+	b := store.NewCheckpointBackend(spec.CheckpointDir)
+	b.Format = format
+	b.Fingerprint = spec.Fingerprint
+	return b, nil
+}
+
 // loadCheckpoint tries to resume the shard from its checkpoint
 // directory. Any unusable state — no committed checkpoint, a lost
 // dests sidecar, a foreign campaign's leftovers — falls back to a
 // wiped directory and a fresh start; the directory is the shard's
 // private scratch space, so that is always safe.
-func loadCheckpoint(cfg core.Config, spec Spec) (*core.Scenario, *destLog) {
-	backend := store.NewCheckpointBackend(spec.CheckpointDir)
+func loadCheckpoint(cfg core.Config, spec Spec, backend *store.CheckpointBackend) (*core.Scenario, *destLog) {
 	meta, ok, err := backend.LoadMeta()
 	if err == nil && !ok {
 		return nil, nil // pristine directory

@@ -2,7 +2,9 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,6 +105,59 @@ func (b *CSVBackend) LoadMeta() (Meta, bool, error) {
 	return readMetaFile(filepath.Join(b.Dir, metaFile))
 }
 
+// SnapshotFormat selects how a CheckpointBackend serializes
+// snapshots.
+type SnapshotFormat int
+
+const (
+	// FormatBinary is the default checkpoint format: one .v6db file
+	// per snapshot (see BinaryBackend) — a direct dump of the columnar
+	// tables, so checkpoint and resume cost O(state changes) instead
+	// of O(rows) of CSV text.
+	FormatBinary SnapshotFormat = iota
+	// FormatCSV is the interchange format v6mon has always written.
+	// Final campaign products stay CSV regardless of this setting;
+	// only checkpoints are affected.
+	FormatCSV
+)
+
+func (f SnapshotFormat) String() string {
+	switch f {
+	case FormatBinary:
+		return "binary"
+	case FormatCSV:
+		return "csv"
+	}
+	return fmt.Sprintf("SnapshotFormat(%d)", int(f))
+}
+
+// ParseSnapshotFormat parses a -format flag value; the empty string
+// means the binary default.
+func ParseSnapshotFormat(s string) (SnapshotFormat, error) {
+	switch s {
+	case "", "binary":
+		return FormatBinary, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("store: unknown snapshot format %q (want binary or csv)", s)
+}
+
+// loadSnapshotAuto loads base regardless of which format saved it:
+// the binary file when present, else the CSV directory. This is what
+// makes checkpoint directories format-migratable — a campaign
+// checkpointed by a CSV-era build resumes under the binary default,
+// and a binary checkpoint resumes under -format csv.
+func loadSnapshotAuto(base string) (*DB, error) {
+	bin := base + BinaryExt
+	if _, err := os.Stat(bin); err == nil {
+		return LoadBinary(bin)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	return Load(base)
+}
+
 // CheckpointBackend stores each committed checkpoint as its own
 // immutable directory under Dir/checkpoints — an append-only log of
 // campaign states. A checkpoint is staged in a hidden directory and
@@ -113,6 +168,13 @@ func (b *CSVBackend) LoadMeta() (Meta, bool, error) {
 type CheckpointBackend struct {
 	Dir  string // campaign root; checkpoints live under Dir/checkpoints
 	Keep int    // committed checkpoints to retain after a commit; <=0 keeps all
+
+	// Format selects the snapshot serialization inside each
+	// checkpoint directory (default binary). Loading auto-detects, so
+	// changing the format between runs of the same campaign is safe.
+	Format SnapshotFormat
+	// Fingerprint, when set, is stamped into binary snapshot headers.
+	Fingerprint string
 
 	mu      sync.Mutex
 	pending string // staging directory of the in-progress checkpoint
@@ -175,7 +237,8 @@ func (b *CheckpointBackend) stage() (string, error) {
 	return dir, nil
 }
 
-// SaveSnapshot stages db under the in-progress checkpoint.
+// SaveSnapshot stages db under the in-progress checkpoint, in the
+// backend's configured format.
 func (b *CheckpointBackend) SaveSnapshot(name string, db *DB) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -183,7 +246,10 @@ func (b *CheckpointBackend) SaveSnapshot(name string, db *DB) error {
 	if err != nil {
 		return err
 	}
-	return db.Save(filepath.Join(dir, name))
+	if b.Format == FormatCSV {
+		return db.Save(filepath.Join(dir, name))
+	}
+	return db.SaveBinary(filepath.Join(dir, name)+BinaryExt, BinaryOptions{Compress: true, Fingerprint: b.Fingerprint})
 }
 
 // SaveMeta commits the staged checkpoint: the metadata is written
@@ -263,7 +329,8 @@ func (b *CheckpointBackend) LoadMeta() (Meta, bool, error) {
 	return readMetaFile(filepath.Join(dir, metaFile))
 }
 
-// LoadSnapshot reads a snapshot from the newest committed checkpoint.
+// LoadSnapshot reads a snapshot from the newest committed checkpoint,
+// auto-detecting the format it was saved in.
 func (b *CheckpointBackend) LoadSnapshot(name string) (*DB, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -274,5 +341,5 @@ func (b *CheckpointBackend) LoadSnapshot(name string) (*DB, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: %w: no committed checkpoint under %s", ErrNoDatabase, b.root())
 	}
-	return Load(filepath.Join(dir, name))
+	return loadSnapshotAuto(filepath.Join(dir, name))
 }

@@ -1,0 +1,808 @@
+package store
+
+// Binary snapshot format: the whole database as one checksummed,
+// versioned file whose section payloads are the same delta encoding
+// the shard wire ships (shardwire.go) — saving is a direct dump of
+// the columnar tables, loading re-lands rows without re-deriving any
+// encoding. CSV (csv.go) remains the interchange and golden format;
+// this is the checkpoint/resume format, where persistence cost is on
+// the hot path.
+//
+// Layout ("frame layout" in DESIGN.md § Snapshot formats):
+//
+//	header (52 bytes, fixed)
+//	  [0:8)   magic "v6webDB\0"
+//	  [8:12)  u32 format version
+//	  [12:16) u32 flags (bit 0: some section is flate-compressed)
+//	  [16:24) u64 reserved main ids
+//	  [24:32) u64 reserved extended base
+//	  [32:40) u64 reserved extended ids
+//	  [40:48) u64 index offset
+//	  [48:52) u32 crc32c of header[0:48)
+//	frames — one per (section, vantage), contiguous, in save order:
+//	  sites first, then per vantage (sorted): dns, samples, paths
+//	index (at index offset, crc32c-terminated)
+//	  config fingerprint (uvarint length + bytes)
+//	  section count, then per section:
+//	    section id byte · vantage (uvarint length + bytes) ·
+//	    compressed byte · entry count uvarint ·
+//	    u64 offset · u64 stored length · u64 uncompressed length ·
+//	    u32 crc32c of the stored bytes
+//	  u32 crc32c of the index bytes
+//
+// Every failure mode — torn write, truncation, bit flip, implausible
+// header, undecodable payload — surfaces as a *CorruptSnapshotError
+// naming the damaged part, never a panic and never ErrNoDatabase
+// (which is reserved for "nothing saved at all"). Decoding arbitrary
+// bytes allocates O(input) memory: element counts are checked against
+// remaining bytes (rbuf.count), claimed id ranges are only reserved
+// when plausible for the data present, and flate output is capped at
+// the index's claimed uncompressed size.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"v6web/internal/alexa"
+	"v6web/internal/topo"
+)
+
+// BinaryExt is the file extension of binary snapshots.
+const BinaryExt = ".v6db"
+
+// snapPaths is the path-table section, which exists only in snapshot
+// files (shards never ship paths; the coordinator measures them).
+const snapPaths byte = 4
+
+// snapAllSites is the exclusive site-id bound snapshot sections pass
+// to the shard codec: unlike a shard frame, a snapshot section covers
+// the whole id space.
+const snapAllSites = alexa.SiteID(1) << 62
+
+// binVersion is the current snapshot format version. Bumping it
+// requires a matching entry in binSectionDecoders; TestBinaryVersionDecoders
+// pins that invariant.
+const binVersion uint32 = 1
+
+const (
+	binHeaderSize     = 52
+	binFlagCompressed = uint32(1) << 0
+	// flateMaxRatio bounds how much a flate stream can legitimately
+	// expand (the format's hard limit is ~1032:1), so a corrupt index
+	// cannot make the loader allocate unboundedly.
+	flateMaxRatio = 1032
+	// binMaxIDs bounds the header's claimed dense ranges far above the
+	// paper's 5M-site population but below anything that could
+	// overflow the int64 id arithmetic.
+	binMaxIDs = uint64(1) << 44
+)
+
+var binMagic = [8]byte{'v', '6', 'w', 'e', 'b', 'D', 'B', 0}
+
+var binCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// binSectionDecoders maps every snapshot format version this build
+// can read to its section decoder. Readers keep decoders for old
+// versions; a version bump without a new entry here fails
+// TestBinaryVersionDecoders before it can fail in the field.
+var binSectionDecoders = map[uint32]func(db *DB, section byte, v Vantage, payload []byte) error{
+	1: decodeSectionV1,
+}
+
+func supportedBinVersions() string {
+	vs := make([]int, 0, len(binSectionDecoders))
+	for v := range binSectionDecoders {
+		vs = append(vs, int(v))
+	}
+	sort.Ints(vs)
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// CorruptSnapshotError reports a binary snapshot file that exists but
+// cannot be decoded: a failed checksum, a truncated or torn write, an
+// implausible header, or a payload that does not parse. It is
+// deliberately distinct from ErrNoDatabase — the file is there, its
+// contents are wrong — so resume logic can tell "nothing saved yet"
+// from "the save is damaged".
+type CorruptSnapshotError struct {
+	Path    string // the snapshot file
+	Section string // "header", "index", or a section name like "dns/penn"
+	Err     error
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	return fmt.Sprintf("store: corrupt snapshot %s: %s: %v", e.Path, e.Section, e.Err)
+}
+
+func (e *CorruptSnapshotError) Unwrap() error { return e.Err }
+
+func corrupt(path, section string, err error) error {
+	return &CorruptSnapshotError{Path: path, Section: section, Err: err}
+}
+
+func corruptf(path, section, format string, args ...any) error {
+	return corrupt(path, section, fmt.Errorf(format, args...))
+}
+
+// sectionName labels a (section, vantage) pair in corruption errors.
+func sectionName(section byte, v Vantage) string {
+	var name string
+	switch section {
+	case ShardSites:
+		return "sites"
+	case ShardDNS:
+		name = "dns"
+	case ShardSamples:
+		name = "samples"
+	case snapPaths:
+		name = "paths"
+	default:
+		return fmt.Sprintf("section-%d", section)
+	}
+	if v == "" {
+		return name
+	}
+	return name + "/" + string(v)
+}
+
+// Fixed-width little-endian u32, used by the header and index only
+// (section payloads stick to the shard wire's uvarint/u64 vocabulary).
+func (w *wbuf) u32(x uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, x) }
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.fail("store: shard payload: truncated u32")
+		return 0
+	}
+	x := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return x
+}
+
+// BinaryOptions configure SaveBinary.
+type BinaryOptions struct {
+	Compress    bool   // flate-compress sections when it shrinks them
+	Fingerprint string // config fingerprint stamped into the index (may be empty)
+}
+
+// binSection is one index entry: where a (section, vantage) frame
+// lives and how to verify it.
+type binSection struct {
+	section    byte
+	vantage    Vantage
+	compressed bool
+	entries    uint64
+	off        uint64 // frame start in the file
+	clen       uint64 // stored (possibly compressed) length
+	ulen       uint64 // uncompressed payload length
+	crc        uint32 // crc32c of the stored bytes
+}
+
+// binHeader is the decoded fixed header.
+type binHeader struct {
+	version  uint32
+	flags    uint32
+	mainIDs  uint64
+	extBase  uint64
+	extIDs   uint64
+	indexOff uint64
+}
+
+// SaveBinary writes the database as one binary snapshot file. The
+// write is staged to path+".tmp" and committed by atomic rename, so a
+// crash mid-save never damages an existing snapshot. Equal databases
+// serialize to byte-identical files: sections follow the tables'
+// canonical iteration order and flate is deterministic.
+func (db *DB) SaveBinary(path string, opt BinaryOptions) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.writeBinary(f, opt); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (db *DB) writeBinary(f *os.File, opt BinaryOptions) error {
+	// Header placeholder; the real header is written last, once the
+	// index offset is known.
+	if _, err := f.Write(make([]byte, binHeaderSize)); err != nil {
+		return err
+	}
+	off := uint64(binHeaderSize)
+	anyCompressed := false
+	var secs []binSection
+	writeSection := func(section byte, v Vantage, payload []byte, entries int) error {
+		if entries == 0 {
+			return nil
+		}
+		stored, compressed := payload, false
+		if opt.Compress {
+			var zbuf bytes.Buffer
+			zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
+			if err != nil {
+				return err
+			}
+			if _, err := zw.Write(payload); err != nil {
+				return err
+			}
+			if err := zw.Close(); err != nil {
+				return err
+			}
+			if zbuf.Len() < len(payload) {
+				stored, compressed = zbuf.Bytes(), true
+				anyCompressed = true
+			}
+		}
+		if _, err := f.Write(stored); err != nil {
+			return err
+		}
+		secs = append(secs, binSection{
+			section: section, vantage: v, compressed: compressed,
+			entries: uint64(entries), off: off, clen: uint64(len(stored)),
+			ulen: uint64(len(payload)), crc: crc32.Checksum(stored, binCRCTable),
+		})
+		off += uint64(len(stored))
+		return nil
+	}
+
+	var w wbuf
+	nSites := db.appendSnapSites(&w)
+	if err := writeSection(ShardSites, "", w.b, nSites); err != nil {
+		return err
+	}
+	for _, v := range db.Vantages() {
+		w = wbuf{}
+		nDNS, err := db.appendShardDNS(&w, v, 0, snapAllSites)
+		if err != nil {
+			return err
+		}
+		if err := writeSection(ShardDNS, v, w.b, nDNS); err != nil {
+			return err
+		}
+		w = wbuf{}
+		nSamples := db.appendShardSamples(&w, v, 0, snapAllSites)
+		if err := writeSection(ShardSamples, v, w.b, nSamples); err != nil {
+			return err
+		}
+		w = wbuf{}
+		nPaths := db.appendSnapPaths(&w, v)
+		if err := writeSection(snapPaths, v, w.b, nPaths); err != nil {
+			return err
+		}
+	}
+
+	var idx wbuf
+	idx.uvarint(uint64(len(opt.Fingerprint)))
+	idx.bytes([]byte(opt.Fingerprint))
+	idx.uvarint(uint64(len(secs)))
+	for _, s := range secs {
+		idx.byteVal(s.section)
+		idx.uvarint(uint64(len(s.vantage)))
+		idx.bytes([]byte(s.vantage))
+		if s.compressed {
+			idx.byteVal(1)
+		} else {
+			idx.byteVal(0)
+		}
+		idx.uvarint(s.entries)
+		idx.u64(s.off)
+		idx.u64(s.clen)
+		idx.u64(s.ulen)
+		idx.u32(s.crc)
+	}
+	idx.u32(crc32.Checksum(idx.b[:len(idx.b)], binCRCTable))
+	if _, err := f.Write(idx.b); err != nil {
+		return err
+	}
+
+	hdr := make([]byte, binHeaderSize)
+	copy(hdr, binMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], binVersion)
+	flags := uint32(0)
+	if anyCompressed {
+		flags |= binFlagCompressed
+	}
+	binary.LittleEndian.PutUint32(hdr[12:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(db.res.main))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(db.res.extBase))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(db.res.ext))
+	binary.LittleEndian.PutUint64(hdr[40:], off)
+	binary.LittleEndian.PutUint32(hdr[48:], crc32.Checksum(hdr[:48], binCRCTable))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadBinary reads a snapshot written by SaveBinary, memory-mapping
+// the file when the platform allows. A missing file wraps
+// ErrNoDatabase; any other failure is a *CorruptSnapshotError naming
+// the damaged part.
+func LoadBinary(path string) (*DB, error) {
+	data, release, err := mapSnapshotFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("store: %w: %s", ErrNoDatabase, path)
+		}
+		return nil, err
+	}
+	defer release()
+	return decodeBinarySnapshot(path, data)
+}
+
+// readSnapshotFile is the buffered-read fallback behind mapSnapshotFile.
+func readSnapshotFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}
+
+func decodeBinarySnapshot(path string, data []byte) (*DB, error) {
+	h, secs, _, err := parseBinSnapshot(path, data)
+	if err != nil {
+		return nil, err
+	}
+	decode := binSectionDecoders[h.version]
+
+	db := NewDB()
+	// Reserve the claimed dense ranges only when they are plausible
+	// for the data present (every reserved-and-populated site costs
+	// several payload bytes); an implausible claim — a corrupt header,
+	// or a shard's range-restricted checkpoint — decodes into the
+	// overflow maps instead, which is slower but correct and, for the
+	// corrupt case, bounds allocation by O(input bytes).
+	totalUlen := uint64(0)
+	for _, s := range secs {
+		totalUlen += s.ulen
+	}
+	if ids := h.mainIDs + h.extIDs; ids > 0 && ids <= 2*totalUlen {
+		db.Reserve(int(h.mainIDs), alexa.SiteID(h.extBase), int(h.extIDs))
+	}
+
+	for _, s := range secs {
+		name := sectionName(s.section, s.vantage)
+		stored := data[s.off : s.off+s.clen]
+		if got := crc32.Checksum(stored, binCRCTable); got != s.crc {
+			return nil, corruptf(path, name, "checksum mismatch (stored %08x, computed %08x) — bit flip or torn write", s.crc, got)
+		}
+		payload := stored
+		if s.compressed {
+			payload, err = inflateSection(stored, s.ulen)
+			if err != nil {
+				return nil, corrupt(path, name, err)
+			}
+		}
+		if err := decode(db, s.section, s.vantage, payload); err != nil {
+			return nil, corrupt(path, name, err)
+		}
+	}
+	return db, nil
+}
+
+// parseBinSnapshot validates the header and index without touching
+// any section payload — O(sections), which is what makes opening a
+// paper-scale snapshot for inspection near-free.
+func parseBinSnapshot(path string, data []byte) (binHeader, []binSection, string, error) {
+	var h binHeader
+	if len(data) < binHeaderSize {
+		return h, nil, "", corruptf(path, "header", "file is %d bytes; a snapshot header is %d", len(data), binHeaderSize)
+	}
+	if !bytes.Equal(data[:8], binMagic[:]) {
+		return h, nil, "", corruptf(path, "header", "bad magic %q", data[:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(data[48:52]), crc32.Checksum(data[:48], binCRCTable); got != want {
+		return h, nil, "", corruptf(path, "header", "checksum mismatch (stored %08x, computed %08x)", got, want)
+	}
+	h.version = binary.LittleEndian.Uint32(data[8:12])
+	if _, ok := binSectionDecoders[h.version]; !ok {
+		return h, nil, "", corruptf(path, "header", "unsupported format version %d (this build reads %s)", h.version, supportedBinVersions())
+	}
+	h.flags = binary.LittleEndian.Uint32(data[12:16])
+	if extra := h.flags &^ binFlagCompressed; extra != 0 {
+		return h, nil, "", corruptf(path, "header", "unknown flag bits %#x", extra)
+	}
+	h.mainIDs = binary.LittleEndian.Uint64(data[16:24])
+	h.extBase = binary.LittleEndian.Uint64(data[24:32])
+	h.extIDs = binary.LittleEndian.Uint64(data[32:40])
+	h.indexOff = binary.LittleEndian.Uint64(data[40:48])
+	if h.mainIDs > binMaxIDs || h.extIDs > binMaxIDs || h.extBase > uint64(1)<<60 {
+		return h, nil, "", corruptf(path, "header", "implausible id ranges (main %d, ext base %d, ext %d)", h.mainIDs, h.extBase, h.extIDs)
+	}
+	if h.extIDs > 0 && h.extBase&(shards-1) != 0 {
+		return h, nil, "", corruptf(path, "header", "extended base %d is not a multiple of the shard count", h.extBase)
+	}
+	if h.indexOff < binHeaderSize || h.indexOff+4 > uint64(len(data)) {
+		return h, nil, "", corruptf(path, "index", "index offset %d outside the %d-byte file", h.indexOff, len(data))
+	}
+	idxBytes := data[h.indexOff : len(data)-4]
+	if got, want := binary.LittleEndian.Uint32(data[len(data)-4:]), crc32.Checksum(idxBytes, binCRCTable); got != want {
+		return h, nil, "", corruptf(path, "index", "checksum mismatch (stored %08x, computed %08x)", got, want)
+	}
+	secs, fingerprint, err := parseBinIndex(path, idxBytes, h.indexOff)
+	if err != nil {
+		return h, nil, "", err
+	}
+	return h, secs, fingerprint, nil
+}
+
+func parseBinIndex(path string, b []byte, indexOff uint64) ([]binSection, string, error) {
+	r := &rbuf{b: b}
+	fpLen := r.count()
+	fingerprint := ""
+	if r.err == nil && fpLen > 0 {
+		fingerprint = string(r.b[:fpLen])
+		r.b = r.b[fpLen:]
+	}
+	n := r.count()
+	secs := make([]binSection, 0, n)
+	seen := make(map[mergeKey]bool, n)
+	next := uint64(binHeaderSize)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		var s binSection
+		s.section = r.byteVal()
+		vlen := r.count()
+		if r.err != nil {
+			break
+		}
+		s.vantage = Vantage(r.b[:vlen])
+		r.b = r.b[vlen:]
+		switch c := r.byteVal(); c {
+		case 0:
+		case 1:
+			s.compressed = true
+		default:
+			r.fail("bad compression flag %d", c)
+		}
+		s.entries = r.uvarint()
+		s.off = r.u64()
+		s.clen = r.u64()
+		s.ulen = r.u64()
+		s.crc = r.u32()
+		if r.err != nil {
+			break
+		}
+		name := sectionName(s.section, s.vantage)
+		switch s.section {
+		case ShardSites, ShardDNS, ShardSamples, snapPaths:
+		default:
+			return nil, "", corruptf(path, "index", "unknown section id %d", s.section)
+		}
+		if seen[mergeKey{s.section, s.vantage}] {
+			return nil, "", corruptf(path, "index", "duplicate section %s", name)
+		}
+		seen[mergeKey{s.section, s.vantage}] = true
+		if s.off != next {
+			return nil, "", corruptf(path, name, "frame at offset %d, expected %d (torn or reordered write)", s.off, next)
+		}
+		if s.clen == 0 || s.off+s.clen < s.off || s.off+s.clen > indexOff {
+			return nil, "", corruptf(path, name, "frame [%d,+%d) outside the data region [%d,%d)", s.off, s.clen, binHeaderSize, indexOff)
+		}
+		if s.compressed {
+			if s.ulen > s.clen*flateMaxRatio+64 {
+				return nil, "", corruptf(path, name, "claimed uncompressed size %d implausible for %d stored bytes", s.ulen, s.clen)
+			}
+		} else if s.ulen != s.clen {
+			return nil, "", corruptf(path, name, "stored size %d != payload size %d in an uncompressed frame", s.clen, s.ulen)
+		}
+		if s.entries > s.ulen {
+			return nil, "", corruptf(path, name, "entry count %d exceeds payload bytes %d", s.entries, s.ulen)
+		}
+		next = s.off + s.clen
+		secs = append(secs, s)
+	}
+	if r.err != nil {
+		return nil, "", corrupt(path, "index", r.err)
+	}
+	if len(r.b) != 0 {
+		return nil, "", corruptf(path, "index", "%d trailing bytes", len(r.b))
+	}
+	if next != indexOff {
+		return nil, "", corruptf(path, "index", "data region ends at %d but the index starts at %d", next, indexOff)
+	}
+	return secs, fingerprint, nil
+}
+
+// inflateSection decompresses a stored frame, never allocating more
+// than the index's (already plausibility-checked) claimed size.
+func inflateSection(stored []byte, ulen uint64) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(stored))
+	defer zr.Close()
+	var out bytes.Buffer
+	if ulen < 1<<20 {
+		out.Grow(int(ulen))
+	}
+	n, err := io.Copy(&out, io.LimitReader(zr, int64(ulen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("inflate: %w", err)
+	}
+	if uint64(n) != ulen {
+		return nil, fmt.Errorf("inflate: stream yields %d bytes, index claims %d", n, ulen)
+	}
+	return out.Bytes(), nil
+}
+
+// decodeSectionV1 decodes one version-1 section payload into db. DNS
+// and samples reuse the shard-merge decoders over the full id range;
+// sites and paths have snapshot-only codecs.
+func decodeSectionV1(db *DB, section byte, v Vantage, payload []byte) error {
+	r := &rbuf{b: payload}
+	var err error
+	switch section {
+	case ShardSites:
+		err = db.mergeShardSites(r, 0, snapAllSites)
+	case ShardDNS:
+		err = db.mergeShardDNS(r, v, 0, snapAllSites)
+	case ShardSamples:
+		err = db.mergeShardSamples(r, v, 0, snapAllSites)
+	case snapPaths:
+		err = db.decodeSnapPaths(r, v)
+	default:
+		return fmt.Errorf("unknown section id %d", section)
+	}
+	if err == nil {
+		err = r.err
+	}
+	if err == nil && len(r.b) != 0 {
+		err = fmt.Errorf("%d trailing bytes", len(r.b))
+	}
+	return err
+}
+
+// appendSnapSites encodes every site row — dense ranges and overflow
+// ids alike — in ascending id order, using the shard-wire row format
+// with id deltas against the previous row (base -1). Decoded by
+// mergeShardSites over the full id range.
+func (db *DB) appendSnapSites(w *wbuf) int {
+	var rows wbuf
+	n := 0
+	prev := alexa.SiteID(-1)
+	db.forEachSite(func(r SiteRow) {
+		rows.uvarint(uint64(r.Site - prev))
+		prev = r.Site
+		rows.uvarint(uint64(r.FirstRank))
+		rows.uvarint(uint64(r.V4AS + 1))
+		rows.uvarint(uint64(r.V6AS + 1))
+		if r.Host == alexa.HostName(r.Site) {
+			rows.uvarint(0)
+		} else {
+			rows.uvarint(uint64(len(r.Host)))
+			rows.bytes([]byte(r.Host))
+		}
+		n++
+	})
+	w.uvarint(uint64(n))
+	w.bytes(rows.b)
+	return n
+}
+
+// appendSnapPaths encodes one vantage's path table: per (family, dst)
+// key in the canonical sorted order, the change-collapsed snapshot
+// list as (round, path length, AS indices).
+func (db *DB) appendSnapPaths(w *wbuf, v Vantage) int {
+	t := db.lookup(v)
+	if t == nil {
+		w.uvarint(0)
+		return 0
+	}
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	keys := make([]famDstKey, 0, len(t.paths))
+	for k := range t.paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.fam != b.fam {
+			return a.fam < b.fam
+		}
+		return a.dst < b.dst
+	})
+	var rows wbuf
+	n := 0
+	for _, k := range keys {
+		snaps := t.paths[k]
+		if len(snaps) == 0 {
+			continue
+		}
+		rows.byteVal(byte(k.fam))
+		rows.uvarint(uint64(k.dst))
+		rows.uvarint(uint64(len(snaps)))
+		for _, snap := range snaps {
+			rows.uvarint(uint64(snap.Round))
+			rows.uvarint(uint64(len(snap.Path)))
+			for _, as := range snap.Path {
+				rows.uvarint(uint64(as))
+			}
+		}
+		n++
+	}
+	w.uvarint(uint64(n))
+	w.bytes(rows.b)
+	return n
+}
+
+// decodeSnapPaths replays a paths section through AddPath. Saved
+// snapshot lists are already change-collapsed, so the replay stores
+// them exactly; keys must ascend in the canonical order, or a corrupt
+// payload could silently merge duplicate keys through the collapse
+// rule.
+func (db *DB) decodeSnapPaths(r *rbuf, v Vantage) error {
+	n := r.count()
+	var prevFam topo.Family
+	prevDst := -1
+	var path []int
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		fam := topo.Family(r.byteVal())
+		dst := r.uvarint()
+		nSnaps := r.count()
+		if r.err != nil {
+			break
+		}
+		if fam != topo.V4 && fam != topo.V6 {
+			r.fail("store: snapshot paths: unknown family %d", fam)
+			break
+		}
+		if dst > math.MaxInt32 {
+			r.fail("store: snapshot paths: destination %d out of range", dst)
+			break
+		}
+		if i > 0 && (fam < prevFam || (fam == prevFam && int(dst) <= prevDst)) {
+			r.fail("store: snapshot paths: keys out of order at (%d,%d)", fam, dst)
+			break
+		}
+		prevFam, prevDst = fam, int(dst)
+		if nSnaps == 0 {
+			r.fail("store: snapshot paths: empty snapshot list for (%d,%d)", fam, dst)
+			break
+		}
+		for k := uint64(0); k < nSnaps && r.err == nil; k++ {
+			round := r.uvarint()
+			plen := r.count()
+			if r.err != nil {
+				break
+			}
+			if round > maxRound {
+				r.fail("store: snapshot paths: round %d out of range", round)
+				break
+			}
+			path = path[:0]
+			for j := uint64(0); j < plen && r.err == nil; j++ {
+				as := r.uvarint()
+				if as > math.MaxInt32 {
+					r.fail("store: snapshot paths: AS index %d out of range", as)
+					break
+				}
+				path = append(path, int(as))
+			}
+			if r.err != nil {
+				break
+			}
+			db.AddPath(v, fam, int(dst), int(round), path)
+		}
+	}
+	return r.err
+}
+
+// BinaryInfo is the header/index summary of a binary snapshot, read
+// without decoding any section payload.
+type BinaryInfo struct {
+	Version     uint32
+	Fingerprint string
+	MainIDs     int
+	ExtBase     alexa.SiteID
+	ExtIDs      int
+	Sections    int
+	DataBytes   int64 // stored section bytes, after compression
+}
+
+// ReadBinaryInfo validates and summarizes a snapshot's header and
+// index — O(sections), regardless of database size.
+func ReadBinaryInfo(path string) (BinaryInfo, error) {
+	data, release, err := mapSnapshotFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return BinaryInfo{}, fmt.Errorf("store: %w: %s", ErrNoDatabase, path)
+		}
+		return BinaryInfo{}, err
+	}
+	defer release()
+	h, secs, fingerprint, err := parseBinSnapshot(path, data)
+	if err != nil {
+		return BinaryInfo{}, err
+	}
+	info := BinaryInfo{
+		Version:     h.version,
+		Fingerprint: fingerprint,
+		MainIDs:     int(h.mainIDs),
+		ExtBase:     alexa.SiteID(h.extBase),
+		ExtIDs:      int(h.extIDs),
+		Sections:    len(secs),
+	}
+	for _, s := range secs {
+		info.DataBytes += int64(s.clen)
+	}
+	return info, nil
+}
+
+// BinaryBackend stores each snapshot as a single binary columnar file
+// Dir/<name>.v6db — the delta-encoded sections the shard wire already
+// ships, wrapped in the checksummed, versioned container above. Saves
+// stage to a temp file and commit by atomic rename; loads memory-map
+// the file when the platform allows and verify every checksum before
+// decoding. CSVBackend remains the interchange format; this is the
+// checkpoint format.
+type BinaryBackend struct {
+	Dir         string
+	Compress    bool   // flate-compress sections that shrink
+	Fingerprint string // optional config fingerprint stamped into snapshots
+}
+
+// NewBinaryBackend returns a backend rooted at dir with compression
+// enabled.
+func NewBinaryBackend(dir string) *BinaryBackend {
+	return &BinaryBackend{Dir: dir, Compress: true}
+}
+
+func (b *BinaryBackend) snapPath(name string) string {
+	return filepath.Join(b.Dir, name+BinaryExt)
+}
+
+// SaveSnapshot writes db as Dir/name.v6db.
+func (b *BinaryBackend) SaveSnapshot(name string, db *DB) error {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return err
+	}
+	return db.SaveBinary(b.snapPath(name), BinaryOptions{Compress: b.Compress, Fingerprint: b.Fingerprint})
+}
+
+// LoadSnapshot reads Dir/name.v6db.
+func (b *BinaryBackend) LoadSnapshot(name string) (*DB, error) {
+	return LoadBinary(b.snapPath(name))
+}
+
+// SaveMeta atomically replaces Dir/meta.json.
+func (b *BinaryBackend) SaveMeta(m Meta) error {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return err
+	}
+	return writeMetaFile(filepath.Join(b.Dir, metaFile), m)
+}
+
+// LoadMeta reads Dir/meta.json; ok=false when it does not exist.
+func (b *BinaryBackend) LoadMeta() (Meta, bool, error) {
+	return readMetaFile(filepath.Join(b.Dir, metaFile))
+}

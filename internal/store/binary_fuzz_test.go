@@ -1,0 +1,175 @@
+package store
+
+// Fuzz targets for the snapshot decoder. The invariant under fuzz is
+// the corruption contract: arbitrary bytes either decode (only
+// byte-identical re-encodings of real snapshots can pass the
+// checksums) or fail with a typed error — never a panic, never
+// unbounded allocation. Seeds come from golden snapshots of
+// binarySampleDB plus the committed corpus under
+// testdata/fuzz/<target>/, which plain `go test` replays as unit
+// tests; CI additionally runs each target with -fuzztime=30s.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedSnapshots builds the golden snapshot seeds: compressed and
+// uncompressed dumps of the kitchen-sink sample database, an empty
+// database, and a database with only overflow ids.
+func fuzzSeedSnapshots(tb testing.TB) [][]byte {
+	tb.Helper()
+	dir, err := filepath.Abs(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var seeds [][]byte
+	add := func(db *DB, opt BinaryOptions) {
+		path := filepath.Join(dir, "seed"+BinaryExt)
+		if err := db.SaveBinary(path, opt); err != nil {
+			tb.Fatal(err)
+		}
+		data, _, err := mapSnapshotFile(path)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, append([]byte(nil), data...))
+	}
+	add(binarySampleDB(), BinaryOptions{Compress: false})
+	add(binarySampleDB(), BinaryOptions{Compress: true, Fingerprint: "deadbeef"})
+	add(NewDB(), BinaryOptions{})
+	sparse := NewDB()
+	sparse.PutSite(SiteRow{Site: 123456789, Host: "over.example", FirstRank: 1, V4AS: -1, V6AS: -1})
+	sparse.AddDNS("penn", DNSRow{Site: 123456789, Round: 0, HasA: true})
+	add(sparse, BinaryOptions{Compress: true})
+	return seeds
+}
+
+func FuzzLoadSnapshot(f *testing.F) {
+	for _, seed := range fuzzSeedSnapshots(f) {
+		f.Add(seed)
+		// Mutated variants steer the fuzzer toward the interesting
+		// failure surface immediately.
+		if len(seed) > binHeaderSize {
+			f.Add(seed[:binHeaderSize])
+			f.Add(seed[:len(seed)-5])
+			flipped := append([]byte(nil), seed...)
+			flipped[len(flipped)/2] ^= 1
+			f.Add(flipped)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := decodeBinarySnapshot("fuzz"+BinaryExt, data)
+		if err != nil {
+			var ce *CorruptSnapshotError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error is not a *CorruptSnapshotError: %v", err)
+			}
+			if ce.Section == "" {
+				t.Fatalf("corruption error without a section label: %v", err)
+			}
+			return
+		}
+		// Accepted input: the database must be walkable.
+		db.Counts()
+	})
+}
+
+// sectionSeed is one golden (section id, payload) pair for
+// FuzzDecodeSection and the committed-corpus regenerator.
+type sectionSeed struct {
+	name    string
+	section byte
+	payload []byte
+}
+
+// fuzzSectionSeeds encodes one payload per section kind from the
+// sample database.
+func fuzzSectionSeeds(tb testing.TB) []sectionSeed {
+	tb.Helper()
+	db := binarySampleDB()
+	var seeds []sectionSeed
+	add := func(name string, section byte, b []byte) {
+		seeds = append(seeds, sectionSeed{name: name, section: section, payload: b})
+	}
+	var w wbuf
+	db.appendSnapSites(&w)
+	add("golden-sites", ShardSites, w.b)
+	w = wbuf{}
+	if _, err := db.appendShardDNS(&w, "penn", 0, snapAllSites); err != nil {
+		tb.Fatal(err)
+	}
+	add("golden-dns", ShardDNS, w.b)
+	w = wbuf{}
+	db.appendShardSamples(&w, "penn", 0, snapAllSites)
+	add("golden-samples", ShardSamples, w.b)
+	w = wbuf{}
+	db.appendSnapPaths(&w, "penn")
+	add("golden-paths", snapPaths, w.b)
+	add("golden-unknown-empty", 0, []byte{})
+	return seeds
+}
+
+func FuzzDecodeSection(f *testing.F) {
+	for _, s := range fuzzSectionSeeds(f) {
+		f.Add(s.section, s.payload)
+	}
+
+	f.Fuzz(func(t *testing.T, section byte, payload []byte) {
+		fresh := NewDB()
+		fresh.Reserve(64, 1<<20, 32)
+		if err := decodeSectionV1(fresh, section, "penn", payload); err != nil {
+			return
+		}
+		fresh.Counts()
+	})
+}
+
+// TestFuzzSeedsDecode replays the generated golden seeds through the
+// full load path even when the committed corpus is absent, so the
+// seed corpus itself can never rot unnoticed.
+func TestFuzzSeedsDecode(t *testing.T) {
+	for i, seed := range fuzzSeedSnapshots(t) {
+		if _, err := decodeBinarySnapshot("seed"+BinaryExt, seed); err != nil {
+			t.Errorf("seed %d does not decode: %v", i, err)
+		}
+	}
+}
+
+// TestRegenerateFuzzCorpus rewrites the deterministic golden entries
+// of the committed corpus under testdata/fuzz/. Guarded by an env var
+// so a plain test run never mutates the repository:
+//
+//	V6WEB_REGEN_CORPUS=1 go test ./internal/store -run TestRegenerateFuzzCorpus
+//
+// The rest of the committed corpus is fuzzer-discovered (hash-named
+// files) and is curated by hand.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("V6WEB_REGEN_CORPUS") == "" {
+		t.Skip("set V6WEB_REGEN_CORPUS=1 to rewrite the golden corpus entries")
+	}
+	writeSeed := func(target, name string, lines ...string) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n"
+		for _, ln := range lines {
+			body += ln + "\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := []string{"golden-uncompressed", "golden-compressed", "golden-empty", "golden-overflow"}
+	for i, seed := range fuzzSeedSnapshots(t) {
+		writeSeed("FuzzLoadSnapshot", names[i], fmt.Sprintf("[]byte(%q)", seed))
+	}
+	for _, s := range fuzzSectionSeeds(t) {
+		writeSeed("FuzzDecodeSection", s.name,
+			fmt.Sprintf("byte(%q)", rune(s.section)), fmt.Sprintf("[]byte(%q)", s.payload))
+	}
+}

@@ -1,0 +1,377 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"v6web/internal/alexa"
+	"v6web/internal/topo"
+)
+
+var _ Backend = (*BinaryBackend)(nil)
+
+// binarySampleDB builds a database exercising every encoding corner:
+// dense main and extended ranges, an overflow id, host overrides, DNS
+// run spills and out-of-order rows (including a duplicate round),
+// multi-vantage samples, and change-collapsed paths.
+func binarySampleDB() *DB {
+	db := NewDB()
+	db.Reserve(64, 1<<20, 32)
+	for id := alexa.SiteID(0); id < 40; id++ {
+		db.PutSite(SiteRow{Site: id, Host: alexa.HostName(id), FirstRank: int(id) + 1, V4AS: int(id % 7), V6AS: -1})
+	}
+	db.PutSite(SiteRow{Site: 3, Host: "override.example", FirstRank: 4, V4AS: 1, V6AS: 2})
+	for i := alexa.SiteID(0); i < 8; i++ {
+		db.PutSite(SiteRow{Site: 1<<20 + i, Host: alexa.HostName(1<<20 + i), FirstRank: 0, V4AS: 5, V6AS: 6})
+	}
+	db.PutSite(SiteRow{Site: 5_000_000, Host: "overflow.example", FirstRank: 77, V4AS: -1, V6AS: -1})
+
+	for _, v := range []Vantage{"penn", "seattle"} {
+		// Site 0: one long run. Site 1: a new run every round (spills
+		// past the two inline slots). Site 2: in-order rounds plus an
+		// out-of-order row and a duplicate round.
+		for round := 0; round < 10; round++ {
+			db.AddDNS(v, DNSRow{Site: 0, Round: round, HasA: true, HasAAAA: true, Identical: true})
+			db.AddDNS(v, DNSRow{Site: 1, Round: round, HasA: true, HasAAAA: round%2 == 0})
+		}
+		db.AddDNS(v, DNSRow{Site: 2, Round: 5, HasA: true})
+		db.AddDNS(v, DNSRow{Site: 2, Round: 3, HasA: true, HasAAAA: true})
+		db.AddDNS(v, DNSRow{Site: 2, Round: 5, HasA: true})
+		db.AddDNS(v, DNSRow{Site: 1<<20 + 2, Round: 1, HasAAAA: true})
+		db.AddDNS(v, DNSRow{Site: 5_000_000, Round: 0, HasA: true})
+
+		date := time.Date(2011, 6, 8, 0, 0, 0, 0, time.UTC)
+		for round := 0; round < 4; round++ {
+			db.AddSample(v, 0, topo.V4, Sample{Round: round, Date: date.AddDate(0, 0, 7*round), PageBytes: 100 + round, Downloads: 3, MeanSpeed: 55.5 + float64(round), CIOK: true})
+			db.AddSample(v, 0, topo.V6, Sample{Round: round, Date: date.AddDate(0, 0, 7*round), PageBytes: 90 + round, Downloads: 4, MeanSpeed: 33.25, CIOK: round > 0})
+		}
+		db.AddSample(v, 1<<20+1, topo.V6, Sample{Round: 2, Date: date, PageBytes: 10, Downloads: 1, MeanSpeed: 0.125, CIOK: false})
+
+		db.AddPath(v, topo.V4, 9, 0, []int{2, 5, 9})
+		db.AddPath(v, topo.V4, 9, 3, []int{2, 7, 9})
+		db.AddPath(v, topo.V6, 9, 0, []int{2, 5, 9})
+		db.AddPath(v, topo.V6, 4, 1, []int{2, 4})
+	}
+	return db
+}
+
+// saveCSVBytes saves db as CSV and returns the four files' contents.
+func saveCSVBytes(t *testing.T, db *DB) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, name := range []string{sitesFile, dnsFile, samplesFile, pathsFile} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+func TestBinaryRoundTripCSVIdentical(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		name := "uncompressed"
+		if compress {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := binarySampleDB()
+			want := saveCSVBytes(t, db)
+			path := filepath.Join(t.TempDir(), "main"+BinaryExt)
+			if err := db.SaveBinary(path, BinaryOptions{Compress: compress}); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadBinary(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := saveCSVBytes(t, loaded)
+			for name, data := range want {
+				if !bytes.Equal(data, got[name]) {
+					t.Errorf("%s differs after binary round-trip:\n%s\nvs\n%s", name, data, got[name])
+				}
+			}
+		})
+	}
+}
+
+func TestBinarySaveDeterministic(t *testing.T) {
+	// Saving the same database twice must be byte-identical, and so
+	// must save → load → save: the load path lands the exact delta
+	// encoding the save dumped. (Across different insertion histories
+	// the canonical representation is the re-saved CSV, which expands
+	// runs — see TestBinaryRoundTripCSVIdentical — while the binary
+	// file deliberately preserves the physical encoding.)
+	db := binarySampleDB()
+	save := func(d *DB) []byte {
+		path := filepath.Join(t.TempDir(), "snap"+BinaryExt)
+		if err := d.SaveBinary(path, BinaryOptions{Compress: true}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := save(db)
+	if !bytes.Equal(first, save(db)) {
+		t.Fatal("saving the same database twice produced different bytes")
+	}
+	path := filepath.Join(t.TempDir(), "snap"+BinaryExt)
+	if err := os.WriteFile(path, first, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, save(loaded)) {
+		t.Fatal("save -> load -> save is not byte-stable")
+	}
+}
+
+func TestBinaryBackendRoundTrip(t *testing.T) {
+	b := NewBinaryBackend(t.TempDir())
+	b.Fingerprint = "cafebabe"
+	if _, ok, err := b.LoadMeta(); err != nil || ok {
+		t.Fatalf("empty backend meta: ok=%v err=%v", ok, err)
+	}
+	if _, err := b.LoadSnapshot(SnapMain); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("LoadSnapshot on empty backend: %v", err)
+	}
+	db := binarySampleDB()
+	if err := b.SaveSnapshot(SnapMain, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveMeta(Meta{NextRound: 7, Rounds: 35, ConfigHash: "cafebabe"}); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok, err := b.LoadMeta()
+	if err != nil || !ok || meta.NextRound != 7 {
+		t.Fatalf("LoadMeta: %+v ok=%v err=%v", meta, ok, err)
+	}
+	loaded, err := b.LoadSnapshot(SnapMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, d1, sa1, p1 := db.Counts()
+	s2, d2, sa2, p2 := loaded.Counts()
+	if s1 != s2 || d1 != d2 || sa1 != sa2 || p1 != p2 {
+		t.Fatalf("snapshot counts: (%d %d %d %d) vs (%d %d %d %d)", s1, d1, sa1, p1, s2, d2, sa2, p2)
+	}
+
+	info, err := ReadBinaryInfo(filepath.Join(b.Dir, SnapMain+BinaryExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != binVersion || info.Fingerprint != "cafebabe" {
+		t.Fatalf("info header: %+v", info)
+	}
+	if info.MainIDs != 64 || info.ExtBase != 1<<20 || info.ExtIDs != 32 {
+		t.Fatalf("info ranges: %+v", info)
+	}
+	if info.Sections == 0 || info.DataBytes == 0 {
+		t.Fatalf("info sections: %+v", info)
+	}
+}
+
+func TestCheckpointBackendFormatMigration(t *testing.T) {
+	// A checkpoint committed in one format must load under a backend
+	// configured for the other: LoadSnapshot auto-detects per
+	// checkpoint directory, so switching -format mid-campaign is safe.
+	for _, first := range []SnapshotFormat{FormatCSV, FormatBinary} {
+		t.Run("from-"+first.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db := binarySampleDB()
+			want := saveCSVBytes(t, db)
+
+			old := NewCheckpointBackend(dir)
+			old.Format = first
+			if err := old.SaveSnapshot(SnapMain, db); err != nil {
+				t.Fatal(err)
+			}
+			if err := old.SaveMeta(Meta{NextRound: 3, Rounds: 7, ConfigHash: "x"}); err != nil {
+				t.Fatal(err)
+			}
+
+			other := NewCheckpointBackend(dir)
+			other.Format = FormatBinary + FormatCSV - first
+			loaded, err := other.LoadSnapshot(SnapMain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := saveCSVBytes(t, loaded)
+			for name, data := range want {
+				if !bytes.Equal(data, got[name]) {
+					t.Errorf("%s differs after %s-era checkpoint load", name, first)
+				}
+			}
+			// The next checkpoint commits in the new backend's format
+			// and still loads.
+			if err := other.SaveSnapshot(SnapMain, loaded); err != nil {
+				t.Fatal(err)
+			}
+			if err := other.SaveMeta(Meta{NextRound: 4, Rounds: 7, ConfigHash: "x"}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := other.LoadSnapshot(SnapMain); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParseSnapshotFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SnapshotFormat
+		ok   bool
+	}{
+		{"", FormatBinary, true},
+		{"binary", FormatBinary, true},
+		{"csv", FormatCSV, true},
+		{"tsv", 0, false},
+	} {
+		got, err := ParseSnapshotFormat(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSnapshotFormat(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if FormatBinary.String() != "binary" || FormatCSV.String() != "csv" {
+		t.Errorf("String(): %v %v", FormatBinary, FormatCSV)
+	}
+}
+
+// TestBinaryVersionDecoders pins the version/compat policy: every
+// format version from 1 through the current one has a decoder, so a
+// binVersion bump without a matching binSectionDecoders entry fails
+// here instead of in the field.
+func TestBinaryVersionDecoders(t *testing.T) {
+	for v := uint32(1); v <= binVersion; v++ {
+		if binSectionDecoders[v] == nil {
+			t.Errorf("format version %d has no decoder entry", v)
+		}
+	}
+	if binSectionDecoders[binVersion] == nil {
+		t.Fatalf("current version %d has no decoder entry", binVersion)
+	}
+}
+
+func TestLoadBinaryMissingIsErrNoDatabase(t *testing.T) {
+	_, err := LoadBinary(filepath.Join(t.TempDir(), "absent"+BinaryExt))
+	if !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("missing file: %v", err)
+	}
+	var ce *CorruptSnapshotError
+	if errors.As(err, &ce) {
+		t.Fatalf("missing file misreported as corrupt: %v", err)
+	}
+}
+
+func TestLoadPartialDirNamesAllMissingFiles(t *testing.T) {
+	// A partial save with several files gone must name every one of
+	// them, and must stay distinct from ErrNoDatabase.
+	dir := t.TempDir()
+	if err := backendSampleDB().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{dnsFile, samplesFile} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := Load(dir)
+	if err == nil {
+		t.Fatal("partial directory loaded without error")
+	}
+	for _, name := range []string{dnsFile, samplesFile} {
+		if !errContains(err, name) {
+			t.Errorf("error does not name missing %s: %v", name, err)
+		}
+	}
+	if errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("partial directory misreported as no database: %v", err)
+	}
+}
+
+func errContains(err error, sub string) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte(sub))
+}
+
+func TestSaveBinaryLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main"+BinaryExt)
+	if err := binarySampleDB().SaveBinary(path, BinaryOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "main"+BinaryExt {
+		t.Fatalf("directory after save: %v", entries)
+	}
+}
+
+func TestSaveBinaryOverwritesAtomically(t *testing.T) {
+	// A second save over an existing snapshot replaces it wholesale;
+	// the old file stays intact until the rename.
+	path := filepath.Join(t.TempDir(), "main"+BinaryExt)
+	db := binarySampleDB()
+	if err := db.SaveBinary(path, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	db.AddDNS("penn", DNSRow{Site: 7, Round: 0, HasA: true})
+	if err := db.SaveBinary(path, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d1, _, _ := db.Counts()
+	_, d2, _, _ := loaded.Counts()
+	if d1 != d2 {
+		t.Fatalf("second save not visible: %d vs %d", d1, d2)
+	}
+}
+
+func TestLoadBinarySparseSnapshotSkipsReserve(t *testing.T) {
+	// A snapshot whose header claims far more dense ids than its data
+	// plausibly covers (a shard's range-restricted checkpoint, or a
+	// corrupt header) must still load correctly — rows land in the
+	// overflow maps instead of a huge dense allocation.
+	db := NewDB()
+	db.Reserve(1<<20, 0, 0)
+	db.PutSite(SiteRow{Site: 12, Host: alexa.HostName(12), FirstRank: 1, V4AS: 2, V6AS: 3})
+	db.AddDNS("penn", DNSRow{Site: 12, Round: 0, HasA: true})
+	want := saveCSVBytes(t, db)
+
+	path := filepath.Join(t.TempDir(), "sparse"+BinaryExt)
+	if err := db.SaveBinary(path, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.res.main != 0 {
+		t.Fatalf("implausible claim was reserved anyway: %+v", loaded.res)
+	}
+	got := saveCSVBytes(t, loaded)
+	for name, data := range want {
+		if !bytes.Equal(data, got[name]) {
+			t.Errorf("%s differs for sparse snapshot", name)
+		}
+	}
+}

@@ -225,7 +225,8 @@ func Load(dir string) (*DB, error) {
 		return nil, fmt.Errorf("store: %w in %s", ErrNoDatabase, dir)
 	}
 	if len(missing) > 0 {
-		return nil, fmt.Errorf("store: %s is missing %s — partial or interrupted save", dir, strings.Join(missing, ", "))
+		return nil, fmt.Errorf("store: %s is missing %d of %d database files (%s) — partial or interrupted save",
+			dir, len(missing), len(files), strings.Join(missing, ", "))
 	}
 	db := NewDB()
 	if err := loadCSV(filepath.Join(dir, sitesFile), 5, func(rec []string) error {

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// mapSnapshotFile falls back to a plain buffered read on platforms
+// without a usable mmap.
+func mapSnapshotFile(path string) ([]byte, func(), error) {
+	return readSnapshotFile(path)
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapSnapshotFile returns the file's bytes, memory-mapped read-only —
+// the kernel pages data in on demand, so checksumming and decoding
+// stream through the page cache without a second copy. Files mmap
+// cannot handle (empty, too large for the address space, exotic
+// filesystems) fall back to a plain buffered read.
+func mapSnapshotFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return readSnapshotFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readSnapshotFile(path)
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

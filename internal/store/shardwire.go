@@ -33,6 +33,11 @@ const (
 	ShardSamples byte = 3
 )
 
+// maxRound bounds decoded round numbers and run lengths: far above
+// any real campaign, small enough that a corrupt payload cannot
+// overflow the int32 round arithmetic the tables use.
+const maxRound = 1 << 30
+
 // mergeKey / mergeRange track what MergeShard has already landed.
 type mergeKey struct {
 	section byte
@@ -390,9 +395,13 @@ func (db *DB) mergeShardSites(r *rbuf, lo, hi alexa.SiteID) error {
 			break
 		}
 		prev = id
-		firstRank := int(r.uvarint())
-		v4 := int(r.uvarint()) - 1
-		v6 := int(r.uvarint()) - 1
+		firstRank := r.uvarint()
+		v4 := r.uvarint()
+		v6 := r.uvarint()
+		if r.err == nil && (firstRank > math.MaxInt32 || v4 > math.MaxInt32 || v6 > math.MaxInt32) {
+			r.fail("store: shard sites: site %d has out-of-range fields", id)
+			break
+		}
 		hostLen := r.count()
 		host := ""
 		if hostLen > 0 {
@@ -405,7 +414,7 @@ func (db *DB) mergeShardSites(r *rbuf, lo, hi alexa.SiteID) error {
 		} else {
 			host = alexa.HostName(id)
 		}
-		db.PutSite(SiteRow{Site: id, Host: host, FirstRank: firstRank, V4AS: v4, V6AS: v6})
+		db.PutSite(SiteRow{Site: id, Host: host, FirstRank: int(firstRank), V4AS: int(v4) - 1, V6AS: int(v6) - 1})
 	}
 	return r.err
 }
@@ -441,6 +450,10 @@ func (db *DB) mergeShardDNS(r *rbuf, v Vantage, lo, hi alexa.SiteID) error {
 			}
 			if cnt == 0 {
 				r.fail("store: shard dns: site %d has an empty run", site)
+				break
+			}
+			if gap > maxRound || cnt > maxRound || uint64(end)+gap+cnt > maxRound {
+				r.fail("store: shard dns: site %d run rounds out of range", site)
 				break
 			}
 			start := end + int32(gap)
@@ -479,6 +492,10 @@ func (db *DB) mergeShardDNS(r *rbuf, v Vantage, lo, hi alexa.SiteID) error {
 			round := r.uvarint()
 			state := r.byteVal()
 			if r.err != nil {
+				break
+			}
+			if round > maxRound {
+				r.fail("store: shard dns: site %d ooo round %d out of range", site, round)
 				break
 			}
 			oooRows = append(oooRows, DNSRow{
@@ -542,6 +559,10 @@ func (db *DB) mergeShardSamples(r *rbuf, v Vantage, lo, hi alexa.SiteID) error {
 			}
 			if dateIdx >= uint64(len(idxMap)) {
 				r.fail("store: shard samples: site %d has date index %d of %d", site, dateIdx, len(idxMap))
+				break
+			}
+			if round > maxRound || page > math.MaxInt32 || dlCI > math.MaxUint32 {
+				r.fail("store: shard samples: site %d has out-of-range sample fields", site)
 				break
 			}
 			sh.add(db.res, site, fam, packedSample{
