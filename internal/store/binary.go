@@ -34,10 +34,12 @@ package store
 // header, undecodable payload — surfaces as a *CorruptSnapshotError
 // naming the damaged part, never a panic and never ErrNoDatabase
 // (which is reserved for "nothing saved at all"). Decoding arbitrary
-// bytes allocates O(input) memory: element counts are checked against
-// remaining bytes (rbuf.count), claimed id ranges are only reserved
-// when plausible for the data present, and flate output is capped at
-// the index's claimed uncompressed size.
+// bytes allocates O(input) memory (with a constant factor bounded by
+// flate's ~1032:1 expansion limit): element counts are checked
+// against remaining bytes (rbuf.count), claimed id ranges are only
+// reserved when plausible for the stored bytes actually present, and
+// flate output is capped at the index's claimed uncompressed size,
+// itself plausibility-checked against the stored size.
 
 import (
 	"bytes"
@@ -208,10 +210,12 @@ type binHeader struct {
 }
 
 // SaveBinary writes the database as one binary snapshot file. The
-// write is staged to path+".tmp" and committed by atomic rename, so a
-// crash mid-save never damages an existing snapshot. Equal databases
-// serialize to byte-identical files: sections follow the tables'
-// canonical iteration order and flate is deterministic.
+// write is staged to path+".tmp", fsynced, committed by atomic
+// rename, and the parent directory is fsynced, so a crash mid-save
+// never damages an existing snapshot and a returned nil means the
+// snapshot survives power loss. Equal databases serialize to
+// byte-identical files: sections follow the tables' canonical
+// iteration order and flate is deterministic.
 func (db *DB) SaveBinary(path string, opt BinaryOptions) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -231,7 +235,7 @@ func (db *DB) SaveBinary(path string, opt BinaryOptions) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
 }
 
 func (db *DB) writeBinary(f *os.File, opt BinaryOptions) error {
@@ -348,8 +352,11 @@ func (db *DB) writeBinary(f *os.File, opt BinaryOptions) error {
 
 // LoadBinary reads a snapshot written by SaveBinary, memory-mapping
 // the file when the platform allows. A missing file wraps
-// ErrNoDatabase; any other failure is a *CorruptSnapshotError naming
-// the damaged part.
+// ErrNoDatabase; a file whose bytes were read but do not decode is a
+// *CorruptSnapshotError naming the damaged part. I/O failures that
+// prevent reading the bytes at all (permission denied, a directory
+// at the path) are neither — they are returned as the OS reported
+// them, since the snapshot's state on disk is unknown.
 func LoadBinary(path string) (*DB, error) {
 	data, release, err := mapSnapshotFile(path)
 	if err != nil {
@@ -384,12 +391,17 @@ func decodeBinarySnapshot(path string, data []byte) (*DB, error) {
 	// several payload bytes); an implausible claim — a corrupt header,
 	// or a shard's range-restricted checkpoint — decodes into the
 	// overflow maps instead, which is slower but correct and, for the
-	// corrupt case, bounds allocation by O(input bytes).
-	totalUlen := uint64(0)
+	// corrupt case, bounds allocation by O(input bytes). The plausibility
+	// check is against *stored* (clen) bytes, which are bytes actually
+	// present in the file: the index's claimed uncompressed sizes are
+	// unverified at this point, so a crafted flate section could claim
+	// flateMaxRatio times its stored size and inflate the reservation
+	// with it.
+	totalStored := uint64(0)
 	for _, s := range secs {
-		totalUlen += s.ulen
+		totalStored += s.clen
 	}
-	if ids := h.mainIDs + h.extIDs; ids > 0 && ids <= 2*totalUlen {
+	if ids := h.mainIDs + h.extIDs; ids > 0 && ids <= 2*totalStored {
 		db.Reserve(int(h.mainIDs), alexa.SiteID(h.extBase), int(h.extIDs))
 	}
 
@@ -445,7 +457,11 @@ func parseBinSnapshot(path string, data []byte) (binHeader, []binSection, string
 	if h.extIDs > 0 && h.extBase&(shards-1) != 0 {
 		return h, nil, "", corruptf(path, "header", "extended base %d is not a multiple of the shard count", h.extBase)
 	}
-	if h.indexOff < binHeaderSize || h.indexOff+4 > uint64(len(data)) {
+	// Compare without adding to indexOff: len(data) >= binHeaderSize is
+	// already established, so the subtraction cannot underflow, while
+	// indexOff+4 would wrap for claimed offsets near 2^64 and let a
+	// CRC-valid header slice out of bounds.
+	if h.indexOff < binHeaderSize || h.indexOff > uint64(len(data))-4 {
 		return h, nil, "", corruptf(path, "index", "index offset %d outside the %d-byte file", h.indexOff, len(data))
 	}
 	idxBytes := data[h.indexOff : len(data)-4]
@@ -730,7 +746,10 @@ type BinaryInfo struct {
 }
 
 // ReadBinaryInfo validates and summarizes a snapshot's header and
-// index — O(sections), regardless of database size.
+// index — O(sections), regardless of database size. Errors follow
+// the LoadBinary contract: ErrNoDatabase for a missing file,
+// *CorruptSnapshotError for undecodable bytes, raw OS errors when
+// the file could not be read.
 func ReadBinaryInfo(path string) (BinaryInfo, error) {
 	data, release, err := mapSnapshotFile(path)
 	if err != nil {

@@ -9,6 +9,7 @@ package store
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -140,6 +141,32 @@ func TestBinaryWrongMagicAndVersion(t *testing.T) {
 // the loader has to catch.
 func rehashBinHeader(data []byte) {
 	binary.LittleEndian.PutUint32(data[48:], crc32.Checksum(data[:48], binCRCTable))
+}
+
+func TestBinaryIndexOffsetOutOfRange(t *testing.T) {
+	// Regression: indexOff values near 2^64 made the old bounds check
+	// (indexOff+4 > len) wrap around, so a CRC-valid header sailed
+	// through and the index slice panicked. Every out-of-range offset
+	// — wraparound-adjacent or merely past the file — must be a typed
+	// index error.
+	data, _ := goldenSnapshot(t, false)
+	for _, off := range []uint64{
+		^uint64(0), ^uint64(0) - 3, ^uint64(0) - 4,
+		uint64(len(data)) - 3, uint64(len(data)), uint64(len(data)) + 100,
+		0, binHeaderSize - 1,
+	} {
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(bad[40:48], off)
+		rehashBinHeader(bad)
+		if got := loadMutated(t, fmt.Sprintf("index offset %d", off), bad); got != "index" {
+			t.Errorf("index offset %d blamed %q", off, got)
+		}
+	}
+	// The minimal reproducer: a bare 52-byte crafted header, nothing
+	// after it.
+	for _, hdr := range craftedHeaderSeeds() {
+		loadMutated(t, "crafted header-only file", hdr)
+	}
 }
 
 func TestBinaryImplausibleHeaderRanges(t *testing.T) {

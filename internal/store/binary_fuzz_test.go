@@ -10,8 +10,10 @@ package store
 // tests; CI additionally runs each target with -fuzztime=30s.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,7 +50,28 @@ func fuzzSeedSnapshots(tb testing.TB) [][]byte {
 	return seeds
 }
 
+// craftedHeaderSeeds returns adversarial inputs no mutation of a
+// golden snapshot reaches quickly: bare CRC-valid headers whose index
+// offsets sit at the uint64 overflow boundary. Regression seeds for
+// the indexOff+4 wraparound that let a valid header slice out of
+// bounds.
+func craftedHeaderSeeds() [][]byte {
+	var seeds [][]byte
+	for _, off := range []uint64{^uint64(0), ^uint64(0) - 3} {
+		hdr := make([]byte, binHeaderSize)
+		copy(hdr, binMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:], binVersion)
+		binary.LittleEndian.PutUint64(hdr[40:], off)
+		binary.LittleEndian.PutUint32(hdr[48:], crc32.Checksum(hdr[:48], binCRCTable))
+		seeds = append(seeds, hdr)
+	}
+	return seeds
+}
+
 func FuzzLoadSnapshot(f *testing.F) {
+	for _, seed := range craftedHeaderSeeds() {
+		f.Add(seed)
+	}
 	for _, seed := range fuzzSeedSnapshots(f) {
 		f.Add(seed)
 		// Mutated variants steer the fuzzer toward the interesting
@@ -167,6 +190,9 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	names := []string{"golden-uncompressed", "golden-compressed", "golden-empty", "golden-overflow"}
 	for i, seed := range fuzzSeedSnapshots(t) {
 		writeSeed("FuzzLoadSnapshot", names[i], fmt.Sprintf("[]byte(%q)", seed))
+	}
+	for i, seed := range craftedHeaderSeeds() {
+		writeSeed("FuzzLoadSnapshot", fmt.Sprintf("crafted-indexoff-%d", i), fmt.Sprintf("[]byte(%q)", seed))
 	}
 	for _, s := range fuzzSectionSeeds(t) {
 		writeSeed("FuzzDecodeSection", s.name,

@@ -308,6 +308,60 @@ func errContains(err error, sub string) bool {
 	return err != nil && bytes.Contains([]byte(err.Error()), []byte(sub))
 }
 
+func TestLoadBinaryReserveCappedByStoredBytes(t *testing.T) {
+	// The index's claimed uncompressed sizes are unverified when
+	// Reserve sizes the dense tables, and flate admits ~1032:1 claims
+	// per stored byte — so the reservation plausibility check must be
+	// against stored bytes, or a small crafted file could claim a huge
+	// id range backed by nothing but a compression ratio. Pin the cap
+	// with a legitimate snapshot on the far side of it: highly
+	// compressible rows whose id range exceeds twice the stored bytes
+	// load through the overflow maps, with identical contents.
+	db := NewDB()
+	const n = 50_000
+	db.Reserve(n, 0, 0)
+	for id := alexa.SiteID(0); id < n; id++ {
+		db.PutSite(SiteRow{Site: id, Host: alexa.HostName(id), FirstRank: 1, V4AS: 5, V6AS: 6})
+	}
+	want := saveCSVBytes(t, db)
+	path := filepath.Join(t.TempDir(), "dense"+BinaryExt)
+	if err := db.SaveBinary(path, BinaryOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, secs, _, err := parseBinSnapshot(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clen, ulen uint64
+	for _, s := range secs {
+		clen += s.clen
+		ulen += s.ulen
+	}
+	// Sanity: the scenario is the one under test — the old
+	// uncompressed-size check would have admitted the reservation, the
+	// stored-size check must not.
+	if n <= 2*clen || n > 2*ulen {
+		t.Fatalf("snapshot not in the regression window: %d ids, %d stored, %d uncompressed", n, clen, ulen)
+	}
+	loaded, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.res.main != 0 {
+		t.Fatalf("reserved %d dense ids from unverified size claims", loaded.res.main)
+	}
+	got := saveCSVBytes(t, loaded)
+	for name, data := range want {
+		if !bytes.Equal(data, got[name]) {
+			t.Errorf("%s differs when the reservation is capped", name)
+		}
+	}
+}
+
 func TestSaveBinaryLeavesNoTempOnSuccess(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "main"+BinaryExt)

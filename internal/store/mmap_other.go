@@ -7,3 +7,7 @@ package store
 func mapSnapshotFile(path string) ([]byte, func(), error) {
 	return readSnapshotFile(path)
 }
+
+// syncDir is a no-op on platforms where directories cannot be
+// fsynced.
+func syncDir(string) error { return nil }

@@ -35,3 +35,17 @@ func mapSnapshotFile(path string) ([]byte, func(), error) {
 	}
 	return data, func() { syscall.Munmap(data) }, nil
 }
+
+// syncDir fsyncs a directory, making a rename just committed inside
+// it durable across power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
