@@ -16,11 +16,13 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"v6web/internal/alexa"
 	"v6web/internal/analysis"
 	"v6web/internal/bgp"
 	"v6web/internal/core"
+	"v6web/internal/fault"
 	"v6web/internal/netsim"
 	"v6web/internal/scenario"
 	"v6web/internal/shard"
@@ -462,7 +464,7 @@ func BenchmarkShardedPaperScaleMini(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// No checkpoint dir: BenchmarkPaperScale doesn't checkpoint
 		// either, so the comparison isolates sharding itself. The CI
-		// shard-smoke job covers the checkpointed/kill-retry path.
+		// chaos job covers the checkpointed fault/retry path.
 		s, st, err := shard.Run(context.Background(), comp.Config, shard.Options{
 			Workers: workers,
 		})
@@ -478,6 +480,40 @@ func BenchmarkShardedPaperScaleMini(b *testing.B) {
 		b.ReportMetric(float64(st.MergeDur.Nanoseconds()), "merge-ns")
 		b.ReportMetric(float64(st.WireBytes)/float64(sites), "wire-bytes/site")
 	}
+}
+
+// BenchmarkFaultOffOverhead prices the fault-injection layer when no
+// plan is armed — the common case for every production campaign. Each
+// iteration runs the same small sharded campaign twice, once with
+// Options.Faults nil and once with a parsed-but-empty plan (every
+// probability zero, as `-faults seed=1` would yield), and reports the
+// wall-clock ratio as fault-off-overhead. The layer's contract is
+// that this stays ~1.0: a disabled injector must cost nothing beyond
+// a nil check at each hook site.
+func BenchmarkFaultOffOverhead(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig(42)
+	cfg.NASes = 300
+	cfg.ListSize = 2000
+	cfg.Extended = 0
+	cfg.Rounds = 6
+	cfg.V6DayRounds = 3
+	cfg.Vantages = core.ScaledVantages(cfg.Rounds)
+	off := &fault.Config{Seed: 1}
+	run := func(fc *fault.Config) time.Duration {
+		t0 := time.Now()
+		if _, _, err := shard.Run(context.Background(), cfg, shard.Options{Workers: 2, Faults: fc}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	b.ResetTimer()
+	var base, wired time.Duration
+	for i := 0; i < b.N; i++ {
+		base += run(nil)
+		wired += run(off)
+	}
+	b.ReportMetric(float64(wired)/float64(base), "fault-off-overhead")
 }
 
 // --- Snapshot formats -------------------------------------------------

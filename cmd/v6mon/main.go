@@ -36,6 +36,13 @@
 // checkpoint per shard under <out>/shards, so a killed worker costs
 // one shard-round and an interrupted coordinator continues when the
 // same command is rerun.
+//
+// -faults arms the deterministic chaos layer (internal/fault): on the
+// sharded path it injects filesystem faults at worker checkpoint
+// commits and wire faults on the coordinator's streams, and the
+// retry/backoff layer must still deliver byte-identical CSVs. Planned
+// vantage outages are campaign state, not faults — declare them in a
+// scenario pack's "faults" section (see the vantage-outages built-in).
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 
 	"v6web/internal/cli"
 	"v6web/internal/core"
+	"v6web/internal/fault"
 	"v6web/internal/scenario"
 	"v6web/internal/shard"
 	"v6web/internal/store"
@@ -72,6 +80,8 @@ func main() {
 		stopAfter = flag.Int("stop-after", 0, "checkpoint and exit after this round completes (0 runs to the end)")
 		shards    = flag.Int("shards", 1, "split the campaign across this many local worker processes (1 runs in-process)")
 		format    = flag.String("format", "binary", "checkpoint snapshot format: binary or csv (the final measurement CSVs are unaffected)")
+		faults    = flag.String("faults", "", "deterministic chaos plan, e.g. seed=7,fs=0.1,wire.cut=0.3 (unsharded runs take fs faults only and have no retry layer, so an injected checkpoint fault aborts the run)")
+		frameTime = flag.Duration("frame-timeout", 0, "sharded: max silence on a worker stream before the shard attempt is retried (0 uses the default watchdog; needs -shards > 1)")
 	)
 	var sets scenario.Overrides
 	flag.Var(&sets, "set", "spec override as a dotted path, e.g. -set topo.ases=500 (repeatable; needs -scenario)")
@@ -98,6 +108,14 @@ func main() {
 		fatal(err)
 	}
 
+	var fc *fault.Config
+	if *faults != "" {
+		fc, err = fault.ParseFlag(*faults)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	if *stopAfter > 0 && *every <= 0 {
 		fatal(fmt.Errorf("-stop-after needs -checkpoint-every > 0, or the stopped campaign cannot be resumed"))
 	}
@@ -105,8 +123,14 @@ func main() {
 		if *resume || *stopAfter > 0 {
 			fatal(fmt.Errorf("-shards does not combine with -resume or -stop-after; workers resume from their own shard checkpoints, so just rerun the same command"))
 		}
-		runSharded(cfg, *out, *shards, *every, ckptFormat, *quiet)
+		runSharded(cfg, *out, *shards, *every, ckptFormat, fc, *frameTime, *quiet)
 		return
+	}
+	if *frameTime > 0 {
+		fatal(fmt.Errorf("-frame-timeout guards the worker streams; it needs -shards > 1"))
+	}
+	if fc != nil && (fc.Wire != fault.WirePlan{}) {
+		fatal(fmt.Errorf("wire faults exist only at the shard boundary; they need -shards > 1"))
 	}
 
 	// SIGINT/SIGTERM cancel the campaign at the next round boundary;
@@ -121,6 +145,12 @@ func main() {
 	ckpt := store.NewCheckpointBackend(*out)
 	ckpt.Format = ckptFormat
 	ckpt.Fingerprint = cfg.Fingerprint()
+	if fc != nil {
+		// Chaos drill for the checkpoint path: filesystem faults land
+		// on the checkpoint log's commit points, deterministically per
+		// fingerprint. With no retry layer here, a drawn fault is fatal.
+		ckpt.Hook = fault.New(*fc, cfg.Fingerprint()).FSHook()
+	}
 
 	var s *core.Scenario
 	if *resume {
@@ -145,6 +175,11 @@ func main() {
 	opts := []core.RunOption{}
 	if !*quiet {
 		opts = append(opts, core.WithObserver(func(ev core.RoundEvent) {
+			if ev.Outage {
+				fmt.Printf("round %2d/%d  %-14s  offline (scheduled outage)\n",
+					ev.Round+1, cfg.Rounds, ev.Vantage)
+				return
+			}
 			fmt.Printf("round %2d/%d  %-14s  %6d sites  %5d dual  %5d measured  (%v)\n",
 				ev.Round+1, cfg.Rounds, ev.Vantage, ev.Stats.Sites, ev.Stats.Dual,
 				ev.Stats.Measured, ev.Elapsed.Round(time.Millisecond))
@@ -202,12 +237,15 @@ func main() {
 // runSharded is the -shards path: worker processes measure site-range
 // slices, the coordinator merges their frames, and everything after
 // the main study (World IPv6 Day, saving) runs locally as usual.
-func runSharded(cfg core.Config, out string, shards, every int, format store.SnapshotFormat, quiet bool) {
+func runSharded(cfg core.Config, out string, shards, every int, format store.SnapshotFormat, fc *fault.Config, frameTime time.Duration, quiet bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	opt := shard.Options{Workers: shards, CheckpointEvery: every, CheckpointFormat: format}
+	opt := shard.Options{Workers: shards, CheckpointEvery: every, CheckpointFormat: format, Faults: fc}
+	if frameTime > 0 {
+		opt.Retry.Timeout = frameTime
+	}
 	if every > 0 {
 		opt.Dir = filepath.Join(out, "shards")
 	}

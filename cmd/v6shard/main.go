@@ -13,9 +13,15 @@
 //
 //	v6shard coordinate -out data/ -shards 4 [-seed 42] [-ases 1500]
 //	        [-sites 20000] [-rounds 35] [-scenario pack [-set k=v]]
-//	        [-format binary|csv] [-q]
+//	        [-format binary|csv] [-faults plan] [-frame-timeout 5m] [-q]
 //	v6shard coordinate -out data/ -shards 8 -listen :9653
-//	v6shard worker -connect host:9653     # repeat per machine/core
+//	v6shard worker -connect host:9653 [-dial-attempts 20]   # repeat per machine/core
+//
+// On SIGINT/SIGTERM the coordinator interrupts every live worker, each
+// checkpoints its shard, and (when checkpointing is on) the command
+// exits 0: rerunning the same command resumes from the checkpoints.
+// -faults arms the deterministic chaos layer (internal/fault) for
+// recovery drills; a recoverable plan never changes the output bytes.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"v6web/internal/cli"
 	"v6web/internal/core"
+	"v6web/internal/fault"
 	"v6web/internal/scenario"
 	"v6web/internal/shard"
 	"v6web/internal/store"
@@ -59,10 +66,15 @@ func usage() {
 func workerMain(args []string) {
 	fs := flag.NewFlagSet("v6shard worker", flag.ExitOnError)
 	connect := fs.String("connect", "", "coordinator address to dial; without it, one spec is served on stdin/stdout")
+	dialAttempts := fs.Int("dial-attempts", 0, "bounded dial retries for the first connection, so a worker started before its coordinator listens still joins (0 uses the default policy)")
 	fs.Parse(args)
 	var err error
 	if *connect != "" {
-		err = shard.ServeAddr(*connect)
+		p := fault.DefaultRetryPolicy()
+		if *dialAttempts > 0 {
+			p.MaxAttempts = *dialAttempts
+		}
+		err = shard.ServeAddrRetry(*connect, p)
 	} else {
 		err = shard.Serve(os.Stdin, os.Stdout)
 	}
@@ -85,6 +97,8 @@ func coordinateMain(args []string) {
 		every  = fs.Int("checkpoint-every", 2, "worker checkpoint cadence in rounds (0 disables; a failed worker then retries from scratch)")
 		format = fs.String("format", "binary", "worker checkpoint snapshot format: binary or csv (the final measurement CSVs are unaffected)")
 		quiet  = fs.Bool("q", false, "suppress progress output")
+		faults = fs.String("faults", "", "deterministic chaos plan, e.g. seed=7,fs=0.1,wire.cut=0.3 (see go doc v6web/internal/fault ParseFlag)")
+		ftime  = fs.Duration("frame-timeout", 0, "max silence on a worker stream before the shard attempt is abandoned and retried (0 uses the default watchdog)")
 	)
 	var sets scenario.Overrides
 	fs.Var(&sets, "set", "spec override as a dotted path (repeatable; needs -scenario)")
@@ -126,6 +140,16 @@ func coordinateMain(args []string) {
 		CheckpointFormat: ckptFormat,
 		Listen:           *listen,
 	}
+	if *faults != "" {
+		fc, err := fault.ParseFlag(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Faults = fc
+	}
+	if *ftime > 0 {
+		opt.Retry.Timeout = *ftime
+	}
 	if *every > 0 {
 		opt.Dir = filepath.Join(*out, "shards")
 	}
@@ -136,7 +160,16 @@ func coordinateMain(args []string) {
 	s, st, err := shard.Run(ctx, cfg, opt)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "v6shard: interrupted; rerun the same command to continue from the shard checkpoints\n")
+			if opt.Dir != "" {
+				// Graceful shutdown: every live worker was interrupted
+				// and checkpointed before Run returned, so the campaign
+				// state on disk is whole and resumable. That is a
+				// success for the signal path — exit 0 so schedulers
+				// don't flag the drain.
+				fmt.Fprintf(os.Stderr, "v6shard: interrupted; shard checkpoints saved — rerun the same command to continue\n")
+				return
+			}
+			fmt.Fprintf(os.Stderr, "v6shard: interrupted; -checkpoint-every was 0, so progress is lost\n")
 			os.Exit(1)
 		}
 		fatal(err)

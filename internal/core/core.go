@@ -95,6 +95,14 @@ type Config struct {
 	// per vantage by NewScenario and ignored here.
 	Measure *measure.Config
 
+	// Outages schedules vantage downtime: each entry takes one vantage
+	// offline for the round window [From, To), during which it runs no
+	// monitoring and the campaign emits a degraded RoundEvent in its
+	// roster slot instead. Outages are part of the campaign definition
+	// (and of Fingerprint when non-empty), not transient failures: the
+	// same schedule produces the same degraded output on every run.
+	Outages []VantageOutage
+
 	// RoundWorkers bounds how many units of round work — one per
 	// started vantage, plus one for the extended population at
 	// extended vantages — monitor concurrently within a round.
@@ -104,6 +112,28 @@ type Config struct {
 	// setting resumes under any other.
 	//v6lint:nonsemantic every worker count produces byte-identical output, so checkpoints resume under any setting
 	RoundWorkers int
+}
+
+// VantageOutage takes one vantage offline for the main-study round
+// window [From, To). The paper's campaign lived through exactly this —
+// "due to the unforeseen failures at some vantage points, data
+// collection was occasionally interrupted" — so planned degradation is
+// modeled as campaign state rather than injected error.
+type VantageOutage struct {
+	Vantage store.Vantage `json:"vantage"`
+	From    int           `json:"from"`
+	To      int           `json:"to"`
+}
+
+// vantageOffline reports whether the vantage is scheduled offline for
+// the given main-study round.
+func (c Config) vantageOffline(v store.Vantage, round int) bool {
+	for _, o := range c.Outages {
+		if o.Vantage == v && round >= o.From && round < o.To {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultConfig returns a laptop-scale scenario preserving the
@@ -139,6 +169,23 @@ func (c Config) Validate() error {
 	for _, v := range c.Vantages {
 		if v.StartRound < 0 || v.StartRound >= c.Rounds {
 			return fmt.Errorf("core: vantage %s start round %d outside [0,%d)", v.Name, v.StartRound, c.Rounds)
+		}
+	}
+	roster := make(map[store.Vantage]bool, len(c.Vantages))
+	for _, v := range c.Vantages {
+		roster[v.Name] = true
+	}
+	for i, o := range c.Outages {
+		if !roster[o.Vantage] {
+			return fmt.Errorf("core: outage vantage %q not in roster", o.Vantage)
+		}
+		if o.From < 0 || o.From >= o.To || o.To > c.Rounds {
+			return fmt.Errorf("core: outage window [%d,%d) for %s outside [0,%d]", o.From, o.To, o.Vantage, c.Rounds)
+		}
+		for _, p := range c.Outages[:i] {
+			if p.Vantage == o.Vantage && o.From < p.To && p.From < o.To {
+				return fmt.Errorf("core: outage windows [%d,%d) and [%d,%d) for %s overlap", p.From, p.To, o.From, o.To, o.Vantage)
+			}
 		}
 	}
 	if c.RoundWorkers < 0 {

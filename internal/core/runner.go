@@ -30,6 +30,12 @@ type RoundEvent struct {
 	Vantage store.Vantage
 	Stats   measure.RoundStats
 	Elapsed time.Duration
+
+	// Outage marks a degraded round: the vantage was scheduled offline
+	// (Config.Outages) and ran no monitoring, so Stats and Elapsed are
+	// zero. The event holds the vantage's roster slot in the stream so
+	// observers see the gap rather than silence.
+	Outage bool
 }
 
 // Observer receives round events as they happen. Observers run
@@ -214,11 +220,18 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 	s.absorbRanked()
 
 	var tasks []roundTask
+	offline := make([]bool, len(s.Cfg.Vantages))
 	for i, vp := range s.Cfg.Vantages {
 		if r < vp.StartRound {
 			continue
 		}
 		if s.allowVP != nil && !s.allowVP[vp.Name] {
+			continue
+		}
+		if s.Cfg.vantageOffline(vp.Name, r) {
+			// Scheduled outage: the vantage runs no monitoring this
+			// round but keeps its roster slot in the event stream.
+			offline[i] = true
 			continue
 		}
 		tasks = append(tasks, roundTask{vp: i})
@@ -242,13 +255,20 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 		elapsed[k] = time.Since(start) //v6lint:wallclock RoundEvent.Elapsed is observability, not simulation state
 	})
 
-	// Merge each vantage's extended shard into its main stats and
-	// emit one event per vantage, in roster order — the same stream
-	// the serial loop produced.
-	for k := 0; k < len(tasks); k++ {
-		t := tasks[k]
+	// Merge each vantage's extended shard into its main stats and emit
+	// one event per vantage — outage placeholders included — in roster
+	// order: the same stream the serial loop produced.
+	k := 0
+	for i, vp := range s.Cfg.Vantages {
+		if offline[i] {
+			emit(observers, RoundEvent{Round: r, Date: date, Vantage: vp.Name, Outage: true})
+			continue
+		}
+		if k >= len(tasks) || tasks[k].vp != i {
+			continue
+		}
 		st, el := stats[k], elapsed[k]
-		if k+1 < len(tasks) && tasks[k+1].vp == t.vp && tasks[k+1].ext {
+		if k+1 < len(tasks) && tasks[k+1].vp == i && tasks[k+1].ext {
 			ext := stats[k+1]
 			st.Sites += ext.Sites
 			st.Dual += ext.Dual
@@ -258,7 +278,8 @@ func (s *Scenario) NextRound(observers ...Observer) error {
 			el += elapsed[k+1]
 			k++
 		}
-		emit(observers, RoundEvent{Round: r, Date: date, Vantage: s.Cfg.Vantages[t.vp].Name, Stats: st, Elapsed: el})
+		k++
+		emit(observers, RoundEvent{Round: r, Date: date, Vantage: vp.Name, Stats: st, Elapsed: el})
 	}
 	s.List.Advance()
 	s.next++
@@ -346,6 +367,11 @@ func (c Config) Fingerprint() string {
 	}
 	for _, vp := range vps {
 		fmt.Fprintf(h, "|vp=%+v", vp)
+	}
+	// Outages fold in only when present, so every pre-existing
+	// fingerprint (and the checkpoints carrying it) stays valid.
+	for _, o := range c.Outages {
+		fmt.Fprintf(h, "|out=%s:%d-%d", o.Vantage, o.From, o.To)
 	}
 	// The override structs are flat value types, so %+v is stable.
 	if c.TopoOverride != nil {

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"v6web/internal/det"
+)
+
+// RetryPolicy is the repo's one retry/backoff policy: capped
+// exponential backoff with deterministic jitter, plus a per-attempt
+// liveness timeout. It replaces the fixed frame timeout and retry
+// count the shard coordinator used to carry, and bounds the worker's
+// reconnect loop.
+//
+// Jitter is drawn through internal/det, keyed on (Seed, caller scope,
+// attempt), so a retried campaign backs off identically on every run —
+// wall-clock never feeds back into scheduling decisions.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff.
+	MaxDelay time.Duration
+	// Multiplier is the per-retry growth factor.
+	Multiplier float64
+	// Jitter scales each backoff by a deterministic factor drawn from
+	// [1-Jitter, 1+Jitter].
+	Jitter float64
+	// Timeout is the per-attempt liveness bound: maximum frame silence
+	// on a shard stream, or the dial timeout for a worker connect.
+	Timeout time.Duration
+	// Seed keys the jitter stream.
+	Seed uint64
+}
+
+// DefaultRetryPolicy mirrors the pre-fault-layer constants: three
+// total attempts (the old MaxRetries=2) and five minutes of tolerated
+// frame silence (the old FrameTimeout).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   250 * time.Millisecond,
+		MaxDelay:    30 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Timeout:     5 * time.Minute,
+	}
+}
+
+// WithDefaults fills zero fields from DefaultRetryPolicy, so a zero
+// policy behaves like the default and partial literals stay sane.
+// Jitter is left alone: zero jitter is a valid choice.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = d.Timeout
+	}
+	return p
+}
+
+// Backoff returns the deterministic pause before the given attempt
+// (0-based; attempt 0 is the first try and never waits). scope
+// distinguishes concurrent retry loops — the shard coordinator passes
+// the shard index — so their jitter streams stay independent.
+func (p RetryPolicy) Backoff(attempt int, scope ...uint64) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	p = p.WithDefaults()
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(attempt-1))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		parts := append([]uint64{p.Seed, saltJitter}, scope...)
+		d *= det.Range(1-p.Jitter, 1+p.Jitter, append(parts, uint64(attempt))...)
+		if d > float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+		}
+	}
+	return time.Duration(d)
+}
+
+// Wait sleeps the backoff for attempt, returning early with the
+// context's error if it is canceled first.
+func (p RetryPolicy) Wait(ctx context.Context, attempt int, scope ...uint64) error {
+	d := p.Backoff(attempt, scope...)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

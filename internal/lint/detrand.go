@@ -37,7 +37,7 @@ var simPackages = map[string]bool{
 	"core": true, "dnssim": true, "netsim": true, "httpsim": true,
 	"bgp": true, "store": true, "analysis": true, "shard": true,
 	"sweep": true, "scenario": true, "report": true, "stats": true,
-	"ipam": true, "dnswire": true, "traceroute": true,
+	"ipam": true, "dnswire": true, "traceroute": true, "fault": true,
 }
 
 func runDetRand(pass *Pass) error {

@@ -1,0 +1,64 @@
+package scenario
+
+// Fuzz target for the faults pack section. The invariant under fuzz
+// is the parser contract: an arbitrary faults section either parses
+// into a structurally valid outage schedule (bounds present and
+// ordered, windows per vantage disjoint — re-checked here by hand) or
+// fails with an error — never a panic, and never a schedule that
+// Validate waved through in violation of its own rules. Unknown
+// fields must be rejected (DisallowUnknownFields), so typos cannot
+// silently disable an outage. Seeds live in the committed corpus
+// under testdata/fuzz/FuzzFaultsSection/, which plain `go test`
+// replays as unit tests; CI additionally runs the target with a
+// -fuzztime budget.
+
+import (
+	"testing"
+)
+
+func FuzzFaultsSection(f *testing.F) {
+	f.Add(`{"outages":[{"vantage":"Penn","from":2,"to":4}]}`)
+	f.Add(`{"outages":[{"vantage":"Penn","from":2,"to":4},{"vantage":"LU","from":2,"to":4}]}`)
+	f.Add(`{"outages":[{"vantage":"Penn","from":1,"to":3},{"vantage":"Penn","from":3,"to":5}]}`)
+	f.Add(`{"outages":[{"vantage":"Penn","from":1,"to":4},{"vantage":"Penn","from":3,"to":5}]}`)
+	f.Add(`{"outages":[{"vantage":"Penn","from":4,"to":2}]}`)
+	f.Add(`{"outages":[{"vantage":"Penn","from":2}]}`)
+	f.Add(`{"outages":[{"vantage":"","from":0,"to":1}]}`)
+	f.Add(`{"outages":[{"vantage":"Penn","from":2,"to":4,"flaky":true}]}`)
+	f.Add(`{"outages":[]}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, section string) {
+		data := []byte(`{"version":1,"faults":` + section + `}`)
+		sp, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Parse accepted the section: every invariant Validate claims
+		// to enforce must actually hold on the parsed schedule.
+		for i, o := range sp.Faults.Outages {
+			if o.Vantage == "" {
+				t.Fatalf("outage %d: empty vantage accepted", i)
+			}
+			if o.From == nil || o.To == nil {
+				t.Fatalf("outage %d: missing bound accepted", i)
+			}
+			if *o.From < 0 || *o.From >= *o.To {
+				t.Fatalf("outage %d: window [%d,%d) accepted", i, *o.From, *o.To)
+			}
+			for j, p := range sp.Faults.Outages[:i] {
+				if p.Vantage == o.Vantage && *o.From < *p.To && *p.From < *o.To {
+					t.Fatalf("outages %d and %d overlap for %s yet parsed", j, i, o.Vantage)
+				}
+			}
+		}
+		// A parsed spec must survive the rest of the pipeline: Clone
+		// round-trips it, and Compile either resolves it or rejects it
+		// with an error (e.g. an unknown vantage) — no panics.
+		sp.Clone()
+		if comp, err := sp.Compile(); err == nil {
+			if got, want := len(comp.Config.Outages), len(sp.Faults.Outages); got != want {
+				t.Fatalf("compiled %d outages from %d specs", got, want)
+			}
+		}
+	})
+}

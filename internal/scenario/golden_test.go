@@ -144,6 +144,21 @@ var goldenPacks = []struct {
 		},
 	},
 	{
+		// The baseline campaign under the outage schedule the paper's
+		// own collection suffered: planned degradation as config, not
+		// injected error. Windows sit in the early rounds so the
+		// schedule stays valid under the golden-test scale-down.
+		name: "vantage-outages",
+		hard: func() core.Config {
+			cfg := core.DefaultConfig(42)
+			cfg.Outages = []core.VantageOutage{
+				{Vantage: "Penn", From: 2, To: 4},
+				{Vantage: "Penn", From: 5, To: 6},
+			}
+			return cfg
+		},
+	},
+	{
 		// The CI slice of the paper-scale campaign.
 		name: "paper-scale-mini",
 		hard: func() core.Config {

@@ -33,6 +33,7 @@ import (
 	"v6web/internal/httpsim"
 	"v6web/internal/measure"
 	"v6web/internal/netsim"
+	"v6web/internal/store"
 	"v6web/internal/topo"
 	"v6web/internal/websim"
 )
@@ -58,6 +59,7 @@ type Spec struct {
 	Web      WebSpec      `json:"web,omitempty"`
 	Net      NetSpec      `json:"net,omitempty"`
 	Client   ClientSpec   `json:"client,omitempty"`
+	Faults   FaultsSpec   `json:"faults,omitempty"`
 	Report   ReportSpec   `json:"report,omitempty"`
 }
 
@@ -152,6 +154,60 @@ type ClientSpec struct {
 
 	HappyEyeballs *string  `json:"happy_eyeballs,omitempty"` // "off" (paper's tool) or "racing" (RFC 6555)
 	HeadStartMS   *float64 `json:"head_start_ms,omitempty"`
+}
+
+// FaultsSpec schedules campaign-level degradation as part of the
+// world definition. Outage windows compile to core.Config.Outages:
+// the named vantage runs no monitoring for the rounds in [from, to),
+// reproducing the paper's "data collection was occasionally
+// interrupted" as deterministic campaign state. Transport- and
+// filesystem-level fault injection is deliberately NOT a pack concern
+// — those are operational chaos knobs (the CLIs' -faults flag), not
+// part of the world being simulated.
+type FaultsSpec struct {
+	Outages []OutageSpec `json:"outages,omitempty"`
+}
+
+// OutageSpec is one vantage-outage window. From and To are pointers so
+// a window that forgets a bound fails loudly instead of compiling to
+// an accidental [0,0) no-op.
+type OutageSpec struct {
+	Vantage string `json:"vantage"`
+	From    *int   `json:"from,omitempty"`
+	To      *int   `json:"to,omitempty"`
+}
+
+// validate reports structural outage errors: bounds present and
+// ordered, windows per vantage disjoint. Roster membership and the
+// campaign's round count are only known at Compile time, where
+// core.Config.Validate re-checks the compiled schedule against them.
+func (f FaultsSpec) validate() error {
+	for i, o := range f.Outages {
+		if o.Vantage == "" {
+			return fmt.Errorf("scenario: faults.outages[%d]: vantage missing", i)
+		}
+		if o.From == nil || o.To == nil {
+			return fmt.Errorf("scenario: faults.outages[%d] (%s): from and to are both required", i, o.Vantage)
+		}
+		if *o.From < 0 || *o.From >= *o.To {
+			return fmt.Errorf("scenario: faults.outages[%d] (%s): window [%d,%d) empty or inverted", i, o.Vantage, *o.From, *o.To)
+		}
+		for j, p := range f.Outages[:i] {
+			if p.Vantage == o.Vantage && *o.From < *p.To && *p.From < *o.To {
+				return fmt.Errorf("scenario: faults.outages[%d] and [%d] overlap for %s", j, i, o.Vantage)
+			}
+		}
+	}
+	return nil
+}
+
+// compile materializes the outage schedule.
+func (f FaultsSpec) compile() []core.VantageOutage {
+	var out []core.VantageOutage
+	for _, o := range f.Outages {
+		out = append(out, core.VantageOutage{Vantage: store.Vantage(o.Vantage), From: *o.From, To: *o.To})
+	}
+	return out
 }
 
 // ReportSpec selects which exhibits a reporting run renders. Empty
@@ -272,6 +328,9 @@ func (sp *Spec) Validate() error {
 	if hs := sp.Client.HeadStartMS; hs != nil && *hs < 0 {
 		return fmt.Errorf("scenario: client.head_start_ms %v negative", *hs)
 	}
+	if err := sp.Faults.validate(); err != nil {
+		return err
+	}
 	for _, ex := range sp.Report.Exhibits {
 		if !validExhibit(ex) {
 			return fmt.Errorf("scenario: unknown exhibit %q (have: %s)", ex, strings.Join(Exhibits(), ", "))
@@ -301,6 +360,7 @@ func (sp *Spec) Compile() (Compiled, error) {
 	setInt(&cfg.V6DayRounds, sp.Schedule.V6DayRounds)
 	setFloat(&cfg.PathChangeFrac, sp.Routing.PathChangeFrac)
 	cfg.Vantages = core.ScaledVantages(cfg.Rounds)
+	cfg.Outages = sp.Faults.compile()
 
 	if tc, set := sp.Topo.override(cfg.NASes, seed); set {
 		if err := tc.Validate(); err != nil {

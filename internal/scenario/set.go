@@ -54,7 +54,7 @@ func fieldByName(v reflect.Value, name string) (reflect.Value, bool) {
 
 func sectionName(t reflect.Type) string {
 	if t == reflect.TypeOf(Spec{}) {
-		return "the spec (sections: topo, list, schedule, routing, web, net, client, report; plus seed, name, doc)"
+		return "the spec (sections: topo, list, schedule, routing, web, net, client, faults, report; plus seed, name, doc)"
 	}
 	return strings.ToLower(strings.TrimSuffix(t.Name(), "Spec"))
 }

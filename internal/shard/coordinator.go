@@ -12,10 +12,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"v6web/internal/alexa"
 	"v6web/internal/core"
+	"v6web/internal/fault"
 	"v6web/internal/store"
 )
 
@@ -39,13 +41,21 @@ type Options struct {
 	// (default store.FormatBinary); ignored when Dir is empty.
 	CheckpointFormat store.SnapshotFormat
 
-	// FrameTimeout bounds the silence between two frames from a worker
-	// before it is presumed dead and its shard retried (default 5m).
-	FrameTimeout time.Duration
+	// Retry is the unified retry/backoff policy: Timeout bounds the
+	// silence between two frames from a worker before it is presumed
+	// dead, MaxAttempts bounds attempts per shard, and the backoff
+	// fields pace the retries (deterministic jitter keyed on the shard
+	// index). Zero fields take fault.DefaultRetryPolicy values, which
+	// reproduce the old FrameTimeout=5m / MaxRetries=2 behavior.
+	Retry fault.RetryPolicy
 
-	// MaxRetries is the number of extra attempts per shard after the
-	// first (default 2).
-	MaxRetries int
+	// Faults, when set, arms the deterministic fault injector over
+	// this campaign: filesystem faults at the workers' checkpoint
+	// commit points, wire faults on the coordinator's read streams.
+	// The plan travels to workers inside the shard spec, and no fault
+	// is injected on a shard's final attempt (unless the plan says
+	// Unrecoverable), so armed schedules remain recoverable.
+	Faults *fault.Config
 
 	// Command is the worker argv; empty re-execs the current binary
 	// with WorkerEnv set.
@@ -62,6 +72,9 @@ type Options struct {
 	// spawn is the transport test hook: tests substitute an in-process
 	// worker to exercise the full data path without exec.
 	spawn func(ctx context.Context, spec Spec) (workerConn, error)
+
+	// inj is the armed injector runSpecs builds from Faults.
+	inj *fault.Injector
 }
 
 // Stats reports what a sharded run cost.
@@ -73,9 +86,11 @@ type Stats struct {
 }
 
 // workerConn is one attempt's transport: a frame stream plus the means
-// to stop it.
+// to stop it. interrupt asks the worker to checkpoint and exit
+// gracefully (SIGTERM for local processes); kill stops it immediately.
 type workerConn interface {
 	io.Reader
+	interrupt()
 	kill()
 	wait() error
 }
@@ -118,11 +133,9 @@ func runSpecs(ctx context.Context, cfg core.Config, specs []Spec, opt Options) (
 	if opt.CheckpointEvery < 1 {
 		opt.CheckpointEvery = 2
 	}
-	if opt.FrameTimeout <= 0 {
-		opt.FrameTimeout = 5 * time.Minute
-	}
-	if opt.MaxRetries == 0 {
-		opt.MaxRetries = 2
+	opt.Retry = opt.Retry.WithDefaults()
+	if opt.Faults.Enabled() {
+		opt.inj = fault.New(*opt.Faults, cfg.Fingerprint())
 	}
 	if opt.Log == nil {
 		opt.Log = io.Discard
@@ -154,7 +167,13 @@ func runSpecs(ctx context.Context, cfg core.Config, specs []Spec, opt Options) (
 				return nil, nil, err
 			}
 			defer ln.Close()
-			opt.spawn = listenSpawner(ln)
+			// lnDone closes leftover dialed-in workers when the campaign
+			// ends: a worker that connects after the last shard completed
+			// would otherwise block forever waiting for a spec that will
+			// never come.
+			lnDone := make(chan struct{})
+			defer close(lnDone)
+			opt.spawn = listenSpawner(ln, lnDone)
 			fmt.Fprintf(opt.Log, "coordinator: waiting for %d workers on %s\n", len(specs), ln.Addr())
 		} else {
 			opt.spawn = execSpawner(opt.Command)
@@ -201,7 +220,7 @@ func runSpecs(ctx context.Context, cfg core.Config, specs []Spec, opt Options) (
 
 func runShard(ctx context.Context, spec Spec, opt Options, s *core.Scenario, dests *destLog, st *Stats, mu *sync.Mutex) error {
 	var lastErr error
-	for attempt := 0; attempt <= opt.MaxRetries; attempt++ {
+	for attempt := 0; attempt < opt.Retry.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -210,9 +229,15 @@ func runShard(ctx context.Context, spec Spec, opt Options, s *core.Scenario, des
 			st.Retries++
 			mu.Unlock()
 			fmt.Fprintf(opt.Log, "shard %d: retrying (attempt %d of %d) after: %v\n",
-				spec.Index, attempt+1, opt.MaxRetries+1, lastErr)
+				spec.Index, attempt+1, opt.Retry.MaxAttempts, lastErr)
+			// Deterministically jittered backoff before the respawn: a
+			// canceled context cuts the wait short and ends the loop at
+			// the ctx.Err check above on the next iteration.
+			if err := opt.Retry.Wait(ctx, attempt, uint64(spec.Index)); err != nil {
+				return err
+			}
 		}
-		err := runShardOnce(ctx, spec, opt, s, dests, st, mu)
+		err := runShardOnce(ctx, spec, attempt, opt, s, dests, st, mu)
 		if err == nil {
 			return nil
 		}
@@ -226,10 +251,26 @@ func runShard(ctx context.Context, spec Spec, opt Options, s *core.Scenario, des
 	return fmt.Errorf("shard %d: %w", spec.Index, lastErr)
 }
 
-func runShardOnce(ctx context.Context, spec Spec, opt Options, s *core.Scenario, dests *destLog, st *Stats, mu *sync.Mutex) error {
+func runShardOnce(ctx context.Context, spec Spec, attempt int, opt Options, s *core.Scenario, dests *destLog, st *Stats, mu *sync.Mutex) error {
+	// Arm the worker-side fault plan for this attempt — except on the
+	// shard's last attempt, which runs clean so every armed schedule
+	// stays recoverable by construction.
+	lastAttempt := attempt == opt.Retry.MaxAttempts-1
+	if opt.Faults.Enabled() && (!lastAttempt || opt.Faults.Unrecoverable) {
+		spec.Faults, spec.FaultAttempt = opt.Faults, attempt
+	} else {
+		spec.Faults, spec.FaultAttempt = nil, 0
+	}
 	conn, err := opt.spawn(ctx, spec)
 	if err != nil {
 		return err
+	}
+	if opt.inj != nil && (!lastAttempt || opt.Faults.Unrecoverable) {
+		if wf := opt.inj.WireFor(spec.Index, attempt, opt.Retry.Timeout); wf.Kind != fault.WireNone {
+			fmt.Fprintf(opt.Log, "shard %d: injecting wire %s at offset %d (attempt %d)\n",
+				spec.Index, wf.Kind, wf.Offset, attempt+1)
+			conn = newFaultConn(conn, wf)
+		}
 	}
 	defer func() {
 		conn.kill()
@@ -266,8 +307,16 @@ type shardResult struct {
 
 // consumeFrames reads a worker's stream to its done frame under a
 // liveness watchdog: any frame resets the timer, so a worker that is
-// alive but slow survives while a killed one is detected within
-// FrameTimeout.
+// alive but slow survives while a killed one is detected within the
+// retry policy's Timeout.
+//
+// A canceled context is a *graceful* stop: the worker is interrupted
+// (SIGTERM for local processes), which makes it checkpoint between
+// rounds and exit, and the stream keeps draining meanwhile — a worker
+// already dumping its final sections finishes and the shard completes.
+// Every terminal outcome after an interrupt maps to the context's
+// error, so the campaign reports a clean interruption, not a worker
+// failure.
 func consumeFrames(ctx context.Context, conn workerConn, spec Spec, opt Options) (*shardResult, int64, error) {
 	type frame struct {
 		typ     byte
@@ -287,36 +336,50 @@ func consumeFrames(ctx context.Context, conn workerConn, spec Spec, opt Options)
 	}()
 	res := &shardResult{}
 	var bytes int64
-	timer := time.NewTimer(opt.FrameTimeout)
+	interrupted := false
+	// fail maps terminal failures to the interrupt when one is being
+	// served: the worker exiting after its shutdown checkpoint (stream
+	// end, an "interrupted" error frame) is the expected outcome, not a
+	// shard failure.
+	fail := func(err error) (*shardResult, int64, error) {
+		if interrupted {
+			return nil, 0, context.Cause(ctx)
+		}
+		return nil, 0, err
+	}
+	done := ctx.Done()
+	timer := time.NewTimer(opt.Retry.Timeout)
 	defer timer.Stop()
 	for {
 		select {
-		case <-ctx.Done():
-			conn.kill()
-			return nil, 0, ctx.Err()
+		case <-done:
+			done = nil // the closed channel must not spin this loop
+			interrupted = true
+			conn.interrupt()
+			fmt.Fprintf(opt.Log, "shard %d: interrupt — waiting for worker to checkpoint\n", spec.Index)
 		case <-timer.C:
 			conn.kill()
-			return nil, 0, fmt.Errorf("no frame within %v — worker presumed dead", opt.FrameTimeout)
+			return fail(fmt.Errorf("no frame within %v — worker presumed dead", opt.Retry.Timeout))
 		case f := <-ch:
 			if f.err != nil {
 				conn.kill()
-				return nil, 0, fmt.Errorf("worker stream ended before done frame: %w", f.err)
+				return fail(fmt.Errorf("worker stream ended before done frame: %w", f.err))
 			}
 			if !timer.Stop() {
 				<-timer.C
 			}
-			timer.Reset(opt.FrameTimeout)
+			timer.Reset(opt.Retry.Timeout)
 			switch f.typ {
 			case frameHello:
 				index, fp, err := decodeHello(f.payload)
 				if err != nil {
 					conn.kill()
-					return nil, 0, &permanentError{err}
+					return fail(&permanentError{err})
 				}
 				if index != spec.Index || fp != spec.Fingerprint {
 					conn.kill()
-					return nil, 0, &permanentError{fmt.Errorf("hello for shard %d fp %s, want shard %d fp %s",
-						index, fp, spec.Index, spec.Fingerprint)}
+					return fail(&permanentError{fmt.Errorf("hello for shard %d fp %s, want shard %d fp %s",
+						index, fp, spec.Index, spec.Fingerprint)})
 				}
 			case frameRound:
 				round, sites, dual, measured, err := decodeRound(f.payload)
@@ -328,7 +391,7 @@ func consumeFrames(ctx context.Context, conn workerConn, spec Spec, opt Options)
 				m, err := decodeSectionFrame(f.payload)
 				if err != nil {
 					conn.kill()
-					return nil, 0, &permanentError{err}
+					return fail(&permanentError{err})
 				}
 				res.sections = append(res.sections, m)
 				bytes += int64(len(f.payload))
@@ -336,18 +399,18 @@ func consumeFrames(ctx context.Context, conn workerConn, spec Spec, opt Options)
 				m, err := decodeDestsFrame(f.payload)
 				if err != nil {
 					conn.kill()
-					return nil, 0, &permanentError{err}
+					return fail(&permanentError{err})
 				}
 				res.dests = append(res.dests, m)
 				bytes += int64(len(f.payload))
 			case frameError:
 				conn.kill()
-				return nil, 0, fmt.Errorf("worker reported: %s", f.payload)
+				return fail(fmt.Errorf("worker reported: %s", f.payload))
 			case frameDone:
 				return res, bytes, nil
 			default:
 				conn.kill()
-				return nil, 0, &permanentError{fmt.Errorf("unknown frame type %d", f.typ)}
+				return fail(&permanentError{fmt.Errorf("unknown frame type %d", f.typ)})
 			}
 		}
 	}
@@ -422,6 +485,13 @@ type procConn struct {
 
 func (p *procConn) Read(b []byte) (int, error) { return p.out.Read(b) }
 func (p *procConn) kill()                      { p.cmd.Process.Kill() }
+
+// interrupt delivers SIGTERM, which the worker's signal context turns
+// into checkpoint-and-exit between rounds. If signaling is impossible
+// (platform or an already-dead process) the liveness watchdog still
+// bounds the wait and falls back to kill.
+func (p *procConn) interrupt() { p.cmd.Process.Signal(syscall.SIGTERM) }
+
 func (p *procConn) wait() error {
 	p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
 	return p.waitErr
@@ -429,8 +499,12 @@ func (p *procConn) wait() error {
 
 // listenSpawner hands each shard spec to the next worker that dials
 // in; a retried shard simply goes to the next connection, so remote
-// workers can come and go.
-func listenSpawner(ln net.Listener) func(ctx context.Context, spec Spec) (workerConn, error) {
+// workers can come and go. Once done closes (the campaign is over),
+// accepted connections are closed instead of parked, so a worker
+// racing the listener shutdown sees a dead connection — which
+// ServeAddrRetry treats as the campaign's normal end — rather than
+// hanging on a spec that will never arrive.
+func listenSpawner(ln net.Listener, done <-chan struct{}) func(ctx context.Context, spec Spec) (workerConn, error) {
 	conns := make(chan net.Conn)
 	go func() {
 		for {
@@ -439,7 +513,11 @@ func listenSpawner(ln net.Listener) func(ctx context.Context, spec Spec) (worker
 				close(conns)
 				return
 			}
-			conns <- c
+			select {
+			case conns <- c:
+			case <-done:
+				c.Close()
+			}
 		}
 	}()
 	return func(ctx context.Context, spec Spec) (workerConn, error) {
@@ -463,7 +541,13 @@ type netConn struct{ c net.Conn }
 
 func (n *netConn) Read(b []byte) (int, error) { return n.c.Read(b) }
 func (n *netConn) kill()                      { n.c.Close() }
-func (n *netConn) wait() error                { return nil }
+
+// interrupt closes the connection: there is no signal channel to a
+// remote worker, so it sees the coordinator go away and exits; its
+// last periodic checkpoint stands for the next attempt.
+func (n *netConn) interrupt() { n.c.Close() }
+
+func (n *netConn) wait() error { return nil }
 
 // syncWriter serializes concurrent shard-goroutine writes onto one
 // progress writer.

@@ -1,0 +1,84 @@
+package shard
+
+// faultConn is the coordinator-side wire shim: it wraps one worker
+// connection and applies the single drawn WireFault to the byte stream
+// the coordinator reads. Corruption and truncation happen at a
+// deterministic byte offset, so the same seed damages the same frame
+// on every run; a hang silences the stream without closing it, which
+// only the liveness watchdog can unstick. All faults surface as
+// retryable stream conditions (CRC mismatch, early EOF, watchdog
+// fire) — never as decoded garbage — because readFrame checksums every
+// payload before anyone interprets it.
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"v6web/internal/fault"
+)
+
+type faultConn struct {
+	conn workerConn
+	f    fault.WireFault
+
+	n        int64 // bytes delivered so far
+	fired    bool  // one-shot faults (delay) already applied
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+func newFaultConn(conn workerConn, f fault.WireFault) *faultConn {
+	return &faultConn{conn: conn, f: f, killed: make(chan struct{})}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	remaining := c.f.Offset - c.n
+	switch c.f.Kind {
+	case fault.WireCut:
+		if remaining <= 0 {
+			return 0, io.EOF
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	case fault.WireHang:
+		if remaining <= 0 {
+			// Silent stall: hold the read open until the watchdog kills
+			// the attempt (or the worker is otherwise stopped).
+			<-c.killed
+			return 0, io.ErrClosedPipe
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	case fault.WireDelay:
+		if remaining <= 0 && !c.fired {
+			c.fired = true
+			t := time.NewTimer(c.f.Delay)
+			select {
+			case <-c.killed:
+				t.Stop()
+				return 0, io.ErrClosedPipe
+			case <-t.C:
+			}
+		}
+	}
+	n, err := c.conn.Read(p)
+	if c.f.Kind == fault.WireCorrupt && n > 0 {
+		if off := c.f.Offset - c.n; off >= 0 && off < int64(n) {
+			p[off] ^= 0x80
+		}
+	}
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *faultConn) interrupt() { c.conn.interrupt() }
+
+func (c *faultConn) kill() {
+	c.killOnce.Do(func() { close(c.killed) })
+	c.conn.kill()
+}
+
+func (c *faultConn) wait() error { return c.conn.wait() }

@@ -33,7 +33,7 @@ func TestCheckpointFormatTravelsInSpec(t *testing.T) {
 		if back.CheckpointFormat != tc.wire {
 			t.Fatalf("format %q round-tripped to %q", tc.wire, back.CheckpointFormat)
 		}
-		b, err := checkpointBackend(back)
+		b, err := checkpointBackend(back, nil)
 		if err != nil {
 			t.Fatalf("format %q: %v", tc.wire, err)
 		}
@@ -41,7 +41,7 @@ func TestCheckpointFormatTravelsInSpec(t *testing.T) {
 			t.Fatalf("format %q: backend got format %v fingerprint %q", tc.wire, b.Format, b.Fingerprint)
 		}
 	}
-	if _, err := checkpointBackend(Spec{Index: 2, CheckpointFormat: "bogus"}); err == nil ||
+	if _, err := checkpointBackend(Spec{Index: 2, CheckpointFormat: "bogus"}, nil); err == nil ||
 		!strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("bogus format accepted: %v", err)
 	}

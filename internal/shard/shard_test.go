@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"v6web/internal/core"
+	"v6web/internal/fault"
 	"v6web/internal/store"
 )
 
@@ -102,7 +103,14 @@ type pipeConn struct {
 
 func (p *pipeConn) Read(b []byte) (int, error) { return p.r.Read(b) }
 func (p *pipeConn) kill()                      { p.r.CloseWithError(fmt.Errorf("killed by coordinator")) }
-func (p *pipeConn) wait() error                { return <-p.done }
+
+// interrupt approximates SIGTERM for the in-process worker: there is
+// no signal channel into Serve, so the read side closes and the worker
+// dies at its next emit — its periodic checkpoints stand, as they
+// would for a remote netConn worker.
+func (p *pipeConn) interrupt() { p.kill() }
+
+func (p *pipeConn) wait() error { return <-p.done }
 
 func inprocSpawner(ctx context.Context, spec Spec) (workerConn, error) {
 	specR, specW := io.Pipe()
@@ -274,7 +282,7 @@ func TestWorkerKillRetried(t *testing.T) {
 		Workers:         4,
 		Dir:             t.TempDir(),
 		CheckpointEvery: 2,
-		FrameTimeout:    time.Minute,
+		Retry:           fault.RetryPolicy{Timeout: time.Minute, BaseDelay: 10 * time.Millisecond},
 		Log:             &log,
 		spawn: func(ctx context.Context, spec Spec) (workerConn, error) {
 			conn, err := base(ctx, spec)

@@ -15,6 +15,7 @@ import (
 
 	"v6web/internal/alexa"
 	"v6web/internal/core"
+	"v6web/internal/fault"
 )
 
 // Spec describes one worker's slice of a campaign. It travels to the
@@ -50,6 +51,15 @@ type Spec struct {
 	// Resume auto-detects, so a spec may change the format between
 	// attempts of the same shard.
 	CheckpointFormat string `json:"checkpoint_format,omitempty"`
+
+	// Faults, when set, is the deterministic fault plan the worker
+	// injects on its side of the boundary (checkpoint filesystem
+	// faults, duplicated round frames). The coordinator owns the plan
+	// and omits it from a shard's final attempt, so schedules stay
+	// recoverable; FaultAttempt scopes the worker's draws so a retry
+	// does not replay the exact faults that killed its predecessor.
+	Faults       *fault.Config `json:"faults,omitempty"`
+	FaultAttempt int           `json:"fault_attempt,omitempty"`
 
 	Config core.Config `json:"config"`
 }

@@ -2,16 +2,22 @@ package shard
 
 // Frame layer of the worker protocol. Every message after the spec
 // handshake is one frame: a little-endian u32 payload length, a type
-// byte, and the payload. Round frames double as liveness heartbeats —
-// the coordinator declares a worker dead when no frame arrives within
-// the frame timeout. Authoritative data travels only in the final dump
-// (section and dests frames followed by done), so a worker that dies
-// mid-campaign never leaves half-merged state behind.
+// byte, a u32 CRC-32C of the payload, and the payload. Round frames
+// double as liveness heartbeats — the coordinator declares a worker
+// dead when no frame arrives within the retry policy's timeout.
+// Authoritative data travels only in the final dump (section and dests
+// frames followed by done), so a worker that dies mid-campaign never
+// leaves half-merged state behind. The CRC makes in-flight corruption
+// a *stream* error caught before any payload is interpreted — and
+// since results buffer until the done frame, before anything is merged
+// — so a corrupted stream retries like a dead worker instead of
+// poisoning the campaign with a permanent decode failure.
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -27,15 +33,19 @@ const (
 const (
 	maxFramePayload = 1 << 28
 	maxSpecBlob     = 1 << 24
+	frameHdrSize    = 9 // u32 length + type byte + u32 payload crc32c
 )
+
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > maxFramePayload {
 		return fmt.Errorf("shard: frame payload %d exceeds limit", len(payload))
 	}
-	var hdr [5]byte
+	var hdr [frameHdrSize]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, frameCRCTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -44,7 +54,7 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [5]byte
+	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -55,6 +65,9 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
+	}
+	if crc := crc32.Checksum(payload, frameCRCTable); crc != binary.LittleEndian.Uint32(hdr[5:]) {
+		return 0, nil, fmt.Errorf("shard: frame crc mismatch (type %d, %d bytes)", hdr[4], n)
 	}
 	return hdr[4], payload, nil
 }

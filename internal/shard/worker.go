@@ -17,6 +17,7 @@ import (
 
 	"v6web/internal/alexa"
 	"v6web/internal/core"
+	"v6web/internal/fault"
 	"v6web/internal/store"
 )
 
@@ -43,11 +44,23 @@ func MaybeWorker() {
 // ServeAddr dials a coordinator running with Options.Listen and
 // serves shards until the coordinator goes away; each connection
 // carries one spec. A connection that closes without delivering a spec
-// (or mid-handshake) means the coordinator is done with us.
+// (or mid-handshake) means the coordinator is done with us. The
+// default retry policy paces the initial connection, so a worker
+// started moments before its coordinator listens still joins.
 func ServeAddr(addr string) error {
+	return ServeAddrRetry(addr, fault.DefaultRetryPolicy())
+}
+
+// ServeAddrRetry is ServeAddr under an explicit retry policy: the
+// first connection retries failed dials with the policy's backoff (up
+// to MaxAttempts dials, each bounded by Timeout). Once a shard has
+// been served, a failed dial means the coordinator finished and went
+// away, and the worker exits cleanly without burning the backoff.
+func ServeAddrRetry(addr string, p fault.RetryPolicy) error {
+	p = p.WithDefaults()
 	served := 0
 	for {
-		c, err := net.Dial("tcp", addr)
+		c, err := dialCoordinator(addr, p, served > 0)
 		if err != nil {
 			if served > 0 {
 				return nil // coordinator finished and went away
@@ -65,6 +78,29 @@ func ServeAddr(addr string) error {
 		}
 		served++
 	}
+}
+
+// dialCoordinator dials with bounded retry. After the worker has
+// served at least one shard a refused dial is the normal end of the
+// campaign, so only the first dial is retried.
+func dialCoordinator(addr string, p fault.RetryPolicy, servedBefore bool) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := p.Wait(context.Background(), attempt); err != nil {
+				return nil, err
+			}
+		}
+		c, err := net.DialTimeout("tcp", addr, p.Timeout)
+		if err == nil {
+			return c, nil
+		}
+		if servedBefore {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("shard: dialing coordinator %s (%d attempts): %w", addr, p.MaxAttempts, lastErr)
 }
 
 // Serve runs one shard: it reads the spec handshake from in, runs the
@@ -106,6 +142,13 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 	if err := emit(frameHello, encodeHello(spec.Index, spec.Fingerprint)); err != nil {
 		return err
 	}
+	// The worker-side fault plan, when the coordinator armed one for
+	// this attempt: filesystem faults at the checkpoint commit points
+	// and duplicated round frames. A nil injector draws nothing.
+	var inj *fault.Injector
+	if spec.Faults != nil {
+		inj = fault.New(*spec.Faults, spec.Fingerprint)
+	}
 
 	var (
 		s       *core.Scenario
@@ -114,7 +157,7 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 	)
 	if spec.CheckpointDir != "" {
 		var err error
-		if backend, err = checkpointBackend(spec); err != nil {
+		if backend, err = checkpointBackend(spec, inj); err != nil {
 			return err
 		}
 		s, dests = loadCheckpoint(cfg, spec, backend)
@@ -168,6 +211,14 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 		if err := emit(frameRound, encodeRound(round, sites, dual, measured)); err != nil {
 			return err
 		}
+		if inj.DupRound(spec.Index, spec.FaultAttempt, round) {
+			// Injected duplicate heartbeat: round frames are progress
+			// reporting, so the coordinator must tolerate seeing one
+			// twice without double-counting anything.
+			if err := emit(frameRound, encodeRound(round, sites, dual, measured)); err != nil {
+				return err
+			}
+		}
 		if spec.CheckpointEvery > 0 && s.RoundsDone()%spec.CheckpointEvery == 0 && s.RoundsDone() < cfg.Rounds {
 			if err := checkpoint(); err != nil {
 				return err
@@ -187,8 +238,10 @@ func runSpec(ctx context.Context, spec Spec, emit func(typ byte, payload []byte)
 // spec: the format and the campaign fingerprint travel inside the
 // spec, so every attempt and resume of a shard uses the coordinator's
 // choice. A spec with an unknown format string is rejected before any
-// rounds run.
-func checkpointBackend(spec Spec) (*store.CheckpointBackend, error) {
+// rounds run. When a fault plan is armed, the backend's commit points
+// consult the injector, scoped by (shard, attempt) so a retried
+// attempt draws fresh faults instead of replaying its predecessor's.
+func checkpointBackend(spec Spec, inj *fault.Injector) (*store.CheckpointBackend, error) {
 	format, err := store.ParseSnapshotFormat(spec.CheckpointFormat)
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", spec.Index, err)
@@ -196,6 +249,9 @@ func checkpointBackend(spec Spec) (*store.CheckpointBackend, error) {
 	b := store.NewCheckpointBackend(spec.CheckpointDir)
 	b.Format = format
 	b.Fingerprint = spec.Fingerprint
+	if hook := inj.FSHook(uint64(spec.Index), uint64(spec.FaultAttempt)); hook != nil {
+		b.Hook = hook
+	}
 	return b, nil
 }
 

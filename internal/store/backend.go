@@ -44,6 +44,24 @@ type Backend interface {
 	LoadMeta() (Meta, bool, error)
 }
 
+// FaultHook, when non-nil, is consulted at a backend's
+// durability-critical I/O points and may return an error to simulate
+// the operation failing there. internal/fault supplies deterministic
+// implementations; production runs leave hooks nil, and every call
+// site is behind a nil check so the disabled path costs one branch.
+//
+// Ops, in the order a checkpoint cycle consults them:
+//
+//	"write"  a staged snapshot or metadata write, mid-stream (models
+//	         a short write / ENOSPC; nothing was committed)
+//	"sync"   the pre-commit fsync
+//	"rename" the atomic commit rename itself
+//	"crash"  fires after the commit landed: the state IS durable, but
+//	         the caller is told it failed, as if the process died
+//	         between rename and acknowledgment
+//	"prune"  checkpoint pruning (non-fatal by contract)
+type FaultHook func(op, path string) error
+
 const metaFile = "meta.json"
 
 func writeMetaFile(path string, m Meta) error {
@@ -175,6 +193,9 @@ type CheckpointBackend struct {
 	Format SnapshotFormat
 	// Fingerprint, when set, is stamped into binary snapshot headers.
 	Fingerprint string
+	// Hook, when set, injects failures at the commit points (fault
+	// testing only; see FaultHook).
+	Hook FaultHook
 
 	mu      sync.Mutex
 	pending string // staging directory of the in-progress checkpoint
@@ -247,9 +268,15 @@ func (b *CheckpointBackend) SaveSnapshot(name string, db *DB) error {
 		return err
 	}
 	if b.Format == FormatCSV {
+		if b.Hook != nil {
+			if err := b.Hook("write", filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
 		return db.Save(filepath.Join(dir, name))
 	}
-	return db.SaveBinary(filepath.Join(dir, name)+BinaryExt, BinaryOptions{Compress: true, Fingerprint: b.Fingerprint})
+	return db.SaveBinary(filepath.Join(dir, name)+BinaryExt,
+		BinaryOptions{Compress: true, Fingerprint: b.Fingerprint, Hook: b.Hook})
 }
 
 // SaveMeta commits the staged checkpoint: the metadata is written
@@ -262,6 +289,11 @@ func (b *CheckpointBackend) SaveMeta(m Meta) error {
 	dir, err := b.stage()
 	if err != nil {
 		return err
+	}
+	if b.Hook != nil {
+		if err := b.Hook("write", filepath.Join(dir, metaFile)); err != nil {
+			return err
+		}
 	}
 	if err := writeMetaFile(filepath.Join(dir, metaFile), m); err != nil {
 		return err
@@ -281,11 +313,24 @@ func (b *CheckpointBackend) SaveMeta(m Meta) error {
 		b.scanned = true
 	}
 	final := filepath.Join(b.root(), fmt.Sprintf("ck-%06d", b.nextSeq))
+	if b.Hook != nil {
+		if err := b.Hook("rename", final); err != nil {
+			return err
+		}
+	}
 	if err := os.Rename(dir, final); err != nil {
 		return err
 	}
 	b.nextSeq++
 	b.pending = ""
+	if b.Hook != nil {
+		// "crash" fires after the commit landed: the new checkpoint is
+		// the one LoadMeta now serves, but the caller hears failure — a
+		// process that died between rename and acknowledgment.
+		if err := b.Hook("crash", final); err != nil {
+			return err
+		}
+	}
 	// The rename above was the commit point: the checkpoint is durable
 	// regardless of what follows. Pruning obsolete checkpoints is
 	// housekeeping — a failure here (a held-open file, a permission
@@ -299,7 +344,14 @@ func (b *CheckpointBackend) SaveMeta(m Meta) error {
 			return nil
 		}
 		for len(names) > b.Keep {
-			if err := os.RemoveAll(filepath.Join(b.root(), names[0])); err != nil {
+			victim := filepath.Join(b.root(), names[0])
+			if b.Hook != nil {
+				if err := b.Hook("prune", victim); err != nil {
+					fmt.Fprintf(os.Stderr, "store: checkpoint prune: %v\n", err)
+					break
+				}
+			}
+			if err := os.RemoveAll(victim); err != nil {
 				fmt.Fprintf(os.Stderr, "store: checkpoint prune: %v\n", err)
 				break
 			}

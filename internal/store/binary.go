@@ -182,8 +182,9 @@ func (r *rbuf) u32() uint32 {
 
 // BinaryOptions configure SaveBinary.
 type BinaryOptions struct {
-	Compress    bool   // flate-compress sections when it shrinks them
-	Fingerprint string // config fingerprint stamped into the index (may be empty)
+	Compress    bool      // flate-compress sections when it shrinks them
+	Fingerprint string    // config fingerprint stamped into the index (may be empty)
+	Hook        FaultHook // optional fault-injection hook at the commit points
 }
 
 // binSection is one index entry: where a (section, vantage) frame
@@ -231,11 +232,27 @@ func (db *DB) SaveBinary(path string, opt BinaryOptions) error {
 		os.Remove(tmp)
 		return err
 	}
+	if opt.Hook != nil {
+		if err := opt.Hook("rename", path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	if opt.Hook != nil {
+		// Post-commit crash point: the snapshot is durable, the caller
+		// is told otherwise.
+		if err := opt.Hook("crash", path); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (db *DB) writeBinary(f *os.File, opt BinaryOptions) error {
@@ -326,6 +343,15 @@ func (db *DB) writeBinary(f *os.File, opt BinaryOptions) error {
 		idx.u64(s.ulen)
 		idx.u32(s.crc)
 	}
+	if opt.Hook != nil {
+		// Mid-stream fault point: the section frames are on disk but
+		// the index is not — an error here is a short write, leaving a
+		// truncated temp file for the caller to discard.
+		if err := opt.Hook("write", f.Name()); err != nil {
+			return err
+		}
+	}
+
 	idx.u32(crc32.Checksum(idx.b[:len(idx.b)], binCRCTable))
 	if _, err := f.Write(idx.b); err != nil {
 		return err
@@ -346,6 +372,11 @@ func (db *DB) writeBinary(f *os.File, opt BinaryOptions) error {
 	binary.LittleEndian.PutUint32(hdr[48:], crc32.Checksum(hdr[:48], binCRCTable))
 	if _, err := f.WriteAt(hdr, 0); err != nil {
 		return err
+	}
+	if opt.Hook != nil {
+		if err := opt.Hook("sync", f.Name()); err != nil {
+			return err
+		}
 	}
 	return f.Sync()
 }
@@ -786,8 +817,9 @@ func ReadBinaryInfo(path string) (BinaryInfo, error) {
 // checkpoint format.
 type BinaryBackend struct {
 	Dir         string
-	Compress    bool   // flate-compress sections that shrink
-	Fingerprint string // optional config fingerprint stamped into snapshots
+	Compress    bool      // flate-compress sections that shrink
+	Fingerprint string    // optional config fingerprint stamped into snapshots
+	Hook        FaultHook // optional fault-injection hook at the commit points
 }
 
 // NewBinaryBackend returns a backend rooted at dir with compression
@@ -805,7 +837,8 @@ func (b *BinaryBackend) SaveSnapshot(name string, db *DB) error {
 	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
 		return err
 	}
-	return db.SaveBinary(b.snapPath(name), BinaryOptions{Compress: b.Compress, Fingerprint: b.Fingerprint})
+	return db.SaveBinary(b.snapPath(name),
+		BinaryOptions{Compress: b.Compress, Fingerprint: b.Fingerprint, Hook: b.Hook})
 }
 
 // LoadSnapshot reads Dir/name.v6db.
@@ -818,7 +851,21 @@ func (b *BinaryBackend) SaveMeta(m Meta) error {
 	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
 		return err
 	}
-	return writeMetaFile(filepath.Join(b.Dir, metaFile), m)
+	path := filepath.Join(b.Dir, metaFile)
+	if b.Hook != nil {
+		if err := b.Hook("write", path); err != nil {
+			return err
+		}
+	}
+	if err := writeMetaFile(path, m); err != nil {
+		return err
+	}
+	if b.Hook != nil {
+		if err := b.Hook("crash", path); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LoadMeta reads Dir/meta.json; ok=false when it does not exist.
