@@ -9,8 +9,10 @@ package v6web
 
 import (
 	"context"
+	"io"
 	"io/fs"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -22,6 +24,7 @@ import (
 	"v6web/internal/analysis"
 	"v6web/internal/bgp"
 	"v6web/internal/core"
+	"v6web/internal/daemon"
 	"v6web/internal/fault"
 	"v6web/internal/netsim"
 	"v6web/internal/scenario"
@@ -1040,4 +1043,55 @@ func BenchmarkAdoptionModel(b *testing.B) {
 		}
 	}
 	_ = hits
+}
+
+// BenchmarkDaemonWarmExhibit measures v6mond's hot serving path: a
+// completed campaign's pre-rendered report fetched over real HTTP.
+// Warm exhibits are immutable bytes behind an atomic pointer, so this
+// is the sustained-load figure for the daemon (req/s, bytes/op) —
+// the render limiter is never touched.
+func BenchmarkDaemonWarmExhibit(b *testing.B) {
+	b.ReportAllocs()
+	d := daemon.New(daemon.Options{Dir: b.TempDir(), Addr: "127.0.0.1:0"})
+	if _, err := d.Add("bench", "baseline-2011",
+		scenario.Overrides{"topo.ases=150", "list.size=1000", "schedule.rounds=5"}); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Minute)
+	for d.Addr() == "" || d.Campaigns()[0].State() != daemon.StateComplete {
+		if time.Now().After(deadline) {
+			b.Fatal("bench campaign never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	url := "http://" + d.Addr() + "/api/campaigns/bench/report"
+	client := &http.Client{}
+	var served int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET report: %d %v", resp.StatusCode, err)
+		}
+		served += n
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "req/s")
+	}
+	b.ReportMetric(float64(served)/float64(b.N), "bytes/op")
 }

@@ -51,10 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
 	"v6web/internal/cli"
@@ -135,12 +133,8 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the campaign at the next round boundary;
 	// the runner checkpoints the completed rounds before returning.
-	// Unregister the handler as soon as the first signal lands so a
-	// second Ctrl-C terminates immediately instead of being swallowed
-	// while the shutdown checkpoint writes.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
-	context.AfterFunc(ctx, stop)
 
 	ckpt := store.NewCheckpointBackend(*out)
 	ckpt.Format = ckptFormat
@@ -238,9 +232,8 @@ func main() {
 // slices, the coordinator merges their frames, and everything after
 // the main study (World IPv6 Day, saving) runs locally as usual.
 func runSharded(cfg core.Config, out string, shards, every int, format store.SnapshotFormat, fc *fault.Config, frameTime time.Duration, quiet bool) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
-	context.AfterFunc(ctx, stop)
 
 	opt := shard.Options{Workers: shards, CheckpointEvery: every, CheckpointFormat: format, Faults: fc}
 	if frameTime > 0 {
@@ -258,8 +251,10 @@ func runSharded(cfg core.Config, out string, shards, every int, format store.Sna
 	s, st, err := shard.Run(ctx, cfg, opt)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "v6mon: interrupted; rerun the same command to continue from the shard checkpoints\n")
-			os.Exit(1)
+			if opt.Dir != "" {
+				cli.Drained("v6mon", "interrupted; shard checkpoints saved — rerun the same command to continue", true)
+			}
+			cli.Drained("v6mon", "interrupted; -checkpoint-every was 0, so progress is lost", false)
 		}
 		fatal(err)
 	}
@@ -312,16 +307,16 @@ func resolveConfig(pack string, sets scenario.Overrides, seed int64, ases, sites
 	return comp.Config, nil
 }
 
-// interrupted reports a graceful shutdown and exits.
+// interrupted reports a graceful shutdown and exits: 0 when the
+// shutdown checkpoint makes the drain resumable, 1 when checkpointing
+// was off and progress is lost.
 func interrupted(s *core.Scenario, cfg core.Config, every int) {
 	if every > 0 {
-		fmt.Fprintf(os.Stderr, "v6mon: interrupted at round %d/%d; checkpoint saved — rerun with -resume to continue\n",
-			s.RoundsDone(), cfg.Rounds)
-	} else {
-		fmt.Fprintf(os.Stderr, "v6mon: interrupted at round %d/%d; checkpointing disabled, progress lost\n",
-			s.RoundsDone(), cfg.Rounds)
+		cli.Drained("v6mon", fmt.Sprintf("interrupted at round %d/%d; checkpoint saved — rerun with -resume to continue",
+			s.RoundsDone(), cfg.Rounds), true)
 	}
-	os.Exit(1)
+	cli.Drained("v6mon", fmt.Sprintf("interrupted at round %d/%d; checkpointing disabled, progress lost",
+		s.RoundsDone(), cfg.Rounds), false)
 }
 
 func fatal(err error) { cli.Fatal("v6mon", err) }

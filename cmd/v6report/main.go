@@ -97,13 +97,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	th := analysis.DefaultThresholds()
-	snap := main1.Freeze()
-	var vas []*analysis.VantageAnalysis
-	for _, v := range main1.Vantages() {
-		vas = append(vas, analysis.AnalyzeSnapshot(snap, v, th))
-	}
-	study := analysis.NewStudy(vas...)
+	study := report.StudyOfSnapshot(main1.Freeze(), analysis.DefaultThresholds())
 
 	// The World IPv6 Day database is optional (older saves may predate
 	// it), but a partially written one is a real error — surface it
@@ -111,14 +105,7 @@ func main() {
 	var v6day *analysis.Study
 	switch v6dayDB, err := store.Load(filepath.Join(*dbDir, store.SnapV6Day)); {
 	case err == nil:
-		th6 := analysis.DefaultThresholds()
-		th6.CI.MinN = 6
-		snap6 := v6dayDB.Freeze()
-		var v6vas []*analysis.VantageAnalysis
-		for _, v := range v6dayDB.Vantages() {
-			v6vas = append(v6vas, analysis.AnalyzeSnapshot(snap6, v, th6))
-		}
-		v6day = analysis.NewStudy(v6vas...)
+		v6day = report.StudyOfSnapshot(v6dayDB.Freeze(), report.V6DayThresholds())
 	case errors.Is(err, store.ErrNoDatabase):
 		fmt.Fprintln(os.Stderr, "v6report: no World IPv6 Day database; skipping Tables 10 and 12")
 	default:

@@ -30,9 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 	"time"
 
 	"v6web/internal/cli"
@@ -130,9 +128,8 @@ func coordinateMain(args []string) {
 		fatal(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
-	context.AfterFunc(ctx, stop)
 
 	opt := shard.Options{
 		Workers:          *shards,
@@ -160,17 +157,13 @@ func coordinateMain(args []string) {
 	s, st, err := shard.Run(ctx, cfg, opt)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
+			// Graceful shutdown: every live worker was interrupted and
+			// checkpointed before Run returned, so (with checkpointing
+			// on) the campaign state on disk is whole and resumable.
 			if opt.Dir != "" {
-				// Graceful shutdown: every live worker was interrupted
-				// and checkpointed before Run returned, so the campaign
-				// state on disk is whole and resumable. That is a
-				// success for the signal path — exit 0 so schedulers
-				// don't flag the drain.
-				fmt.Fprintf(os.Stderr, "v6shard: interrupted; shard checkpoints saved — rerun the same command to continue\n")
-				return
+				cli.Drained("v6shard", "interrupted; shard checkpoints saved — rerun the same command to continue", true)
 			}
-			fmt.Fprintf(os.Stderr, "v6shard: interrupted; -checkpoint-every was 0, so progress is lost\n")
-			os.Exit(1)
+			cli.Drained("v6shard", "interrupted; -checkpoint-every was 0, so progress is lost", false)
 		}
 		fatal(err)
 	}

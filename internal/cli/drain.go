@@ -1,0 +1,39 @@
+package cli
+
+// The graceful-shutdown contract shared by every long-running tool
+// (v6mon, v6shard coordinate, v6mond): SIGINT/SIGTERM cancels the
+// campaign context, the tool checkpoints what it has, and — when the
+// state on disk is whole and resumable — exits 0 so schedulers don't
+// flag an operator-requested drain as a crash. A second signal kills
+// the process immediately instead of being swallowed while shutdown
+// checkpoints write.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled by SIGINT/SIGTERM. The
+// handler unregisters itself as soon as the first signal lands (via
+// context.AfterFunc), so a second signal terminates the process with
+// the runtime's default disposition. Callers should defer stop.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}
+
+// Drained finishes a signal-interrupted run: it prints "tool: notice"
+// to stderr and exits 0 when the campaign state was saved (the drain
+// succeeded; rerunning resumes it) or 1 when checkpointing was off and
+// progress is lost.
+func Drained(tool, notice string, saved bool) {
+	fmt.Fprintln(os.Stderr, tool+": "+notice)
+	if saved {
+		os.Exit(0)
+	}
+	os.Exit(1)
+}

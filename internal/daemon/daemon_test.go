@@ -1,0 +1,471 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"v6web/internal/analysis"
+	"v6web/internal/report"
+	"v6web/internal/scenario"
+	"v6web/internal/store"
+)
+
+// tinyOverrides shrinks the baseline pack to a campaign that runs in
+// well under a second, so the end-to-end tests stay fast.
+func tinyOverrides() scenario.Overrides {
+	return scenario.Overrides{"topo.ases=80", "list.size=400", "schedule.rounds=3"}
+}
+
+func newTestDaemon(t *testing.T, opt Options) *Daemon {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	opt.Addr = "127.0.0.1:0"
+	return New(opt)
+}
+
+// startDaemon runs d until the test ends and returns its base URL.
+func startDaemon(t *testing.T, d *Daemon) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("Run did not drain")
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never bound its listener")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "http://" + d.Addr()
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func waitForState(t *testing.T, base, campaign, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := get(t, base+"/api/campaigns/"+campaign)
+		if code == http.StatusOK && strings.Contains(string(body), `"state": "`+want+`"`) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached state %s; last status: %s", campaign, want, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd runs a tiny campaign to completion under the
+// daemon and checks the serving contract: readiness, status, warm
+// exhibits, and a full report byte-identical to analyzing the saved
+// databases directly (the `v6report -db` path).
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	d := newTestDaemon(t, Options{Dir: dir})
+	if _, err := d.Add("tiny", "baseline-2011", tinyOverrides()); err != nil {
+		t.Fatal(err)
+	}
+	base := startDaemon(t, d)
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	waitForState(t, base, "tiny", StateComplete)
+	if code, body := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after completion: %d %s", code, body)
+	}
+
+	// Served report == analyzing the campaign's saved databases directly.
+	code, served := get(t, base+"/api/campaigns/tiny/report")
+	if code != http.StatusOK {
+		t.Fatalf("report: %d", code)
+	}
+	campaignDir := filepath.Join(dir, "campaigns", "tiny")
+	mainDB, err := store.Load(filepath.Join(campaignDir, store.SnapMain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6dayDB, err := store.Load(filepath.Join(campaignDir, store.SnapV6Day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	report.RenderStudy(&want,
+		report.StudyOfSnapshot(mainDB.Freeze(), analysis.DefaultThresholds()),
+		report.StudyOfSnapshot(v6dayDB.Freeze(), report.V6DayThresholds()))
+	if !bytes.Equal(served, want.Bytes()) {
+		t.Errorf("served report differs from direct analysis of saved databases\nserved %d bytes, want %d", len(served), want.Len())
+	}
+
+	// Every servable exhibit is warm (the pack selects none, so all are
+	// pre-rendered) and served with version headers.
+	for _, ex := range servableExhibits {
+		code, body := get(t, base+"/api/campaigns/tiny/exhibits/"+ex)
+		if code != http.StatusOK || len(body) == 0 {
+			t.Errorf("exhibit %s: %d (%d bytes)", ex, code, len(body))
+		}
+	}
+	if code, _ := get(t, base+"/api/campaigns/tiny/exhibits/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown exhibit: got %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/api/campaigns/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown campaign: got %d, want 404", code)
+	}
+}
+
+// TestDaemonResumesCompletedCampaign restarts a daemon over a
+// completed campaign directory: it must serve the same bytes without
+// re-running anything.
+func TestDaemonResumesCompletedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	d1 := newTestDaemon(t, Options{Dir: dir})
+	if _, err := d1.Add("tiny", "baseline-2011", tinyOverrides()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d1.Run(ctx) }()
+	for d1.Addr() == "" {
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + d1.Addr()
+	waitForState(t, base, "tiny", StateComplete)
+	_, first := get(t, base+"/api/campaigns/tiny/report")
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first daemon drain: %v", err)
+	}
+
+	// Second daemon: no Add — Discover alone must find the campaign.
+	d2 := newTestDaemon(t, Options{Dir: dir})
+	if err := d2.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Campaigns()) != 1 {
+		t.Fatalf("discovered %d campaigns, want 1", len(d2.Campaigns()))
+	}
+	base2 := startDaemon(t, d2)
+	waitForState(t, base2, "tiny", StateComplete)
+	_, second := get(t, base2+"/api/campaigns/tiny/report")
+	if !bytes.Equal(first, second) {
+		t.Error("report served after restart differs from the original run")
+	}
+}
+
+// TestReadyzGatesOnFirstVersion: readiness must be 503 until every
+// campaign has published a version, then 200.
+func TestReadyzGatesOnFirstVersion(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	c, err := d.register(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no version: %d %s", code, body)
+	} else if !strings.Contains(string(body), "c1") {
+		t.Fatalf("readyz should name the waiting campaign: %s", body)
+	}
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Error("healthz must be live even before readiness")
+	}
+	if code, _ := get(t, srv.URL+"/api/campaigns/c1/report"); code != http.StatusServiceUnavailable {
+		t.Error("exhibits before the first version must 503")
+	}
+
+	if !c.publish(c.epoch.Load(), &Version{warm: map[string][]byte{reportExhibit: []byte("r")}}) {
+		t.Fatal("publish with current epoch rejected")
+	}
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Error("readyz after first publish should be 200")
+	}
+}
+
+// TestLoadShedding: cold renders beyond the concurrency bound are shed
+// with 429; warm exhibits bypass the limiter entirely.
+func TestLoadShedding(t *testing.T) {
+	d := newTestDaemon(t, Options{RenderConcurrency: 1})
+	c, err := d.register(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.publish(c.epoch.Load(), &Version{warm: map[string][]byte{"table2": []byte("warm bytes")}})
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+
+	d.renderSem <- struct{}{} // occupy the only render slot
+	resp, err := http.Get(srv.URL + "/api/campaigns/c1/exhibits/fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold render with full limiter: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 should carry Retry-After")
+	}
+	if code, body := get(t, srv.URL+"/api/campaigns/c1/exhibits/table2"); code != http.StatusOK || string(body) != "warm bytes" {
+		t.Errorf("warm exhibit must bypass the limiter: %d %q", code, body)
+	}
+	<-d.renderSem
+	if code, _ := get(t, srv.URL+"/api/campaigns/c1/exhibits/fig1"); code != http.StatusOK {
+		t.Errorf("cold render with a free slot: %d, want 200", code)
+	}
+	if d.sheds.Load() != 1 {
+		t.Errorf("sheds counter: %d, want 1", d.sheds.Load())
+	}
+}
+
+// TestEventStream: SSE delivers round events and terminates on drain.
+func TestEventStream(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	c, err := d.register(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/campaigns/c1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// The subscription races the handler's registration; send until the
+	// first data line arrives.
+	got := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				got <- sc.Text()
+				return
+			}
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for {
+		c.events.send(Event{Campaign: "c1", Kind: "round", Round: 1})
+		select {
+		case line := <-got:
+			if !strings.Contains(line, `"kind":"round"`) {
+				t.Fatalf("unexpected event line: %s", line)
+			}
+			close(d.draining) // drain must end the stream
+			deadline := time.Now().Add(10 * time.Second)
+			for sc.Scan() {
+				if time.Now().After(deadline) {
+					t.Fatal("stream did not terminate on drain")
+				}
+			}
+			return
+		case <-deadline:
+			t.Fatal("no event delivered")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestBroadcasterDropsWhenFull: a stalled subscriber loses events (and
+// counts them) instead of blocking the sender.
+func TestBroadcasterDropsWhenFull(t *testing.T) {
+	b := newBroadcaster()
+	s := b.subscribe()
+	defer b.unsubscribe(s)
+	for i := 0; i < subscriberBuffer+5; i++ {
+		b.send(Event{Kind: "round", Round: i})
+	}
+	if got := s.dropped.Load(); got != 5 {
+		t.Errorf("dropped %d events, want 5", got)
+	}
+	if len(s.ch) != subscriberBuffer {
+		t.Errorf("buffered %d events, want %d", len(s.ch), subscriberBuffer)
+	}
+}
+
+// TestWatchdogAbandonsStaleAttempt: a result that never arrives while
+// the progress clock is stale must abandon the attempt and fence its
+// epoch so stale publishes are dropped.
+func TestWatchdogAbandonsStaleAttempt(t *testing.T) {
+	c := newCampaign(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	epoch := c.epoch.Add(1)
+	c.progress.Store(time.Now().Add(-time.Hour).UnixNano())
+	err := watch(c, 50*time.Millisecond, make(chan error))
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("watch returned %v, want watchdog error", err)
+	}
+	if c.publish(epoch, &Version{}) {
+		t.Error("publish with the abandoned attempt's epoch must be dropped")
+	}
+	if c.Version() != nil {
+		t.Error("fenced publish leaked a version")
+	}
+}
+
+// TestWatchdogLetsHealthyAttemptFinish: a fresh progress clock must not
+// trip the watchdog before the result arrives.
+func TestWatchdogLetsHealthyAttemptFinish(t *testing.T) {
+	c := newCampaign(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	result := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		c.touch()
+		result <- nil
+	}()
+	if err := watch(c, time.Hour, result); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+}
+
+// TestRecoveringCatchesPanic: a panicking campaign attempt becomes an
+// error with the stack attached, not a crashed daemon.
+func TestRecoveringCatchesPanic(t *testing.T) {
+	err := recovering(func() error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("recovering returned %v", err)
+	}
+	if !strings.Contains(err.Error(), "recovering") && !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("panic error should carry a stack trace: %v", err)
+	}
+	if err := recovering(func() error { return errors.New("plain") }); err == nil || err.Error() != "plain" {
+		t.Errorf("plain errors must pass through, got %v", err)
+	}
+}
+
+// TestPublishSequenceAndFencing: publishes bump the serving sequence;
+// stale epochs are rejected without touching it.
+func TestPublishSequenceAndFencing(t *testing.T) {
+	c := newCampaign(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	epoch := c.epoch.Add(1)
+	for i := 1; i <= 3; i++ {
+		v := &Version{Round: i}
+		if !c.publish(epoch, v) {
+			t.Fatalf("publish %d rejected", i)
+		}
+		if v.Seq != uint64(i) {
+			t.Fatalf("seq %d, want %d", v.Seq, i)
+		}
+	}
+	stale := &Version{Round: 99}
+	if c.publish(epoch-1, stale) {
+		t.Fatal("stale epoch accepted")
+	}
+	if got := c.Version().Round; got != 3 {
+		t.Fatalf("served round %d after stale publish, want 3", got)
+	}
+}
+
+// TestManifestRoundTrip: write, read back, and reject a spec that no
+// longer compiles to the registered fingerprint.
+func TestManifestRoundTrip(t *testing.T) {
+	sp, err := scenario.LoadSpec("baseline-2011", tinyOverrides())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "c1")
+	if err := writeManifest(dir, sp, comp.Config.Fingerprint(), store.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	sp2, comp2, format, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != store.FormatBinary {
+		t.Errorf("format %v, want binary", format)
+	}
+	if comp2.Config.Fingerprint() != comp.Config.Fingerprint() {
+		t.Error("fingerprint changed across the manifest round trip")
+	}
+	if sp2.Name != sp.Name {
+		t.Errorf("name %q, want %q", sp2.Name, sp.Name)
+	}
+
+	// A fingerprint mismatch (spec edited under the campaign) is loud.
+	if err := writeManifest(dir, sp, "deadbeef", store.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := readManifest(dir); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("tampered manifest: %v, want fingerprint error", err)
+	}
+}
+
+// TestAddRejectsChangedSpec: re-adding a campaign with overrides that
+// compile to a different world is an error, not a silent restart.
+func TestAddRejectsChangedSpec(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	if _, err := d.Add("c1", "baseline-2011", tinyOverrides()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add("c1", "baseline-2011", tinyOverrides()); err != nil {
+		t.Fatalf("idempotent re-add: %v", err)
+	}
+	_, err := d.Add("c1", "baseline-2011", scenario.Overrides{"topo.ases=81", "list.size=400", "schedule.rounds=3"})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("changed spec: %v, want fingerprint error", err)
+	}
+	if _, err := d.Add("bad name!", "baseline-2011", nil); err == nil {
+		t.Error("invalid campaign name accepted")
+	}
+}
+
+// TestWatchdogTickBounds pins the sampling interval's clamp.
+func TestWatchdogTickBounds(t *testing.T) {
+	cases := []struct {
+		deadline, want time.Duration
+	}{
+		{8 * time.Millisecond, 25 * time.Millisecond},
+		{800 * time.Millisecond, 100 * time.Millisecond},
+		{time.Hour, time.Second},
+	}
+	for _, tc := range cases {
+		if got := watchdogTick(tc.deadline); got != tc.want {
+			t.Errorf("watchdogTick(%v) = %v, want %v", tc.deadline, got, tc.want)
+		}
+	}
+}

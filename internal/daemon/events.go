@@ -1,0 +1,94 @@
+package daemon
+
+// Round-event fan-out for the SSE stream. Delivery is best-effort by
+// design: the campaign goroutine must never block on a slow HTTP
+// client, so each subscriber gets a bounded buffer and drops (with a
+// lag count the stream surfaces) when it falls behind.
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v6web/internal/core"
+)
+
+// Event is one SSE payload: a RoundEvent annotated with its campaign,
+// or a lifecycle notice (version published, campaign complete).
+type Event struct {
+	Campaign string    `json:"campaign"`
+	Kind     string    `json:"kind"` // "round", "v6day-round", "version", "complete"
+	Round    int       `json:"round"`
+	Date     time.Time `json:"date,omitempty"`
+	Vantage  string    `json:"vantage,omitempty"`
+	Outage   bool      `json:"outage,omitempty"`
+	Sites    int       `json:"sites,omitempty"`
+	Dual     int       `json:"dual,omitempty"`
+	Measured int       `json:"measured,omitempty"`
+	Elapsed  float64   `json:"elapsed_ms,omitempty"`
+	Seq      uint64    `json:"seq,omitempty"`
+}
+
+func roundEvent(campaign, kind string, ev core.RoundEvent) Event {
+	return Event{
+		Campaign: campaign,
+		Kind:     kind,
+		Round:    ev.Round,
+		Date:     ev.Date,
+		Vantage:  string(ev.Vantage),
+		Outage:   ev.Outage,
+		Sites:    ev.Stats.Sites,
+		Dual:     ev.Stats.Dual,
+		Measured: ev.Stats.Measured,
+		Elapsed:  float64(ev.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+type subscriber struct {
+	ch      chan []byte
+	dropped atomic.Uint64
+}
+
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[*subscriber]struct{})}
+}
+
+const subscriberBuffer = 64
+
+func (b *broadcaster) subscribe() *subscriber {
+	s := &subscriber{ch: make(chan []byte, subscriberBuffer)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+func (b *broadcaster) unsubscribe(s *subscriber) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// send marshals once and offers the payload to every subscriber
+// without blocking; a full buffer counts a drop instead.
+func (b *broadcaster) send(ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.ch <- data:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}

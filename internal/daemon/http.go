@@ -1,0 +1,185 @@
+package daemon
+
+// The HTTP/JSON API over published versions. Every read handler loads
+// a campaign's current *Version once and serves entirely from that
+// immutable value — no locks shared with the campaign goroutine, so a
+// computing round never delays a request and a request never delays a
+// round. Routing is written out by hand (Go 1.21 ServeMux has no
+// wildcards); the surface is small enough that this reads fine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+func (d *Daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/readyz", d.handleReadyz)
+	mux.HandleFunc("/api/campaigns", d.handleCampaigns)
+	mux.HandleFunc("/api/campaigns/", d.handleCampaign)
+	return mux
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 only once every registered campaign
+// serves a version backed by a committed snapshot (fresh campaigns
+// commit a round-0 checkpoint before their first publish, so ready
+// always implies resumable state on disk).
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var waiting []string
+	for _, c := range d.Campaigns() {
+		if c.Version() == nil {
+			waiting = append(waiting, c.Name)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(waiting) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "waiting for first committed snapshot: %s\n", strings.Join(waiting, ", "))
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleCampaigns lists every campaign's status plus daemon-level
+// serving counters.
+func (d *Daemon) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	campaigns := d.Campaigns()
+	statuses := make([]status, 0, len(campaigns))
+	for _, c := range campaigns {
+		statuses = append(statuses, c.status())
+	}
+	writeJSON(w, struct {
+		Campaigns []status `json:"campaigns"`
+		Sheds     uint64   `json:"sheds"`
+	}{statuses, d.sheds.Load()})
+}
+
+// handleCampaign routes /api/campaigns/<name>[/report|/exhibits[/<x>]|/events].
+func (d *Daemon) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/campaigns/")
+	parts := strings.Split(strings.Trim(rest, "/"), "/")
+	c := d.campaign(parts[0])
+	if c == nil {
+		http.Error(w, "no such campaign", http.StatusNotFound)
+		return
+	}
+	switch {
+	case len(parts) == 1:
+		writeJSON(w, c.status())
+	case len(parts) == 2 && parts[1] == "report":
+		d.serveExhibit(w, c, reportExhibit)
+	case len(parts) == 2 && parts[1] == "exhibits":
+		d.serveExhibitIndex(w, c)
+	case len(parts) == 3 && parts[1] == "exhibits":
+		d.serveExhibit(w, c, parts[2])
+	case len(parts) == 2 && parts[1] == "events":
+		d.serveEvents(w, r, c)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (d *Daemon) serveExhibitIndex(w http.ResponseWriter, c *Campaign) {
+	v := c.Version()
+	if v == nil {
+		http.Error(w, "campaign has no published version yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, struct {
+		Servable []string `json:"servable"`
+		Warm     []string `json:"warm"`
+		Seq      uint64   `json:"seq"`
+		Round    int      `json:"round"`
+	}{servableExhibits, v.WarmNames(), v.Seq, v.Round})
+}
+
+// serveExhibit renders one exhibit from the campaign's current
+// version. Warm exhibits are served straight from their pre-rendered
+// bytes; cold renders pass through the bounded limiter and are shed
+// with 429 when it is full — a burst of cold requests must not pile up
+// render work behind the campaign's own round computation.
+func (d *Daemon) serveExhibit(w http.ResponseWriter, c *Campaign, name string) {
+	v := c.Version()
+	if v == nil {
+		http.Error(w, "campaign has no published version yet", http.StatusServiceUnavailable)
+		return
+	}
+	if !v.Warm(name) {
+		select {
+		case d.renderSem <- struct{}{}:
+			defer func() { <-d.renderSem }()
+		default:
+			d.sheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "render capacity exhausted, retry shortly", http.StatusTooManyRequests)
+			return
+		}
+	}
+	data, ok := v.Exhibit(name)
+	if !ok {
+		http.Error(w, "unknown exhibit", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Campaign-Seq", fmt.Sprint(v.Seq))
+	w.Header().Set("X-Campaign-Round", fmt.Sprint(v.Round))
+	w.Write(data)
+}
+
+// serveEvents streams the campaign's round events as SSE. Delivery is
+// best-effort: a slow client drops events (and is told how many via a
+// lag notice) rather than slowing the campaign. The stream ends when
+// the client disconnects or the daemon drains.
+func (d *Daemon) serveEvents(w http.ResponseWriter, r *http.Request, c *Campaign) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": campaign %s round events\n\n", c.Name)
+	fl.Flush()
+
+	sub := c.events.subscribe()
+	defer c.events.unsubscribe(sub)
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case data := <-sub.ch:
+			if n := sub.dropped.Swap(0); n > 0 {
+				fmt.Fprintf(w, ": lag — %d events dropped\n\n", n)
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case <-d.draining:
+			fmt.Fprint(w, ": draining\n\n")
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,87 @@
+package daemon
+
+// The on-disk campaign manifest: a resolved scenario spec (pack plus
+// command-line overrides, already applied) written next to the
+// campaign's checkpoints. Restart-after-SIGKILL rediscovers campaigns
+// by scanning for these files — no operator re-registration — and the
+// stored fingerprint cross-checks that the manifest still compiles to
+// the world the checkpoints belong to.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"v6web/internal/scenario"
+	"v6web/internal/store"
+)
+
+const manifestFile = "campaign.json"
+
+type manifest struct {
+	Name        string          `json:"name"`
+	Spec        json.RawMessage `json:"spec"`
+	Fingerprint string          `json:"fingerprint"`
+	Format      string          `json:"format,omitempty"`
+}
+
+// writeManifest persists the campaign definition atomically (staged
+// file, then rename), so a crash mid-write leaves either the old
+// manifest or none — never a truncated one.
+func writeManifest(dir string, sp *scenario.Spec, fingerprint string, format store.SnapshotFormat) error {
+	spec, err := sp.Encode()
+	if err != nil {
+		return err
+	}
+	m := manifest{
+		Name:        filepath.Base(dir),
+		Spec:        spec,
+		Fingerprint: fingerprint,
+		Format:      format.String(),
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "."+manifestFile+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestFile))
+}
+
+// readManifest loads and re-validates a campaign manifest: the spec
+// must parse and compile, and must still fingerprint to what was
+// registered — a hand-edited spec under existing checkpoints is a
+// loud error here rather than a resume failure later.
+func readManifest(dir string) (*scenario.Spec, scenario.Compiled, store.SnapshotFormat, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, scenario.Compiled{}, 0, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, scenario.Compiled{}, 0, fmt.Errorf("daemon: manifest %s: %w", dir, err)
+	}
+	sp, err := scenario.Parse(m.Spec)
+	if err != nil {
+		return nil, scenario.Compiled{}, 0, fmt.Errorf("daemon: manifest %s: %w", dir, err)
+	}
+	comp, err := sp.Compile()
+	if err != nil {
+		return nil, scenario.Compiled{}, 0, fmt.Errorf("daemon: manifest %s: %w", dir, err)
+	}
+	if fp := comp.Config.Fingerprint(); fp != m.Fingerprint {
+		return nil, scenario.Compiled{}, 0, fmt.Errorf(
+			"daemon: manifest %s: spec compiles to fingerprint %s but was registered as %s — the spec changed under the campaign's checkpoints", dir, fp, m.Fingerprint)
+	}
+	format, err := store.ParseSnapshotFormat(m.Format)
+	if err != nil {
+		return nil, scenario.Compiled{}, 0, fmt.Errorf("daemon: manifest %s: %w", dir, err)
+	}
+	return sp, comp, format, nil
+}

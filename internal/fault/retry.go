@@ -96,6 +96,16 @@ func (p RetryPolicy) Backoff(attempt int, scope ...uint64) time.Duration {
 	return time.Duration(d)
 }
 
+// WatchdogDeadline is the stuck-round bound for supervised campaign
+// attempt `attempt` (0-based): the per-attempt liveness Timeout plus
+// the backoff that preceded the attempt. A supervisor that sees no
+// round progress for this long may abandon the attempt and resume
+// from the last committed checkpoint. Deterministic, like Backoff.
+func (p RetryPolicy) WatchdogDeadline(attempt int, scope ...uint64) time.Duration {
+	p = p.WithDefaults()
+	return p.Timeout + p.Backoff(attempt, scope...)
+}
+
 // Wait sleeps the backoff for attempt, returning early with the
 // context's error if it is canceled first.
 func (p RetryPolicy) Wait(ctx context.Context, attempt int, scope ...uint64) error {

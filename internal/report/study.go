@@ -4,7 +4,30 @@ import (
 	"io"
 
 	"v6web/internal/analysis"
+	"v6web/internal/store"
 )
+
+// StudyOfSnapshot analyzes every vantage captured in a frozen store
+// view, in the store's canonical (sorted) vantage order, and returns
+// the combined study. `v6report -db` and the v6mond serving layer both
+// build their studies here, so a served exhibit and a batch-rendered
+// one always agree on vantage coverage and row order.
+func StudyOfSnapshot(snap *store.Snapshot, th analysis.Thresholds) *analysis.Study {
+	var vas []*analysis.VantageAnalysis
+	for _, v := range snap.Vantages() {
+		vas = append(vas, analysis.AnalyzeSnapshot(snap, v, th))
+	}
+	return analysis.NewStudy(vas...)
+}
+
+// V6DayThresholds returns the analysis thresholds for the World IPv6
+// Day side experiment: the default stop rule relaxed to the event's
+// fewer, denser 30-minute rounds.
+func V6DayThresholds() analysis.Thresholds {
+	th := analysis.DefaultThresholds()
+	th.CI.MinN = 6
+	return th
+}
 
 // RenderStudy renders the paper's measurement tables (2–13) for a
 // completed study in exhibit order. v6day carries the World IPv6 Day

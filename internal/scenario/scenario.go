@@ -404,6 +404,22 @@ func (sp *Spec) Compile() (Compiled, error) {
 	return Compiled{Name: sp.Name, Doc: sp.Doc, Config: cfg, Client: client, Exhibits: exhibits}, nil
 }
 
+// Encode serializes a validated spec to indented JSON that Parse
+// accepts back unchanged. This is the persistence format for daemon
+// campaign manifests: a resolved spec (pack plus overrides) written
+// next to the campaign's checkpoints, so a restarted daemon rebuilds
+// the exact world without the original command line.
+func (sp *Spec) Encode() ([]byte, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
 // Clone returns a deep copy of the spec (packs are cloned before
 // per-point mutation in sweeps).
 func (sp *Spec) Clone() *Spec {

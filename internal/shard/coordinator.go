@@ -324,11 +324,23 @@ func consumeFrames(ctx context.Context, conn workerConn, spec Spec, opt Options)
 		err     error
 	}
 	ch := make(chan frame, 16)
+	// stop unblocks the reader goroutine's send once this function has
+	// returned and nobody drains ch: without it, a worker that streamed
+	// more than a buffer's worth of frames past a permanent error (or a
+	// watchdog fire) would leave the goroutine parked on the send
+	// forever. The deferred conn.kill in runShardOnce unsticks the
+	// blocking Read itself.
+	stop := make(chan struct{})
+	defer close(stop)
 	go func() {
 		br := bufio.NewReaderSize(conn, 1<<16)
 		for {
 			typ, payload, err := readFrame(br)
-			ch <- frame{typ, payload, err}
+			select {
+			case ch <- frame{typ, payload, err}:
+			case <-stop:
+				return
+			}
 			if err != nil {
 				return
 			}

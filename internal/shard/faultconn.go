@@ -74,7 +74,15 @@ func (c *faultConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func (c *faultConn) interrupt() { c.conn.interrupt() }
+// interrupt releases a hang/delay stall before forwarding: a stalled
+// stream has nothing left to drain (the fault silences it by
+// construction), so holding the read open would make every graceful
+// stop wait out the full liveness timeout — and leak the reader
+// goroutine for that long after the campaign moved on.
+func (c *faultConn) interrupt() {
+	c.killOnce.Do(func() { close(c.killed) })
+	c.conn.interrupt()
+}
 
 func (c *faultConn) kill() {
 	c.killOnce.Do(func() { close(c.killed) })

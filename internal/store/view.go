@@ -353,6 +353,18 @@ func dedupSortedSiteIDs(ids []alexa.SiteID) []alexa.SiteID {
 
 func (s *Snapshot) view(v Vantage) *frozenVantage { return s.vantages[v] }
 
+// Vantages returns the vantages captured in this snapshot, sorted —
+// the same order DB.Vantages reports, so analyses built over a frozen
+// view and over a loaded database walk vantages identically.
+func (s *Snapshot) Vantages() []Vantage {
+	out := make([]Vantage, 0, len(s.vantages))
+	for v := range s.vantages {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Site returns a site row. Reads through to the live site table.
 func (s *Snapshot) Site(id alexa.SiteID) (SiteRow, bool) {
 	return s.db.Site(id)
