@@ -9,9 +9,12 @@ package daemon
 // (a round is the atomic unit of progress), so the watchdog abandons a
 // stuck attempt instead: it fences the attempt off behind an epoch
 // counter (stale publishes and events are dropped) and starts a fresh
-// attempt from the checkpoint. Determinism makes abandonment safe —
-// anything a fenced attempt still writes to the checkpoint log is
-// byte-identical to what the replacement attempt writes.
+// attempt from the checkpoint. The fence is enforced, not advisory:
+// the abandoned attempt's checkpoint-write handle is revoked under the
+// backend lock when the replacement acquires its own (so the two can
+// never interleave staged snapshots or collide on sequence numbers),
+// the version swap refuses round regression, and the completion tail
+// runs only in the attempt that still owns the epoch.
 
 import (
 	"context"
@@ -51,6 +54,13 @@ type Campaign struct {
 	comp   scenario.Compiled
 	format store.SnapshotFormat
 
+	// ck is the campaign's one checkpoint backend, shared by every
+	// attempt: each attempt Acquires a fenced write handle from it, so
+	// an abandoned attempt's late checkpoint writes are rejected under
+	// the backend lock instead of racing the replacement attempt's
+	// staging directory and sequence numbers.
+	ck *store.CheckpointBackend
+
 	// warmSet is the pack's exhibit selection restricted to what the
 	// daemon can serve (nil: pre-render every servable exhibit).
 	warmSet map[string]bool
@@ -73,8 +83,11 @@ func newCampaign(dir string, sp *scenario.Spec, comp scenario.Compiled, format s
 		spec:   sp,
 		comp:   comp,
 		format: format,
+		ck:     store.NewCheckpointBackend(dir),
 		events: newBroadcaster(),
 	}
+	c.ck.Format = format
+	c.ck.Fingerprint = comp.Config.Fingerprint()
 	if len(comp.Exhibits) > 0 {
 		c.warmSet = make(map[string]bool, len(comp.Exhibits))
 		for _, ex := range comp.Exhibits {
@@ -112,17 +125,33 @@ func (c *Campaign) scope() uint64 {
 
 // publish swaps in a freshly built version — unless this attempt has
 // been fenced off by the watchdog, in which case the version is
-// dropped. (The fence is advisory: a publish racing the fence may
-// still land, but a fenced attempt's version is byte-identical to the
-// replacement attempt's version for the same round, so the worst case
-// is serving a slightly older round until the new attempt republishes.)
+// dropped. The epoch check alone is advisory (a publish racing the
+// fence could land after the replacement attempt's), so the swap is a
+// compare-and-swap that refuses to replace a version with a higher
+// round (or a complete version with an incomplete one): served rounds
+// never regress, and Seq order always matches round order. A fenced
+// attempt's same-round version is byte-identical to the replacement's
+// by determinism, so an equal-round swap is harmless either way.
 func (c *Campaign) publish(epoch uint64, v *Version) bool {
-	if c.epoch.Load() != epoch {
-		return false
+	for {
+		if c.epoch.Load() != epoch {
+			return false
+		}
+		cur := c.version.Load()
+		if cur != nil && (cur.Round > v.Round || (cur.Round == v.Round && cur.Complete && !v.Complete)) {
+			return false
+		}
+		v.Seq = c.seq.Add(1)
+		if c.version.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	v.Seq = c.seq.Add(1)
-	c.version.Store(v)
-	c.lastDone.Store(int64(v.Round))
+	for {
+		old := c.lastDone.Load()
+		if int64(v.Round) <= old || c.lastDone.CompareAndSwap(old, int64(v.Round)) {
+			break
+		}
+	}
 	c.touch()
 	c.events.send(Event{Campaign: c.Name, Kind: "version", Round: v.Round, Seq: v.Seq})
 	return true
@@ -194,9 +223,12 @@ func (d *Daemon) attempt(ctx context.Context, c *Campaign, attempt int) error {
 		return nil
 	}
 
-	ck := store.NewCheckpointBackend(c.dir)
-	ck.Format = c.format
-	ck.Fingerprint = c.comp.Config.Fingerprint()
+	// Acquire the attempt's fenced write handle on the campaign's
+	// checkpoint log. This revokes any handle a previous (possibly
+	// still-running, watchdog-abandoned) attempt holds: its late
+	// checkpoint writes fail with store.ErrStaleWriter instead of
+	// clobbering this attempt's staged snapshots or sequence numbers.
+	ck := c.ck.Acquire()
 
 	s, resumed, err := openScenario(c.comp.Config, ck)
 	if err != nil {
@@ -241,9 +273,10 @@ func recovering(fn func() error) (err error) {
 
 // watch waits for the attempt to finish, abandoning it when its
 // progress clock goes stale past deadline: the attempt is fenced off
-// behind a fresh epoch (its publishes are dropped) and left to run out
-// — rounds cannot be cancelled, and by determinism anything the fenced
-// attempt still checkpoints is byte-identical to the replacement's.
+// behind a fresh epoch and left to run out — rounds cannot be
+// cancelled, but everything the fenced attempt might still write is
+// gated (publishes and events on the epoch, checkpoints on the write
+// handle the replacement attempt revokes when it acquires its own).
 func watch(c *Campaign, deadline time.Duration, result chan error) error {
 	tick := time.NewTicker(watchdogTick(deadline))
 	defer tick.Stop()
@@ -277,7 +310,7 @@ func watchdogTick(deadline time.Duration) time.Duration {
 // scenario; a corrupt or mismatched checkpoint is a real error the
 // supervisor surfaces (and retries — the backend serves the newest
 // *committed* checkpoint, so a torn newest directory never lands here).
-func openScenario(cfg core.Config, ck *store.CheckpointBackend) (*core.Scenario, bool, error) {
+func openScenario(cfg core.Config, ck store.Backend) (*core.Scenario, bool, error) {
 	if _, ok, err := ck.LoadMeta(); err != nil {
 		return nil, false, err
 	} else if !ok {
@@ -291,6 +324,17 @@ func openScenario(cfg core.Config, ck *store.CheckpointBackend) (*core.Scenario,
 	return s, true, nil
 }
 
+// errFenced classifies an attempt the watchdog abandoned: the attempt
+// noticed its epoch was fenced off and stopped before mutating shared
+// campaign state. The supervisor never sees this error (it stopped
+// waiting when it fenced the attempt); it exists so the abandoned
+// goroutine exits without writing.
+var errFenced = errors.New("daemon: attempt fenced by watchdog; stopping without writing")
+
+// fenced reports whether the attempt running under epoch has been
+// fenced off by the watchdog.
+func (c *Campaign) fenced(epoch uint64) bool { return c.epoch.Load() != epoch }
+
 // runRounds drives the round cursor to completion on the attempt
 // goroutine: each completed round is checkpointed on the configured
 // cadence and published as a fresh version at the round boundary —
@@ -299,11 +343,18 @@ func openScenario(cfg core.Config, ck *store.CheckpointBackend) (*core.Scenario,
 // exhibits byte-identical across crashes. Cancellation (drain) is
 // honored between rounds with a shutdown checkpoint, mirroring
 // core.RunContext's contract.
-func (d *Daemon) runRounds(ctx context.Context, c *Campaign, epoch uint64, s *core.Scenario, ck *store.CheckpointBackend) error {
+//
+// Every write to shared campaign state is gated on the watchdog's
+// epoch fence: checkpoints are checked here and again — atomically,
+// under the backend lock — by the attempt's fenced CheckpointWriter,
+// and the completion tail (final CSVs, checkpoint-log removal) is
+// reached only by the attempt that still owns the epoch. A fenced
+// attempt returns errFenced into a channel nobody reads and exits.
+func (d *Daemon) runRounds(ctx context.Context, c *Campaign, epoch uint64, s *core.Scenario, ck store.Backend) error {
 	cfg := c.comp.Config
 	every := d.opt.CheckpointEvery
 	obs := func(ev core.RoundEvent) {
-		if c.epoch.Load() != epoch {
+		if c.fenced(epoch) {
 			return
 		}
 		c.touch()
@@ -311,6 +362,9 @@ func (d *Daemon) runRounds(ctx context.Context, c *Campaign, epoch uint64, s *co
 	}
 	checkpointed := s.RoundsDone() // openScenario left a committed checkpoint at the cursor
 	for s.RoundsDone() < cfg.Rounds {
+		if c.fenced(epoch) {
+			return errFenced
+		}
 		if err := ctx.Err(); err != nil {
 			if checkpointed != s.RoundsDone() {
 				if cerr := s.Checkpoint(ck); cerr != nil {
@@ -325,6 +379,9 @@ func (d *Daemon) runRounds(ctx context.Context, c *Campaign, epoch uint64, s *co
 		}
 		done := s.RoundsDone()
 		if done%every == 0 || done == cfg.Rounds {
+			if c.fenced(epoch) {
+				return errFenced
+			}
 			if err := s.Checkpoint(ck); err != nil {
 				return err
 			}
@@ -344,22 +401,35 @@ func (d *Daemon) runRounds(ctx context.Context, c *Campaign, epoch uint64, s *co
 	}
 
 	obs6 := func(ev core.RoundEvent) {
-		if c.epoch.Load() != epoch {
+		if c.fenced(epoch) {
 			return
 		}
 		c.touch()
 		c.events.send(roundEvent(c.Name, "v6day-round", ev))
+	}
+	// Completion tail: only the attempt that still owns the epoch may
+	// write final CSVs or delete the checkpoint log — a wedged-then-
+	// unstuck abandoned attempt must not rip the log out from under the
+	// replacement that is actively checkpointing into it.
+	if c.fenced(epoch) {
+		return errFenced
 	}
 	// The side experiment is short and not checkpointed; a drain here
 	// simply reruns it on the next start (the main study is committed).
 	if err := s.RunWorldV6DayContext(ctx, core.WithObserver(obs6)); err != nil {
 		return err
 	}
+	if c.fenced(epoch) {
+		return errFenced
+	}
 	if err := cli.SaveCompleted(c.dir, cfg.Rounds, cfg.Fingerprint(), s.DB, s.V6DayDB); err != nil {
 		return err
 	}
 	// Final CSVs are the product; the checkpoint log is scratch now.
 	// Removal failures are harmless (the next start prefers the CSVs).
+	if c.fenced(epoch) {
+		return errFenced
+	}
 	os.RemoveAll(filepath.Join(c.dir, "checkpoints"))
 	v6 := report.StudyOfSnapshot(s.V6DayDB.Freeze(), report.V6DayThresholds())
 	c.publish(epoch, buildVersion(s, v6, true, c.warmSet))

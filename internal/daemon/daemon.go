@@ -152,7 +152,11 @@ func (d *Daemon) Add(name, pack string, sets scenario.Overrides) (*Campaign, err
 
 // Discover scans the data directory for campaign manifests left by
 // previous runs and registers each one — this is how a restarted
-// daemon picks up every campaign with no operator action.
+// daemon picks up every campaign with no operator action. A campaign
+// whose manifest cannot be read or re-validated (a torn write from a
+// power failure, a hand-edited spec) is quarantined — logged loudly
+// and skipped — rather than blocking the daemon and every healthy
+// campaign behind it.
 func (d *Daemon) Discover() error {
 	entries, err := os.ReadDir(d.campaignsDir())
 	if os.IsNotExist(err) {
@@ -171,7 +175,8 @@ func (d *Daemon) Discover() error {
 		}
 		sp, comp, format, err := readManifest(dir)
 		if err != nil {
-			return err
+			d.logf("discover: quarantining campaign %s (manifest unusable, not serving it): %v", ent.Name(), err)
+			continue
 		}
 		if _, err := d.register(dir, sp, comp, format); err != nil {
 			return err

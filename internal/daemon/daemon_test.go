@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -467,5 +468,65 @@ func TestWatchdogTickBounds(t *testing.T) {
 		if got := watchdogTick(tc.deadline); got != tc.want {
 			t.Errorf("watchdogTick(%v) = %v, want %v", tc.deadline, got, tc.want)
 		}
+	}
+}
+
+// TestPublishRefusesRoundRegression: the version swap never replaces a
+// newer round with an older one (or a complete version with an
+// incomplete one), so Seq order always matches round order even when a
+// fenced attempt's publish races the fence.
+func TestPublishRefusesRoundRegression(t *testing.T) {
+	c := newCampaign(filepath.Join(t.TempDir(), "c1"), nil, scenario.Compiled{}, 0)
+	epoch := c.epoch.Add(1)
+	if !c.publish(epoch, &Version{Round: 3}) {
+		t.Fatal("publish round 3 rejected")
+	}
+	if c.publish(epoch, &Version{Round: 2}) {
+		t.Error("publish must refuse to regress from round 3 to round 2")
+	}
+	if got := c.Version().Round; got != 3 {
+		t.Fatalf("served round %d after regressing publish, want 3", got)
+	}
+	if !c.publish(epoch, &Version{Round: 3, Complete: true}) {
+		t.Fatal("equal-round complete publish rejected")
+	}
+	if c.publish(epoch, &Version{Round: 3}) {
+		t.Error("publish must refuse to replace a complete version with an incomplete one")
+	}
+	if !c.Version().Complete {
+		t.Error("served version lost completeness")
+	}
+	if !c.publish(epoch, &Version{Round: 4}) {
+		t.Error("forward publish rejected")
+	}
+}
+
+// TestDiscoverQuarantinesBadManifest: a torn or unparseable manifest
+// (e.g. a power failure mid-write on a pre-fsync build) must not block
+// daemon start — the bad campaign is skipped, healthy ones register.
+func TestDiscoverQuarantinesBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	d := newTestDaemon(t, Options{Dir: dir})
+	if _, err := d.Add("good", "baseline-2011", tinyOverrides()); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "campaigns", "bad")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "campaign.json"), []byte("{tor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := newTestDaemon(t, Options{Dir: dir})
+	if err := d2.Discover(); err != nil {
+		t.Fatalf("Discover with a bad manifest present: %v", err)
+	}
+	names := make([]string, 0, 2)
+	for _, c := range d2.Campaigns() {
+		names = append(names, c.Name)
+	}
+	if len(names) != 1 || names[0] != "good" {
+		t.Fatalf("discovered %v, want just [good]", names)
 	}
 }

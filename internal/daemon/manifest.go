@@ -26,9 +26,11 @@ type manifest struct {
 	Format      string          `json:"format,omitempty"`
 }
 
-// writeManifest persists the campaign definition atomically (staged
-// file, then rename), so a crash mid-write leaves either the old
-// manifest or none — never a truncated one.
+// writeManifest persists the campaign definition atomically and
+// durably: staged file, fsync, rename, then fsync of the directory —
+// so a crash (or power failure) mid-write leaves either the old
+// manifest or none, never a truncated or empty one that would block
+// discovery on the next start.
 func writeManifest(dir string, sp *scenario.Spec, fingerprint string, format store.SnapshotFormat) error {
 	spec, err := sp.Encode()
 	if err != nil {
@@ -48,10 +50,31 @@ func writeManifest(dir string, sp *scenario.Spec, fingerprint string, format sto
 		return err
 	}
 	tmp := filepath.Join(dir, "."+manifestFile+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, manifestFile))
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		return err
+	}
+	// fsync the directory so the rename itself survives a power cut;
+	// best-effort — not every platform/filesystem supports it.
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	return nil
 }
 
 // readManifest loads and re-validates a campaign manifest: the spec

@@ -197,10 +197,11 @@ type CheckpointBackend struct {
 	// testing only; see FaultHook).
 	Hook FaultHook
 
-	mu      sync.Mutex
-	pending string // staging directory of the in-progress checkpoint
-	scanned bool
-	nextSeq int
+	mu        sync.Mutex
+	pending   string // staging directory of the in-progress checkpoint
+	scanned   bool
+	nextSeq   int
+	writerGen uint64 // bumped by Acquire; fences stale CheckpointWriters
 }
 
 // NewCheckpointBackend returns a backend rooted at dir, retaining the
@@ -263,6 +264,10 @@ func (b *CheckpointBackend) stage() (string, error) {
 func (b *CheckpointBackend) SaveSnapshot(name string, db *DB) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.saveSnapshotLocked(name, db)
+}
+
+func (b *CheckpointBackend) saveSnapshotLocked(name string, db *DB) error {
 	dir, err := b.stage()
 	if err != nil {
 		return err
@@ -286,6 +291,10 @@ func (b *CheckpointBackend) SaveSnapshot(name string, db *DB) error {
 func (b *CheckpointBackend) SaveMeta(m Meta) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.saveMetaLocked(m)
+}
+
+func (b *CheckpointBackend) saveMetaLocked(m Meta) error {
 	dir, err := b.stage()
 	if err != nil {
 		return err
@@ -395,3 +404,63 @@ func (b *CheckpointBackend) LoadSnapshot(name string) (*DB, error) {
 	}
 	return loadSnapshotAuto(filepath.Join(dir, name))
 }
+
+// ErrStaleWriter is returned by a CheckpointWriter whose backend has
+// since been acquired by a newer writer: the holder must stop
+// checkpointing — a newer attempt owns the log now.
+var ErrStaleWriter = errors.New("store: stale checkpoint writer: a newer writer owns the checkpoint log")
+
+// CheckpointWriter is a fenced write handle on a CheckpointBackend —
+// see Acquire.
+type CheckpointWriter struct {
+	b   *CheckpointBackend
+	gen uint64
+}
+
+// Acquire returns a write handle bound to the backend and revokes
+// every handle returned earlier: a write through a stale handle fails
+// with ErrStaleWriter, and the check happens under the backend lock,
+// atomically with the write it gates — a revoked writer can never
+// touch the staging area or the committed sequence again, not even in
+// a race. Any checkpoint a revoked writer left half-staged is
+// discarded, so the new holder always stages from scratch. This is
+// what lets a supervisor abandon a wedged attempt and start a
+// replacement against the same checkpoint log without the two writers
+// interleaving staged snapshots or colliding on sequence numbers.
+// Loads are not fenced: a stale holder reading the newest committed
+// checkpoint is harmless.
+func (b *CheckpointBackend) Acquire() *CheckpointWriter {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.writerGen++
+	b.pending = "" // stage() restages, discarding a revoked writer's leftovers
+	return &CheckpointWriter{b: b, gen: b.writerGen}
+}
+
+// SaveSnapshot stages db through the handle; ErrStaleWriter once a
+// newer writer has acquired the backend.
+func (w *CheckpointWriter) SaveSnapshot(name string, db *DB) error {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	if w.gen != w.b.writerGen {
+		return ErrStaleWriter
+	}
+	return w.b.saveSnapshotLocked(name, db)
+}
+
+// SaveMeta commits the staged checkpoint through the handle;
+// ErrStaleWriter once a newer writer has acquired the backend.
+func (w *CheckpointWriter) SaveMeta(m Meta) error {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	if w.gen != w.b.writerGen {
+		return ErrStaleWriter
+	}
+	return w.b.saveMetaLocked(m)
+}
+
+// LoadMeta reads the newest committed checkpoint's metadata.
+func (w *CheckpointWriter) LoadMeta() (Meta, bool, error) { return w.b.LoadMeta() }
+
+// LoadSnapshot reads a snapshot from the newest committed checkpoint.
+func (w *CheckpointWriter) LoadSnapshot(name string) (*DB, error) { return w.b.LoadSnapshot(name) }

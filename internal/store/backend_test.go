@@ -207,3 +207,59 @@ func TestSaveDNSCanonicalOrder(t *testing.T) {
 		t.Fatalf("dns.csv not canonical:\n%s\nvs\n%s", a, b)
 	}
 }
+
+// TestCheckpointWriterFencing: Acquire revokes every earlier write
+// handle — a stale writer (an abandoned campaign attempt) gets
+// ErrStaleWriter instead of clobbering the active writer's staging
+// directory or colliding on checkpoint sequence numbers, and anything
+// it half-staged before revocation is discarded.
+func TestCheckpointWriterFencing(t *testing.T) {
+	b := NewCheckpointBackend(t.TempDir())
+	w1 := b.Acquire()
+
+	// w1 stages a snapshot but is abandoned before committing.
+	if err := w1.SaveSnapshot(SnapMain, backendSampleDB()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement attempt acquires its own handle: w1 is revoked.
+	w2 := b.Acquire()
+	if err := w1.SaveSnapshot(SnapMain, backendSampleDB()); !errors.Is(err, ErrStaleWriter) {
+		t.Fatalf("stale SaveSnapshot: %v, want ErrStaleWriter", err)
+	}
+	if err := w1.SaveMeta(Meta{NextRound: 99, Rounds: 99}); !errors.Is(err, ErrStaleWriter) {
+		t.Fatalf("stale SaveMeta: %v, want ErrStaleWriter", err)
+	}
+
+	// w2 commits a full checkpoint of its own; the stale writer's
+	// leftovers and late writes must not be part of it.
+	db := backendSampleDB()
+	db.AddDNS("penn", DNSRow{Site: 2, Round: 1, HasA: true})
+	if err := w2.SaveSnapshot(SnapMain, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.SaveMeta(Meta{NextRound: 2, Rounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok, err := b.LoadMeta()
+	if err != nil || !ok || meta.NextRound != 2 {
+		t.Fatalf("committed meta: %+v ok=%v err=%v", meta, ok, err)
+	}
+	loaded, err := w1.LoadSnapshot(SnapMain) // loads are not fenced
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, d, _, _ := loaded.Counts(); d != 2 {
+		t.Fatalf("committed snapshot has %d dns rows, want w2's 2", d)
+	}
+	names, err := b.committed()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("committed checkpoints: %v err=%v, want exactly one", names, err)
+	}
+
+	// Both writers revoked by a third: neither can commit anymore.
+	b.Acquire()
+	if err := w2.SaveMeta(Meta{NextRound: 3, Rounds: 5}); !errors.Is(err, ErrStaleWriter) {
+		t.Fatalf("revoked w2 SaveMeta: %v, want ErrStaleWriter", err)
+	}
+}
